@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/catalog.hpp"
+#include "baselines/experiment.hpp"
+#include "common/table.hpp"
+#include "concurrency/thread_pool.hpp"
+#include "workload/trace.hpp"
+
+namespace smiless::bench {
+
+/// Trace length (seconds of simulated time) per application. The paper runs
+/// 2 hours; the default here keeps every bench binary in the tens of
+/// seconds. Override with SMILESS_BENCH_DURATION=7200 for full-length runs.
+inline double bench_duration(double fallback = 600.0) {
+  if (const char* env = std::getenv("SMILESS_BENCH_DURATION")) {
+    const double v = std::atof(env);
+    if (v > 0.0) return v;
+  }
+  return fallback;
+}
+
+/// Shared fitted-profile store (profiling the Table-I catalog once).
+inline const baselines::ProfileStore& shared_profiles() {
+  static Rng rng(2024);
+  static baselines::ProfileStore store{profiler::OfflineProfiler{}, rng};
+  return store;
+}
+
+inline std::shared_ptr<ThreadPool> shared_pool() {
+  static auto pool = std::make_shared<ThreadPool>();
+  return pool;
+}
+
+/// Azure-like trace for one workload, deterministic per (app, seed).
+inline workload::Trace trace_for(const apps::App& app, double duration,
+                                 std::uint64_t seed = 42) {
+  Rng rng(seed ^ std::hash<std::string>{}(app.name));
+  auto options = workload::preset_for_workload(app.name, duration);
+  return workload::generate_trace(options, rng);
+}
+
+/// Run one (policy, app, trace) cell.
+inline baselines::RunResult run_cell(baselines::PolicyKind kind, const apps::App& app,
+                                     const workload::Trace& trace, bool use_lstm = true) {
+  baselines::PolicySettings settings;
+  settings.use_lstm = use_lstm;
+  settings.pool = shared_pool();
+  settings.oracle_trace = &trace;  // only OPT reads it
+  baselines::ExperimentOptions options;
+  return baselines::run_experiment(
+      app, trace, baselines::make_policy(kind, app, shared_profiles(), settings), options);
+}
+
+inline std::string pct(double v) { return TextTable::num(100.0 * v, 1) + "%"; }
+
+}  // namespace smiless::bench

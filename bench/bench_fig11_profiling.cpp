@@ -1,0 +1,59 @@
+// Reproduces Fig. 11: (a) how the robustness factor n in the mu + n*sigma
+// initialization estimate drives the SLA violation ratio (paper: the plain
+// mean yields up to 34% violations, n = 3 removes them); (b) the SMAPE of
+// the fitted inference-time models (paper: every function < 20%, average
+// < 8%, GPU fits tighter than CPU).
+#include "bench/bench_common.hpp"
+#include "core/smiless_policy.hpp"
+#include "profiler/offline_profiler.hpp"
+
+using namespace smiless;
+using namespace smiless::bench;
+
+int main() {
+  const double duration = bench_duration(400.0);
+
+  std::cout << "=== Fig. 11a: SLA violations vs init-estimate robustness (n in mu+n*sigma) ===\n"
+            << "(near-periodic sparse trace: every function runs in pre-warm mode, so the\n"
+            << " init estimate directly times the overlap window, as in the paper)\n";
+  TextTable fig_a({"n", "violation ratio", "total cost ($)"});
+  for (double n : {0.0, 1.0, 2.0, 3.0}) {
+    long violated = 0, submitted = 0;
+    double cost = 0.0;
+    for (const auto& app : apps::make_all_workloads(2.0)) {
+      Rng trng(91 ^ std::hash<std::string>{}(app.name));
+      const auto trace = workload::generate_regular_trace(10.0, 0.03, duration, trng);
+      core::SmilessOptions options;
+      options.use_lstm = false;
+      options.optimizer.n_sigma = n;
+      options.prewarm_safety = 0.0;  // isolate the estimator's effect
+      auto policy = std::make_shared<core::SmilessPolicy>(
+          "SMIless(n=" + TextTable::num(n, 0) + ")", shared_profiles().for_app(app), options,
+          shared_pool());
+      baselines::ExperimentOptions eo;
+      const auto r = baselines::run_experiment(app, trace, policy, eo);
+      violated += static_cast<long>(r.violation_ratio * r.submitted + 0.5);
+      submitted += r.submitted;
+      cost += r.cost;
+    }
+    fig_a.add_row({TextTable::num(n, 0), pct(static_cast<double>(violated) / submitted),
+                   TextTable::num(cost, 4)});
+  }
+  fig_a.print();
+
+  std::cout << "\n=== Fig. 11b: inference-time fit accuracy (SMAPE, 25 CPU + 50 GPU samples) ===\n";
+  TextTable fig_b({"Function", "SMAPE CPU (%)", "SMAPE GPU (%)"});
+  double cpu_sum = 0.0, gpu_sum = 0.0;
+  const auto& results = shared_profiles().results();
+  for (const auto& r : results) {
+    fig_b.add_row({r.fitted.name, TextTable::num(r.smape_cpu, 2), TextTable::num(r.smape_gpu, 2)});
+    cpu_sum += r.smape_cpu;
+    gpu_sum += r.smape_gpu;
+  }
+  fig_b.add_row({"AVERAGE", TextTable::num(cpu_sum / results.size(), 2),
+                 TextTable::num(gpu_sum / results.size(), 2)});
+  fig_b.print();
+  std::cout << "\nShape check: violations shrink monotonically with n; all SMAPE < 20%,\n"
+               "average < 8%.\n";
+  return 0;
+}

@@ -1,0 +1,55 @@
+// AMBER Alert (WL1): the branchiest of the paper's workloads — OD fans out
+// to three recognisers that rejoin at NER before translation. This example
+// shows the Workflow Manager's DAG handling: decomposition into simple
+// paths, fork/join detection, and the per-function decisions (hardware +
+// cold-start mode + pre-warm offsets) SMIless derives for it.
+#include <iostream>
+
+#include "apps/catalog.hpp"
+#include "baselines/experiment.hpp"
+#include "common/table.hpp"
+#include "core/workflow_manager.hpp"
+
+using namespace smiless;
+
+int main() {
+  const apps::App app = apps::make_amber_alert(/*sla=*/2.0);
+  std::cout << app.dag.to_dot("amber_alert") << '\n';
+
+  std::cout << "Decomposed simple paths (the units the Strategy Optimizer solves):\n";
+  for (const auto& path : app.dag.all_paths()) {
+    std::cout << "  ";
+    for (std::size_t i = 0; i < path.size(); ++i)
+      std::cout << (i ? " -> " : "") << app.dag.name(path[i]);
+    std::cout << '\n';
+  }
+  for (const auto& fj : app.dag.fork_join_pairs())
+    std::cout << "Fork/join: " << app.dag.name(fj.fork) << " .. " << app.dag.name(fj.join)
+              << " with " << fj.branches.size() << " branches\n";
+
+  // Profile, then co-optimize for a few inter-arrival regimes.
+  Rng rng(11);
+  baselines::ProfileStore store{profiler::OfflineProfiler{}, rng};
+  const auto fitted = store.for_app(app);
+  core::WorkflowManager manager{core::StrategyOptimizer{}};
+
+  for (double it : {0.5, 2.0, 30.0}) {
+    const auto solution = manager.optimize(app.dag, fitted, it, app.sla);
+    std::cout << "\n=== inter-arrival " << it << " s: planned E2E "
+              << TextTable::num(solution.e2e_latency, 3) << " s, cost/invocation $"
+              << TextTable::num(solution.cost_per_invocation * 1e4, 3) << "e-4 ===\n";
+    TextTable t({"Function", "config", "mode", "I_k (s)", "T_k (s)", "start offset D_k (s)"});
+    for (std::size_t n = 0; n < solution.per_node.size(); ++n) {
+      const auto& d = solution.per_node[n];
+      t.add_row({app.dag.name(static_cast<dag::NodeId>(n)), d.config.to_string(),
+                 d.mode == core::ColdStartMode::Prewarm ? "prewarm" : "keep-alive",
+                 TextTable::num(d.inference_time, 3), TextTable::num(d.init_time, 3),
+                 TextTable::num(solution.start_offset[n], 3)});
+    }
+    t.print();
+  }
+  std::cout << "\nNote how sparse arrivals (30 s) flip functions into pre-warm mode, while\n"
+               "tight arrivals keep them alive, and how the three recognisers share one\n"
+               "start offset (they run in parallel after OD).\n";
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Bring-your-own application: define a custom DAG with your own measured
+// latency anchors (no catalog entries), profile it, and let SMIless plan and
+// serve it. This is the path a downstream user takes for a new workload.
+#include <iostream>
+
+#include "apps/app.hpp"
+#include "apps/catalog.hpp"
+#include "baselines/experiment.hpp"
+#include "common/table.hpp"
+#include "core/smiless_policy.hpp"
+#include "core/workflow_manager.hpp"
+
+using namespace smiless;
+
+namespace {
+
+/// Describe a function by four measured anchors: batch-1 latency on 1 and
+/// 16 CPU cores, and on a 10% and 100% GPU slice, plus mean init times.
+perf::FunctionPerf make_function(const std::string& name, double cpu1, double cpu16,
+                                 double gpu10, double gpu100, double init_cpu,
+                                 double init_gpu) {
+  perf::FunctionPerf f;
+  f.name = name;
+  f.cpu = apps::cpu_params_from_anchors(cpu1, cpu16);
+  f.gpu = apps::gpu_params_from_anchors(gpu10, gpu100);
+  f.init_cpu = {init_cpu, 0.08 * init_cpu};
+  f.init_gpu = {init_gpu, 0.10 * init_gpu};
+  return f;
+}
+
+}  // namespace
+
+int main() {
+  // A document-processing pipeline: OCR fans into layout analysis and
+  // entity extraction, both feeding a summariser.
+  apps::App app;
+  app.name = "doc-pipeline";
+  app.sla = 2.0;
+
+  const auto ocr = app.dag.add_node("OCR");
+  app.truth.push_back(make_function("OCR", 0.80, 0.075, 0.070, 0.010, 1.2, 4.5));
+  const auto layout = app.dag.add_node("Layout");
+  app.truth.push_back(make_function("Layout", 0.50, 0.048, 0.045, 0.007, 1.0, 4.0));
+  const auto entities = app.dag.add_node("Entities");
+  app.truth.push_back(make_function("Entities", 0.65, 0.060, 0.055, 0.008, 1.1, 4.2));
+  const auto summary = app.dag.add_node("Summarise");
+  app.truth.push_back(make_function("Summarise", 1.60, 0.150, 0.135, 0.017, 1.8, 6.0));
+  app.dag.add_edge(ocr, layout);
+  app.dag.add_edge(ocr, entities);
+  app.dag.add_edge(layout, summary);
+  app.dag.add_edge(entities, summary);
+
+  std::cout << app.dag.to_dot("doc_pipeline") << "\n";
+
+  // Plan with the ground truth directly (or run the OfflineProfiler first,
+  // as quickstart.cpp does).
+  core::WorkflowManager manager{core::StrategyOptimizer{}};
+  const auto plan = manager.optimize(app.dag, app.truth, /*interarrival=*/3.0, app.sla);
+  TextTable t({"Function", "config", "mode", "I (s)", "cost/invocation ($1e-4)"});
+  for (std::size_t n = 0; n < plan.per_node.size(); ++n) {
+    const auto& d = plan.per_node[n];
+    t.add_row({app.dag.name(static_cast<dag::NodeId>(n)), d.config.to_string(),
+               d.mode == core::ColdStartMode::Prewarm ? "prewarm" : "keep-alive",
+               TextTable::num(d.inference_time, 3),
+               TextTable::num(d.cost_per_invocation * 1e4, 3)});
+  }
+  t.print();
+  std::cout << "Planned E2E " << TextTable::num(plan.e2e_latency, 3) << " s (SLA " << app.sla
+            << " s), feasible: " << (plan.feasible ? "yes" : "no") << "\n\n";
+
+  // And serve a short trace end-to-end.
+  Rng rng(3);
+  workload::TraceOptions trace_options;
+  trace_options.duration = 400.0;
+  trace_options.mean_rate = 0.33;
+  const auto trace = workload::generate_trace(trace_options, rng);
+
+  sim::Engine engine;
+  cluster::Cluster cluster = cluster::Cluster::paper_testbed();
+  serverless::Platform platform(engine, cluster, perf::Pricing{}, rng);
+  core::SmilessOptions options;
+  options.use_lstm = false;
+  auto policy = std::make_shared<core::SmilessPolicy>("SMIless", app.truth, options);
+  const auto id = platform.deploy(app, policy);
+  for (SimTime at : trace.arrivals) platform.submit_request(id, at);
+  engine.run_until(460.0);
+  platform.finalize(460.0);
+
+  const auto& m = platform.metrics(id);
+  std::cout << "Served " << m.completed.size() << " requests, cost $"
+            << TextTable::num(m.total_cost(), 5) << ", violations "
+            << TextTable::num(100 * m.sla_violation_ratio(app.sla), 1) << "%\n";
+  return 0;
+}

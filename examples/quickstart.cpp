@@ -1,0 +1,65 @@
+// Quickstart: profile the model catalog, deploy the Voice Assistant
+// pipeline under SMIless, replay a 5-minute Azure-like trace, and print the
+// books. This is the smallest end-to-end use of the public API:
+//
+//   catalog -> OfflineProfiler -> SmilessPolicy -> Platform -> metrics
+#include <iostream>
+
+#include "apps/catalog.hpp"
+#include "cluster/cluster.hpp"
+#include "common/table.hpp"
+#include "core/smiless_policy.hpp"
+#include "math/stats.hpp"
+#include "profiler/offline_profiler.hpp"
+#include "serverless/platform.hpp"
+#include "sim/engine.hpp"
+#include "workload/trace.hpp"
+
+using namespace smiless;
+
+int main() {
+  // 1. The application: SR -> DB -> QA -> TTS with a 2 s end-to-end SLA.
+  const apps::App app = apps::make_voice_assistant(/*sla=*/2.0);
+  std::cout << "Deploying " << app.name << " (" << app.dag.size() << " functions)\n"
+            << app.dag.to_dot() << '\n';
+
+  // 2. Offline profiling: fit Eq. (1)/(2) latency models and mu+n*sigma
+  //    init estimates for every function the app uses.
+  Rng rng(7);
+  profiler::OfflineProfiler profiler;
+  std::vector<perf::FunctionPerf> fitted;
+  for (std::size_t n = 0; n < app.dag.size(); ++n)
+    fitted.push_back(profiler.profile(app.perf_of(static_cast<dag::NodeId>(n)), rng).fitted);
+
+  // 3. The serving substrate: the paper's 8-machine cluster inside a
+  //    discrete-event engine.
+  sim::Engine engine;
+  cluster::Cluster cluster = cluster::Cluster::paper_testbed();
+  serverless::Platform platform(engine, cluster, perf::Pricing{}, rng);
+
+  // 4. SMIless.
+  core::SmilessOptions options;  // defaults: adaptive pre-warming, LSTM predictors
+  auto policy = std::make_shared<core::SmilessPolicy>("SMIless", fitted, options);
+  const serverless::AppId id = platform.deploy(app, policy);
+
+  // 5. Replay a 5-minute trace of user requests.
+  auto trace_options = workload::preset_for_workload(app.name, 300.0);
+  const workload::Trace trace = workload::generate_trace(trace_options, rng);
+  for (SimTime t : trace.arrivals) platform.submit_request(id, t);
+  engine.run_until(360.0);
+  platform.finalize(360.0);
+
+  // 6. The books.
+  const auto& m = platform.metrics(id);
+  std::vector<double> e2e;
+  for (const auto& r : m.completed) e2e.push_back(r.e2e());
+  TextTable summary({"metric", "value"});
+  summary.add_row({"requests served", std::to_string(m.completed.size())});
+  summary.add_row({"total cost ($)", TextTable::num(m.total_cost(), 5)});
+  summary.add_row({"median E2E (s)", TextTable::num(math::percentile(e2e, 50), 3)});
+  summary.add_row({"p99 E2E (s)", TextTable::num(math::percentile(e2e, 99), 3)});
+  summary.add_row({"SLA violations", TextTable::num(100 * m.sla_violation_ratio(app.sla), 1) + "%"});
+  summary.add_row({"container inits", std::to_string(m.total_initializations())});
+  summary.print();
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Request-trace inspector: run the Image-Query workflow with per-request
+// tracing enabled (the Prometheus-event equivalent of §IV-A) and print the
+// spans of the slowest requests — which stage waited, whether the wait was a
+// cold start, and how batching grouped invocations. This is the debugging
+// view an operator uses to see *why* a request violated its SLA.
+#include <algorithm>
+#include <iostream>
+
+#include "apps/catalog.hpp"
+#include "baselines/experiment.hpp"
+#include "common/table.hpp"
+#include "core/smiless_policy.hpp"
+#include "serverless/tracing.hpp"
+
+using namespace smiless;
+
+int main() {
+  const apps::App app = apps::make_image_query(/*sla=*/2.0);
+  Rng rng(41);
+  auto trace_options = workload::preset_for_workload(app.name, 300.0);
+  const workload::Trace trace = workload::generate_trace(trace_options, rng);
+
+  Rng profile_rng(42);
+  baselines::ProfileStore store{profiler::OfflineProfiler{}, profile_rng};
+
+  sim::Engine engine;
+  cluster::Cluster cluster = cluster::Cluster::paper_testbed();
+  Rng platform_rng(43);
+  serverless::PlatformOptions options;
+  options.record_traces = true;
+  serverless::Platform platform(engine, cluster, perf::Pricing{}, platform_rng, options);
+
+  core::SmilessOptions policy_options;
+  policy_options.use_lstm = false;
+  auto policy =
+      std::make_shared<core::SmilessPolicy>("SMIless", store.for_app(app), policy_options);
+  const auto id = platform.deploy(app, policy);
+  for (SimTime t : trace.arrivals) platform.submit_request(id, t);
+  engine.run_until(360.0);
+  platform.finalize(360.0);
+
+  auto traces = platform.metrics(id).traces;
+  std::cout << "Recorded " << traces.size() << " request traces.\n";
+
+  std::sort(traces.begin(), traces.end(), [](const auto& a, const auto& b) {
+    return a.e2e() > b.e2e();
+  });
+  std::cout << "\n=== Three slowest requests ===\n";
+  for (std::size_t i = 0; i < std::min<std::size_t>(3, traces.size()); ++i)
+    std::cout << serverless::format_trace(traces[i], app.dag);
+
+  // Aggregate wait/cold statistics per stage.
+  std::cout << "=== Per-stage cold/wait summary ===\n";
+  TextTable table({"Stage", "executions", "cold", "mean wait (ms)", "max wait (ms)"});
+  for (std::size_t n = 0; n < app.dag.size(); ++n) {
+    long execs = 0, cold = 0;
+    double wait_sum = 0.0, wait_max = 0.0;
+    for (const auto& t : traces) {
+      for (const auto& s : t.spans) {
+        if (s.node != static_cast<dag::NodeId>(n)) continue;
+        ++execs;
+        if (s.cold) ++cold;
+        wait_sum += s.wait();
+        wait_max = std::max(wait_max, s.wait());
+      }
+    }
+    table.add_row({app.dag.name(static_cast<dag::NodeId>(n)), std::to_string(execs),
+                   std::to_string(cold), TextTable::num(1000 * wait_sum / std::max<long>(execs, 1), 1),
+                   TextTable::num(1000 * wait_max, 1)});
+  }
+  table.print();
+  return 0;
+}

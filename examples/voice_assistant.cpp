@@ -1,0 +1,42 @@
+// Voice Assistant (WL3) head-to-head: serve the same trace under SMIless and
+// the four baselines and compare cost, latency and cold-start behaviour —
+// a miniature of the paper's Fig. 8/9 on one workload.
+#include <iostream>
+
+#include "apps/catalog.hpp"
+#include "baselines/experiment.hpp"
+#include "common/table.hpp"
+#include "math/stats.hpp"
+
+using namespace smiless;
+
+int main() {
+  const apps::App app = apps::make_voice_assistant(/*sla=*/2.0);
+  Rng rng(21);
+  auto trace_options = workload::preset_for_workload(app.name, 420.0);
+  const workload::Trace trace = workload::generate_trace(trace_options, rng);
+  std::cout << "Serving " << trace.total_invocations() << " requests over "
+            << trace.counts.size() << " s\n\n";
+
+  Rng profile_rng(22);
+  baselines::ProfileStore store{profiler::OfflineProfiler{}, profile_rng};
+  baselines::PolicySettings settings;
+  settings.use_lstm = true;
+  settings.oracle_trace = &trace;
+  baselines::ExperimentOptions run_options;
+
+  TextTable t({"Policy", "cost ($)", "p50 E2E (s)", "p99 E2E (s)", "violations", "inits"});
+  for (const auto kind :
+       {baselines::PolicyKind::Smiless, baselines::PolicyKind::GrandSlam,
+        baselines::PolicyKind::IceBreaker, baselines::PolicyKind::Orion,
+        baselines::PolicyKind::Aquatope, baselines::PolicyKind::Opt}) {
+    const auto r = baselines::run_experiment(
+        app, trace, baselines::make_policy(kind, app, store, settings), run_options);
+    t.add_row({r.policy, TextTable::num(r.cost, 4), TextTable::num(math::percentile(r.e2e, 50), 2),
+               TextTable::num(math::percentile(r.e2e, 99), 2),
+               TextTable::num(100 * r.violation_ratio, 1) + "%",
+               std::to_string(r.initializations)});
+  }
+  t.print();
+  return 0;
+}

@@ -1,0 +1,26 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dag/dag.hpp"
+#include "perfmodel/latency_model.hpp"
+
+namespace smiless::apps {
+
+/// A deployable ML serving application: a DAG of inference functions plus
+/// the ground-truth performance surface of each function (indexed by the
+/// DAG node id) and its SLA target for end-to-end latency.
+struct App {
+  std::string name;
+  dag::Dag dag;
+  std::vector<perf::FunctionPerf> truth;
+  double sla = 2.0;  ///< seconds (§VII-A default)
+
+  const perf::FunctionPerf& perf_of(dag::NodeId n) const {
+    SMILESS_CHECK(n >= 0 && static_cast<std::size_t>(n) < truth.size());
+    return truth[n];
+  }
+};
+
+}  // namespace smiless::apps

@@ -1,0 +1,202 @@
+#include "apps/catalog.hpp"
+
+#include "common/check.hpp"
+
+namespace smiless::apps {
+
+perf::AmdahlParams cpu_params_from_anchors(double cpu1_latency, double cpu16_latency,
+                                           double gamma, double lambda) {
+  SMILESS_CHECK(cpu1_latency > cpu16_latency && cpu16_latency > gamma);
+  // cpu1  = lambda*(alpha + beta) + gamma
+  // cpu16 = lambda*(alpha/16 + beta) + gamma
+  const double alpha = (cpu1_latency - cpu16_latency) / (lambda * (1.0 - 1.0 / 16.0));
+  const double beta = (cpu1_latency - gamma) / lambda - alpha;
+  SMILESS_CHECK_MSG(alpha > 0.0 && beta > 0.0, "CPU anchors produce invalid Amdahl params");
+  return {lambda, alpha, beta, gamma};
+}
+
+perf::AmdahlParams gpu_params_from_anchors(double gpu10_latency, double gpu100_latency,
+                                           double gamma, double lambda) {
+  SMILESS_CHECK(gpu10_latency > gpu100_latency && gpu100_latency > gamma);
+  // gpu10  = lambda*(alpha/10  + beta) + gamma
+  // gpu100 = lambda*(alpha/100 + beta) + gamma
+  const double alpha = (gpu10_latency - gpu100_latency) / (lambda * (0.1 - 0.01));
+  const double beta = (gpu100_latency - gamma) / lambda - alpha / 100.0;
+  SMILESS_CHECK_MSG(alpha > 0.0 && beta > 0.0, "GPU anchors produce invalid Amdahl params");
+  return {lambda, alpha, beta, gamma};
+}
+
+namespace {
+
+perf::FunctionPerf make_fn(const std::string& name, double cpu1, double cpu16, double gpu10,
+                           double gpu100, double init_cpu_mu, double init_gpu_mu) {
+  perf::FunctionPerf f;
+  f.name = name;
+  f.cpu = cpu_params_from_anchors(cpu1, cpu16);
+  f.gpu = gpu_params_from_anchors(gpu10, gpu100);
+  f.init_cpu = {init_cpu_mu, 0.08 * init_cpu_mu};
+  f.init_gpu = {init_gpu_mu, 0.10 * init_gpu_mu};
+  return f;
+}
+
+std::vector<perf::FunctionPerf> build_catalog() {
+  // Anchors (seconds, batch 1):      cpu1   cpu16  gpu10  gpu100 initC initG
+  return {
+      make_fn("IR",  /*ResNet50   */ 1.20, 0.110, 0.100, 0.0130, 1.8, 6.0),
+      make_fn("FR",  /*FaceNet    */ 1.00, 0.095, 0.090, 0.0120, 1.6, 5.5),
+      make_fn("HAP", /*pose       */ 1.40, 0.130, 0.120, 0.0150, 1.8, 6.2),
+      make_fn("DB",  /*DistilBERT */ 0.90, 0.085, 0.080, 0.0110, 1.5, 5.0),
+      make_fn("NER", /*Flair      */ 1.10, 0.100, 0.095, 0.0125, 1.7, 5.6),
+      make_fn("TM",  /*TweetEval  */ 0.80, 0.075, 0.070, 0.0100, 1.4, 4.8),
+      make_fn("TRS", /*T5         */ 2.40, 0.220, 0.200, 0.0230, 2.5, 8.0),
+      make_fn("TG",  /*GPT-2      */ 2.00, 0.190, 0.170, 0.0200, 2.2, 7.5),
+      make_fn("SR",  /*Wav2Vec    */ 1.60, 0.150, 0.135, 0.0165, 2.0, 6.5),
+      make_fn("TTS", /*FastSpeech */ 1.30, 0.120, 0.110, 0.0140, 1.9, 6.0),
+      make_fn("OD",  /*YOLOv5     */ 1.50, 0.140, 0.125, 0.0155, 1.9, 6.3),
+      make_fn("QA",  /*RoBERTa    */ 1.00, 0.095, 0.085, 0.0115, 1.6, 5.2),
+  };
+}
+
+}  // namespace
+
+const std::vector<perf::FunctionPerf>& model_catalog() {
+  static const std::vector<perf::FunctionPerf> catalog = build_catalog();
+  return catalog;
+}
+
+const perf::FunctionPerf& model_by_name(const std::string& name) {
+  for (const auto& f : model_catalog())
+    if (f.name == name) return f;
+  SMILESS_CHECK_MSG(false, "unknown model: " << name);
+  // unreachable; silences the compiler
+  return model_catalog().front();
+}
+
+namespace {
+
+/// Add the named catalog function as a DAG node and record its profile.
+dag::NodeId add_fn(App& app, const std::string& name) {
+  const dag::NodeId id = app.dag.add_node(name);
+  app.truth.push_back(model_by_name(name));
+  return id;
+}
+
+}  // namespace
+
+App make_amber_alert(double sla) {
+  App app;
+  app.name = "WL1-AMBER-Alert";
+  app.sla = sla;
+  const auto od = add_fn(app, "OD");
+  const auto ir = add_fn(app, "IR");
+  const auto fr = add_fn(app, "FR");
+  const auto hap = add_fn(app, "HAP");
+  const auto ner = add_fn(app, "NER");
+  const auto trs = add_fn(app, "TRS");
+  app.dag.add_edge(od, ir);
+  app.dag.add_edge(od, fr);
+  app.dag.add_edge(od, hap);
+  app.dag.add_edge(ir, ner);
+  app.dag.add_edge(fr, ner);
+  app.dag.add_edge(hap, ner);
+  app.dag.add_edge(ner, trs);
+  return app;
+}
+
+App make_image_query(double sla) {
+  App app;
+  app.name = "WL2-Image-Query";
+  app.sla = sla;
+  const auto ir = add_fn(app, "IR");
+  const auto db = add_fn(app, "DB");
+  const auto tm = add_fn(app, "TM");
+  const auto qa = add_fn(app, "QA");
+  const auto tg = add_fn(app, "TG");
+  app.dag.add_edge(ir, db);
+  app.dag.add_edge(ir, tm);
+  app.dag.add_edge(db, qa);
+  app.dag.add_edge(tm, qa);
+  app.dag.add_edge(qa, tg);
+  return app;
+}
+
+App make_voice_assistant(double sla) {
+  App app;
+  app.name = "WL3-Voice-Assistant";
+  app.sla = sla;
+  const auto sr = add_fn(app, "SR");
+  const auto db = add_fn(app, "DB");
+  const auto qa = add_fn(app, "QA");
+  const auto tts = add_fn(app, "TTS");
+  app.dag.add_edge(sr, db);
+  app.dag.add_edge(db, qa);
+  app.dag.add_edge(qa, tts);
+  return app;
+}
+
+App make_ipa(double sla) {
+  App app;
+  app.name = "IPA";
+  app.sla = sla;
+  const auto db = add_fn(app, "DB");
+  const auto ir = add_fn(app, "IR");
+  const auto qa = add_fn(app, "QA");
+  const auto tts = add_fn(app, "TTS");
+  app.dag.add_edge(db, qa);
+  app.dag.add_edge(ir, qa);
+  app.dag.add_edge(qa, tts);
+  return app;
+}
+
+std::vector<App> make_all_workloads(double sla) {
+  return {make_amber_alert(sla), make_image_query(sla), make_voice_assistant(sla)};
+}
+
+App make_synthetic_pipeline(std::size_t n, double sla) {
+  SMILESS_CHECK(n >= 1);
+  App app;
+  app.name = "synthetic-pipeline-" + std::to_string(n);
+  app.sla = sla;
+  const auto& catalog = model_catalog();
+  dag::NodeId prev = -1;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& fn = catalog[i % catalog.size()];
+    const dag::NodeId id = app.dag.add_node(fn.name + "#" + std::to_string(i));
+    app.truth.push_back(fn);
+    if (prev >= 0) app.dag.add_edge(prev, id);
+    prev = id;
+  }
+  return app;
+}
+
+App make_synthetic_fanout(std::size_t width, std::size_t depth, double sla) {
+  SMILESS_CHECK(width >= 1 && depth >= 1);
+  App app;
+  app.name = "synthetic-fanout-" + std::to_string(width) + "x" + std::to_string(depth);
+  app.sla = sla;
+  const auto& catalog = model_catalog();
+  std::size_t counter = 0;
+  auto fresh = [&](const char* tag) {
+    const auto& fn = catalog[counter % catalog.size()];
+    const dag::NodeId id = app.dag.add_node(fn.name + "#" + tag + std::to_string(counter));
+    app.truth.push_back(fn);
+    ++counter;
+    return id;
+  };
+
+  dag::NodeId join = fresh("s");
+  for (std::size_t d = 0; d < depth; ++d) {
+    const dag::NodeId fork = join;
+    std::vector<dag::NodeId> branches;
+    for (std::size_t w = 0; w < width; ++w) {
+      const dag::NodeId b = fresh("b");
+      app.dag.add_edge(fork, b);
+      branches.push_back(b);
+    }
+    join = fresh("j");
+    for (dag::NodeId b : branches) app.dag.add_edge(b, join);
+  }
+  return app;
+}
+
+}  // namespace smiless::apps

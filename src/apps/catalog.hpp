@@ -1,0 +1,59 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "apps/app.hpp"
+#include "perfmodel/latency_model.hpp"
+
+namespace smiless::apps {
+
+/// Ground-truth performance profiles for the twelve inference functions of
+/// Table I. The surfaces follow the paper's own Amdahl-law parameterisation
+/// (Eq. 1/2) and are calibrated to the paper's anchors: roughly 10x warm
+/// speedup on a full GPU vs a 16-core CPU, GPU initialization several times
+/// the CPU's (Fig. 2), and sub-second warm inference so that 4–6 stage DAGs
+/// can meet a 2 s SLA on upgraded hardware.
+///
+/// Short names: IR, FR, HAP, DB, NER, TM, TRS, TG, SR, TTS, OD, QA.
+const std::vector<perf::FunctionPerf>& model_catalog();
+
+/// Catalog entry by short name; throws CheckError if unknown.
+const perf::FunctionPerf& model_by_name(const std::string& name);
+
+/// Derive Eq. (1) parameters from two anchor latencies (batch 1):
+/// latency on 1 core and on 16 cores, with fixed gamma/lambda. Checks that
+/// the derived alpha/beta are positive.
+perf::AmdahlParams cpu_params_from_anchors(double cpu1_latency, double cpu16_latency,
+                                           double gamma = 0.010, double lambda = 1.05);
+
+/// Derive Eq. (2) parameters from latencies at 10% and 100% GPU.
+perf::AmdahlParams gpu_params_from_anchors(double gpu10_latency, double gpu100_latency,
+                                           double gamma = 0.002, double lambda = 1.0);
+
+/// WL1 "AMBER Alert": OD -> {IR, FR, HAP} -> NER -> TRS (parallel branches).
+App make_amber_alert(double sla = 2.0);
+
+/// WL2 "Image-Query": IR -> {DB, TM} -> QA -> TG.
+App make_image_query(double sla = 2.0);
+
+/// WL3 "Voice Assistant": SR -> DB -> QA -> TTS (pipeline, Fig. 1).
+App make_voice_assistant(double sla = 2.0);
+
+/// The intelligent-personal-assistant pipeline of Fig. 1 (answers questions
+/// about images): {DB, IR} in parallel -> QA -> TTS.
+App make_ipa(double sla = 2.0);
+
+/// All three evaluation workloads in the paper's order.
+std::vector<App> make_all_workloads(double sla = 2.0);
+
+/// A synthetic pure pipeline of `n` stages cycling through the catalog —
+/// used by the Fig. 16 overhead benchmark (longest path length sweep).
+App make_synthetic_pipeline(std::size_t n, double sla);
+
+/// A synthetic fork/join ladder: `depth` fork/join stages, each fanning out
+/// to `width` parallel functions. Stresses the Workflow Manager's path
+/// decomposition (paths grow as width^depth).
+App make_synthetic_fanout(std::size_t width, std::size_t depth, double sla);
+
+}  // namespace smiless::apps

@@ -1,0 +1,69 @@
+#include "apps/serialize.hpp"
+
+#include <sstream>
+
+#include "apps/catalog.hpp"
+#include "common/check.hpp"
+
+namespace smiless::apps {
+
+App parse_app(const std::string& manifest) {
+  App app;
+  std::istringstream is(manifest);
+  std::string line;
+  int line_no = 0;
+  bool saw_app = false;
+  while (std::getline(is, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream ls(line);
+    std::string directive;
+    if (!(ls >> directive)) continue;
+
+    if (directive == "app") {
+      SMILESS_CHECK_MSG(static_cast<bool>(ls >> app.name),
+                        "line " << line_no << ": app needs a name");
+      saw_app = true;
+    } else if (directive == "sla") {
+      SMILESS_CHECK_MSG(static_cast<bool>(ls >> app.sla) && app.sla > 0.0,
+                        "line " << line_no << ": sla needs a positive number");
+    } else if (directive == "fn") {
+      std::string node, model;
+      SMILESS_CHECK_MSG(static_cast<bool>(ls >> node >> model),
+                        "line " << line_no << ": fn needs <node> <model>");
+      app.dag.add_node(node);
+      app.truth.push_back(model_by_name(model));  // throws on unknown model
+    } else if (directive == "edge") {
+      std::string from, to;
+      SMILESS_CHECK_MSG(static_cast<bool>(ls >> from >> to),
+                        "line " << line_no << ": edge needs two node names");
+      const dag::NodeId u = app.dag.find(from);
+      const dag::NodeId v = app.dag.find(to);
+      SMILESS_CHECK_MSG(u >= 0, "line " << line_no << ": unknown node " << from);
+      SMILESS_CHECK_MSG(v >= 0, "line " << line_no << ": unknown node " << to);
+      app.dag.add_edge(u, v);
+    } else {
+      SMILESS_CHECK_MSG(false, "line " << line_no << ": unknown directive " << directive);
+    }
+  }
+  SMILESS_CHECK_MSG(saw_app, "manifest missing the 'app <name>' directive");
+  SMILESS_CHECK_MSG(app.dag.size() > 0, "manifest declares no functions");
+  return app;
+}
+
+std::string to_manifest(const App& app) {
+  std::ostringstream os;
+  os << "app " << app.name << "\n";
+  os << "sla " << app.sla << "\n";
+  for (std::size_t n = 0; n < app.dag.size(); ++n)
+    os << "fn " << app.dag.name(static_cast<dag::NodeId>(n)) << " " << app.truth[n].name
+       << "\n";
+  for (std::size_t u = 0; u < app.dag.size(); ++u)
+    for (dag::NodeId v : app.dag.successors(static_cast<dag::NodeId>(u)))
+      os << "edge " << app.dag.name(static_cast<dag::NodeId>(u)) << " " << app.dag.name(v)
+         << "\n";
+  return os.str();
+}
+
+}  // namespace smiless::apps

@@ -1,0 +1,25 @@
+#pragma once
+
+#include <string>
+
+#include "apps/app.hpp"
+
+namespace smiless::apps {
+
+/// Application manifest format — what a developer submits to the platform
+/// (the deployment-YAML equivalent of §III's submission flow). One
+/// directive per line, '#' comments:
+///
+///   app  <name>
+///   sla  <seconds>
+///   fn   <node-name> <catalog-model>     # e.g.  fn speech SR
+///   edge <from-node> <to-node>
+///
+/// Functions resolve against the Table-I model catalog.
+App parse_app(const std::string& manifest);
+
+/// Render an app whose functions are catalog models back to the manifest
+/// format (functions are matched to the catalog by their profile name).
+std::string to_manifest(const App& app);
+
+}  // namespace smiless::apps

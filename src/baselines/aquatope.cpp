@@ -1,0 +1,120 @@
+#include "baselines/aquatope.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace smiless::baselines {
+
+AquatopePolicy::AquatopePolicy(std::vector<perf::FunctionPerf> profiles_by_node, Options options)
+    : profiles_(std::move(profiles_by_node)),
+      options_(std::move(options)),
+      rng_(options_.seed) {}
+
+std::vector<double> AquatopePolicy::normalize(const std::vector<int>& cfg_idx) const {
+  std::vector<double> x(cfg_idx.size());
+  const double denom = static_cast<double>(options_.optimizer.config_space.size() - 1);
+  for (std::size_t i = 0; i < cfg_idx.size(); ++i) x[i] = cfg_idx[i] / denom;
+  return x;
+}
+
+void AquatopePolicy::apply(serverless::AppId app, serverless::Platform& platform) {
+  for (std::size_t n = 0; n < current_.size(); ++n) {
+    serverless::FunctionPlan plan;
+    plan.config = options_.optimizer.config_space[current_[n]];
+    plan.keepalive = options_.keepalive;  // short: frequent re-inits, no pre-warming
+    plan.max_batch = 1;
+    platform.set_plan(app, static_cast<dag::NodeId>(n), plan);
+  }
+}
+
+void AquatopePolicy::on_deploy(serverless::AppId app, const apps::App& spec,
+                               serverless::Platform& platform) {
+  SMILESS_CHECK(profiles_.size() == spec.dag.size());
+  sla_ = spec.sla;
+  // Start from a mid-range configuration for every function.
+  current_.assign(spec.dag.size(),
+                  static_cast<int>(options_.optimizer.config_space.size() / 2));
+  apply(app, platform);
+}
+
+void AquatopePolicy::on_window(serverless::AppId app, const apps::App& spec,
+                               serverless::Platform& platform,
+                               const serverless::WindowStats&) {
+  // Baseline reactive scaling (a Kubernetes HPA stand-in): spawn extra
+  // instances when a backlog outgrows what is already warming up. Aquatope
+  // tunes configurations, not instance counts, so this is deliberately
+  // coarse.
+  for (std::size_t n = 0; n < spec.dag.size(); ++n) {
+    const auto node = static_cast<dag::NodeId>(n);
+    const auto backlog = static_cast<long>(platform.queue_length(app, node));
+    const long serving = platform.instances_busy(app, node) +
+                         platform.instances_initializing(app, node);
+    const long excess = std::min<long>(backlog - 2 * serving, 8);
+    for (long i = 0; i < excess; ++i)
+      if (!platform.spawn_instance(app, node)) break;
+  }
+
+  if (++window_count_ % options_.eval_windows != 0) return;
+
+  // Evaluate the period that just ended.
+  const auto& m = platform.metrics(app);
+  const double cost_now = m.total_cost();
+  const std::size_t done_now = m.completed.size();
+  const double d_cost = cost_now - cost_snapshot_;
+  const std::size_t period_start = completed_snapshot_;
+  const std::size_t d_done = done_now - period_start;
+  cost_snapshot_ = cost_now;
+  completed_snapshot_ = done_now;
+  if (d_done == 0) return;  // idle period: nothing learned
+
+  std::size_t violations = 0;
+  for (std::size_t i = period_start; i < done_now; ++i)
+    if (m.completed[i].e2e() > sla_) ++violations;
+  const double violation_ratio = static_cast<double>(violations) / static_cast<double>(d_done);
+  const double cost_per_req = d_cost / static_cast<double>(d_done);
+  const double objective = cost_per_req * (1.0 + options_.violation_penalty * violation_ratio);
+
+  observed_x_.push_back(normalize(current_));
+  observed_y_.push_back(objective);
+
+  const int space = static_cast<int>(options_.optimizer.config_space.size());
+  if (static_cast<int>(observed_y_.size()) < options_.explore_rounds) {
+    // Exploration: perturb the current configuration locally. (A uniform
+    // random jump can land on a fleet that collapses under load for a whole
+    // evaluation period, which a production scheduler would never risk.)
+    for (auto& c : current_) c = std::clamp(c + rng_.uniform_int(-2, 2), 0, space - 1);
+  } else {
+    // Exploitation: GP surrogate + expected improvement over random
+    // candidates (the uncertainty-aware part).
+    math::GaussianProcess gp(/*length_scale=*/0.4, /*signal_var=*/1.0,
+                             /*noise_var=*/1e-3);
+    // Normalise objectives to zero mean / unit scale for GP stability.
+    double mu = 0.0;
+    for (double y : observed_y_) mu += y;
+    mu /= static_cast<double>(observed_y_.size());
+    double scale = 1e-12;
+    for (double y : observed_y_) scale = std::max(scale, std::abs(y - mu));
+    std::vector<double> ys;
+    ys.reserve(observed_y_.size());
+    for (double y : observed_y_) ys.push_back((y - mu) / scale);
+    gp.fit(observed_x_, ys);
+
+    const double best_y =
+        (*std::min_element(observed_y_.begin(), observed_y_.end()) - mu) / scale;
+    std::vector<int> best_cand = current_;
+    double best_ei = -1.0;
+    for (int c = 0; c < options_.ei_candidates; ++c) {
+      std::vector<int> cand(current_.size());
+      for (auto& v : cand) v = rng_.uniform_int(0, space - 1);
+      const double ei = gp.expected_improvement(normalize(cand), best_y);
+      if (ei > best_ei) {
+        best_ei = ei;
+        best_cand = cand;
+      }
+    }
+    current_ = best_cand;
+  }
+  apply(app, platform);
+}
+
+}  // namespace smiless::baselines

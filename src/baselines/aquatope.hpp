@@ -1,0 +1,62 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/workflow_manager.hpp"
+#include "math/gaussian_process.hpp"
+#include "serverless/platform.hpp"
+
+namespace smiless::baselines {
+
+/// Aquatope (ASPLOS'23) as characterised in §VII-A/§VII-B: an
+/// uncertainty-aware QoS scheduler that tunes the per-function resource
+/// configuration of a workflow with Bayesian optimisation (GP surrogate +
+/// expected improvement), observing cost and SLA compliance online. It does
+/// not manage cold starts — containers are terminated eagerly after use —
+/// so it reaches low cost at the price of frequent re-initialisations and a
+/// high violation ratio (Fig. 8/9b).
+class AquatopePolicy : public serverless::Policy {
+ public:
+  struct Options {
+    Options() { optimizer.config_space = perf::coarse_config_space(); }
+    core::OptimizerOptions optimizer;  ///< defaults to the no-MPS space
+    int eval_windows = 30;         ///< windows per BO evaluation period
+    int explore_rounds = 5;        ///< random exploration before the GP kicks in
+    int ei_candidates = 128;       ///< random candidates scored by EI per round
+    double violation_penalty = 1.0;  ///< objective = cost/req * (1 + penalty*violation)
+    double keepalive = 3.0;          ///< short FaaS-style keep-alive (still cold-start heavy)
+    std::uint64_t seed = 17;
+  };
+
+  AquatopePolicy(std::vector<perf::FunctionPerf> profiles_by_node, Options options);
+  explicit AquatopePolicy(std::vector<perf::FunctionPerf> profiles_by_node)
+      : AquatopePolicy(std::move(profiles_by_node), Options{}) {}
+
+  std::string name() const override { return "Aquatope"; }
+  void on_deploy(serverless::AppId app, const apps::App& spec,
+                 serverless::Platform& platform) override;
+  void on_window(serverless::AppId app, const apps::App& spec,
+                 serverless::Platform& platform, const serverless::WindowStats& stats) override;
+
+ private:
+  std::vector<double> normalize(const std::vector<int>& cfg_idx) const;
+  void apply(serverless::AppId app, serverless::Platform& platform);
+
+  std::vector<perf::FunctionPerf> profiles_;
+  Options options_;
+  Rng rng_;
+
+  std::vector<int> current_;  ///< per-node index into the config space
+  int window_count_ = 0;
+  // Period-start snapshots for the incremental objective.
+  double cost_snapshot_ = 0.0;
+  std::size_t completed_snapshot_ = 0;
+  double sla_ = 2.0;
+
+  std::vector<std::vector<double>> observed_x_;
+  std::vector<double> observed_y_;
+};
+
+}  // namespace smiless::baselines

@@ -1,0 +1,189 @@
+#include "baselines/experiment.hpp"
+
+#include <algorithm>
+
+#include "apps/catalog.hpp"
+#include "baselines/aquatope.hpp"
+#include "baselines/grandslam.hpp"
+#include "baselines/icebreaker.hpp"
+#include "baselines/orion.hpp"
+#include "cluster/cluster.hpp"
+#include "core/smiless_policy.hpp"
+#include "sim/engine.hpp"
+
+namespace smiless::baselines {
+
+ProfileStore::ProfileStore(const profiler::OfflineProfiler& profiler, Rng& rng) {
+  results_ = profiler.profile_all(apps::model_catalog(), rng);
+}
+
+const perf::FunctionPerf& ProfileStore::fitted(const std::string& name) const {
+  // Synthetic pipelines suffix node names with "#i"; resolve the prefix.
+  const std::string base = name.substr(0, name.find('#'));
+  for (const auto& r : results_)
+    if (r.fitted.name == base) return r.fitted;
+  SMILESS_CHECK_MSG(false, "no profile for function " << name);
+  return results_.front().fitted;  // unreachable
+}
+
+std::vector<perf::FunctionPerf> ProfileStore::for_app(const apps::App& app) const {
+  std::vector<perf::FunctionPerf> out;
+  out.reserve(app.dag.size());
+  for (std::size_t n = 0; n < app.dag.size(); ++n)
+    out.push_back(fitted(app.dag.name(static_cast<dag::NodeId>(n))));
+  return out;
+}
+
+RunResult run_experiment(const apps::App& app, const workload::Trace& trace,
+                         std::shared_ptr<serverless::Policy> policy,
+                         const ExperimentOptions& options) {
+  sim::Engine engine;
+  cluster::Cluster cluster = cluster::Cluster::paper_testbed();
+  Rng rng(options.seed);
+  serverless::Platform platform(engine, cluster, perf::Pricing{}, rng, options.platform);
+
+  RunResult out;
+  out.policy = policy->name();
+  out.app = app.name;
+
+  const serverless::AppId id = platform.deploy(app, std::move(policy));
+  for (SimTime t : trace.arrivals) platform.submit_request(id, t);
+
+  const double end =
+      static_cast<double>(trace.counts.size()) * trace.window + options.drain_slack;
+  engine.run_until(end);
+  platform.finalize(end);
+
+  const auto& m = platform.metrics(id);
+  out.cost = m.total_cost();
+  out.submitted = m.submitted;
+  out.completed = static_cast<long>(m.completed.size());
+  out.invocations = m.total_invocations();
+  out.initializations = m.total_initializations();
+  out.cpu_core_seconds = m.total_cpu_seconds();
+  out.gpu_pct_seconds = m.total_gpu_seconds();
+  out.windows = m.windows;
+  out.e2e.reserve(m.completed.size());
+  for (const auto& r : m.completed) out.e2e.push_back(r.e2e());
+
+  long violations = 0;
+  for (const auto& r : m.completed)
+    if (r.e2e() > app.sla) ++violations;
+  violations += std::max<long>(0, out.submitted - out.completed);  // undelivered
+  out.violation_ratio =
+      out.submitted == 0 ? 0.0
+                         : static_cast<double>(violations) / static_cast<double>(out.submitted);
+  return out;
+}
+
+std::vector<RunResult> run_colocated(std::vector<ColocatedApp> apps,
+                                     const ExperimentOptions& options) {
+  SMILESS_CHECK(!apps.empty());
+  sim::Engine engine;
+  cluster::Cluster cluster = cluster::Cluster::paper_testbed();
+  Rng rng(options.seed);
+  serverless::Platform platform(engine, cluster, perf::Pricing{}, rng, options.platform);
+
+  std::vector<RunResult> out(apps.size());
+  std::vector<serverless::AppId> ids(apps.size());
+  double horizon = 0.0;
+  for (std::size_t i = 0; i < apps.size(); ++i) {
+    auto& ca = apps[i];
+    SMILESS_CHECK(ca.trace != nullptr && ca.policy != nullptr);
+    out[i].policy = ca.policy->name();
+    out[i].app = ca.app.name;
+    ids[i] = platform.deploy(ca.app, ca.policy);
+    for (SimTime t : ca.trace->arrivals) platform.submit_request(ids[i], t);
+    horizon = std::max(horizon,
+                       static_cast<double>(ca.trace->counts.size()) * ca.trace->window);
+  }
+  const double end = horizon + options.drain_slack;
+  engine.run_until(end);
+  platform.finalize(end);
+
+  for (std::size_t i = 0; i < apps.size(); ++i) {
+    const auto& m = platform.metrics(ids[i]);
+    auto& r = out[i];
+    r.cost = m.total_cost();
+    r.submitted = m.submitted;
+    r.completed = static_cast<long>(m.completed.size());
+    r.invocations = m.total_invocations();
+    r.initializations = m.total_initializations();
+    r.cpu_core_seconds = m.total_cpu_seconds();
+    r.gpu_pct_seconds = m.total_gpu_seconds();
+    r.windows = m.windows;
+    r.e2e.reserve(m.completed.size());
+    for (const auto& rec : m.completed) r.e2e.push_back(rec.e2e());
+    long violations = 0;
+    for (const auto& rec : m.completed)
+      if (rec.e2e() > apps[i].app.sla) ++violations;
+    violations += std::max<long>(0, r.submitted - r.completed);
+    r.violation_ratio = r.submitted == 0 ? 0.0
+                                         : static_cast<double>(violations) /
+                                               static_cast<double>(r.submitted);
+  }
+  return out;
+}
+
+std::string policy_kind_name(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::Smiless: return "SMIless";
+    case PolicyKind::SmilessHomo: return "SMIless-Homo";
+    case PolicyKind::SmilessNoDag: return "SMIless-No-DAG";
+    case PolicyKind::Opt: return "OPT";
+    case PolicyKind::Orion: return "Orion";
+    case PolicyKind::IceBreaker: return "IceBreaker";
+    case PolicyKind::GrandSlam: return "GrandSLAm";
+    case PolicyKind::Aquatope: return "Aquatope";
+  }
+  return "?";
+}
+
+std::shared_ptr<serverless::Policy> make_policy(PolicyKind kind, const apps::App& app,
+                                                const ProfileStore& store,
+                                                const PolicySettings& settings) {
+  auto fitted = store.for_app(app);
+  switch (kind) {
+    case PolicyKind::Smiless: {
+      core::SmilessOptions o;
+      o.use_lstm = settings.use_lstm;
+      return std::make_shared<core::SmilessPolicy>("SMIless", std::move(fitted), o,
+                                                   settings.pool);
+    }
+    case PolicyKind::SmilessHomo: {
+      core::SmilessOptions o;
+      o.use_lstm = settings.use_lstm;
+      o.optimizer.config_space = perf::cpu_only_config_space();
+      return std::make_shared<core::SmilessPolicy>("SMIless-Homo", std::move(fitted), o,
+                                                   settings.pool);
+    }
+    case PolicyKind::SmilessNoDag: {
+      core::SmilessOptions o;
+      o.use_lstm = settings.use_lstm;
+      o.use_dag_offsets = false;
+      return std::make_shared<core::SmilessPolicy>("SMIless-No-DAG", std::move(fitted), o,
+                                                   settings.pool);
+    }
+    case PolicyKind::Opt: {
+      SMILESS_CHECK_MSG(settings.oracle_trace != nullptr, "OPT needs an oracle trace");
+      core::SmilessOptions o;
+      o.use_lstm = false;  // oracle replaces prediction
+      o.exhaustive = true;
+      auto policy = std::make_shared<core::SmilessPolicy>("OPT", app.truth, o, settings.pool);
+      policy->set_oracle_arrivals(settings.oracle_trace->arrivals);
+      return policy;
+    }
+    case PolicyKind::Orion:
+      return std::make_shared<OrionPolicy>(std::move(fitted));
+    case PolicyKind::IceBreaker:
+      return std::make_shared<IceBreakerPolicy>(std::move(fitted));
+    case PolicyKind::GrandSlam:
+      return std::make_shared<GrandSlamPolicy>(std::move(fitted));
+    case PolicyKind::Aquatope:
+      return std::make_shared<AquatopePolicy>(std::move(fitted));
+  }
+  SMILESS_CHECK_MSG(false, "unknown policy kind");
+  return nullptr;
+}
+
+}  // namespace smiless::baselines

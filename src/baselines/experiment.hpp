@@ -1,0 +1,105 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/app.hpp"
+#include "concurrency/thread_pool.hpp"
+#include "profiler/offline_profiler.hpp"
+#include "serverless/metrics.hpp"
+#include "serverless/platform.hpp"
+#include "workload/trace.hpp"
+
+namespace smiless::baselines {
+
+/// Fitted performance models shared by every policy of one experiment —
+/// the output of the Offline Profiler, looked up by function name.
+class ProfileStore {
+ public:
+  /// Profile the whole Table-I catalog once with the given profiler.
+  ProfileStore(const profiler::OfflineProfiler& profiler, Rng& rng);
+
+  const perf::FunctionPerf& fitted(const std::string& name) const;
+
+  /// Fitted profiles for an app, indexed by DAG node id. Synthetic node
+  /// names ("TRS#3") resolve by their catalog prefix.
+  std::vector<perf::FunctionPerf> for_app(const apps::App& app) const;
+
+  const std::vector<profiler::ProfileResult>& results() const { return results_; }
+
+ private:
+  std::vector<profiler::ProfileResult> results_;
+};
+
+/// Per-run knobs.
+struct ExperimentOptions {
+  std::uint64_t seed = 42;
+  double drain_slack = 120.0;  ///< extra sim time to drain in-flight requests
+  serverless::PlatformOptions platform;
+};
+
+/// Outcome of serving one trace with one policy.
+struct RunResult {
+  std::string policy;
+  std::string app;
+  Dollars cost = 0.0;
+  double violation_ratio = 0.0;  ///< undelivered requests count as violations
+  std::vector<double> e2e;       ///< per completed request
+  long submitted = 0;
+  long completed = 0;
+  long invocations = 0;
+  long initializations = 0;
+  double cpu_core_seconds = 0.0;
+  double gpu_pct_seconds = 0.0;
+  std::vector<serverless::WindowSample> windows;
+};
+
+/// Serve `trace` against `app` under `policy` on the paper's 8-machine
+/// testbed and collect the books.
+RunResult run_experiment(const apps::App& app, const workload::Trace& trace,
+                         std::shared_ptr<serverless::Policy> policy,
+                         const ExperimentOptions& options);
+
+/// One application of a co-located deployment.
+struct ColocatedApp {
+  apps::App app;
+  const workload::Trace* trace = nullptr;
+  std::shared_ptr<serverless::Policy> policy;
+};
+
+/// The paper's actual setup (§VII-A): every application runs on the *same*
+/// 8-machine cluster with its own load generator, all simultaneously, so
+/// the policies contend for CPU cores and GPU slices. Returns one
+/// RunResult per application, in input order.
+std::vector<RunResult> run_colocated(std::vector<ColocatedApp> apps,
+                                     const ExperimentOptions& options);
+
+/// The policy zoo of the evaluation section.
+enum class PolicyKind {
+  Smiless,
+  SmilessHomo,   ///< CPU-only ablation (Fig. 13)
+  SmilessNoDag,  ///< simultaneous warming ablation (Fig. 13)
+  Opt,           ///< exhaustive search + oracle arrivals + true profiles
+  Orion,
+  IceBreaker,
+  GrandSlam,
+  Aquatope,
+};
+
+std::string policy_kind_name(PolicyKind kind);
+
+struct PolicySettings {
+  bool use_lstm = true;
+  std::shared_ptr<ThreadPool> pool;
+  /// Required for PolicyKind::Opt: the exact arrival process.
+  const workload::Trace* oracle_trace = nullptr;
+};
+
+/// Build a policy for one application. SMIless variants receive the fitted
+/// profiles; OPT receives ground truth and the oracle trace.
+std::shared_ptr<serverless::Policy> make_policy(PolicyKind kind, const apps::App& app,
+                                                const ProfileStore& store,
+                                                const PolicySettings& settings);
+
+}  // namespace smiless::baselines

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/workflow_manager.hpp"
+#include "serverless/platform.hpp"
+
+namespace smiless::baselines {
+
+/// GrandSLAm (EuroSys'19) as characterised in §VII-A/§VII-B: a multi-stage
+/// runtime that splits the end-to-end SLA into per-stage sub-SLAs
+/// (proportional to each stage's share of the critical path), sizes each
+/// stage to fit its sub-SLA, and batches aggressively for throughput. It
+/// performs no cold-start management: instances are started once and kept
+/// alive for the experiment, which yields low latency but ~2.46x SMIless'
+/// cost, and its lack of scale-out hurts under bursts (Fig. 15).
+class GrandSlamPolicy : public serverless::Policy {
+ public:
+  struct Options {
+    Options() { optimizer.config_space = perf::coarse_config_space(); }
+    core::OptimizerOptions optimizer;  ///< defaults to the no-MPS space
+    int max_batch = 32;
+    double provisioned_rps = 6.0;  ///< peak request rate the fleet is sized for
+    perf::HwConfig reference{perf::Backend::Cpu, 4, 0};  ///< slack-weighting config
+  };
+
+  GrandSlamPolicy(std::vector<perf::FunctionPerf> profiles_by_node, Options options);
+  explicit GrandSlamPolicy(std::vector<perf::FunctionPerf> profiles_by_node)
+      : GrandSlamPolicy(std::move(profiles_by_node), Options{}) {}
+
+  std::string name() const override { return "GrandSLAm"; }
+  void on_deploy(serverless::AppId app, const apps::App& spec,
+                 serverless::Platform& platform) override;
+
+  const std::vector<double>& sub_slas() const { return sub_slas_; }
+
+ private:
+  std::vector<perf::FunctionPerf> profiles_;
+  Options options_;
+  std::vector<double> sub_slas_;
+};
+
+}  // namespace smiless::baselines

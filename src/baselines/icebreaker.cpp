@@ -1,0 +1,71 @@
+#include "baselines/icebreaker.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace smiless::baselines {
+
+IceBreakerPolicy::IceBreakerPolicy(std::vector<perf::FunctionPerf> profiles_by_node,
+                                   Options options)
+    : profiles_(std::move(profiles_by_node)),
+      options_(std::move(options)),
+      fip_(options_.fip_top_k) {}
+
+double IceBreakerPolicy::efficiency_score(const perf::FunctionPerf& fn,
+                                          const perf::HwConfig& config,
+                                          const perf::Pricing& pricing) {
+  const perf::HwConfig base{perf::Backend::Cpu, 1, 0};
+  const double speedup = fn.inference_time(base, 1) / fn.inference_time(config, 1);
+  const double price_ratio = pricing.per_second(config) / pricing.per_second(base);
+  // Sub-linear price exponent: IceBreaker's ranking is speed-up-led (its
+  // whole premise is that faster hardware warms functions better), which is
+  // what parks most functions on the GPU in the paper's Fig. 9a.
+  return speedup / std::pow(price_ratio, 0.8);
+}
+
+void IceBreakerPolicy::on_deploy(serverless::AppId app, const apps::App& spec,
+                                 serverless::Platform& platform) {
+  SMILESS_CHECK(profiles_.size() == spec.dag.size());
+  chosen_.resize(spec.dag.size());
+  for (std::size_t n = 0; n < spec.dag.size(); ++n) {
+    double best = -1.0;
+    for (const auto& c : options_.optimizer.config_space) {
+      const double s = efficiency_score(profiles_[n], c, options_.optimizer.pricing);
+      if (s > best) {
+        best = s;
+        chosen_[n] = c;
+      }
+    }
+    serverless::FunctionPlan plan;
+    plan.config = chosen_[n];
+    plan.keepalive = options_.horizon;
+    plan.min_instances = 1;  // start warm; the predictor decides when to idle down
+    platform.set_plan(app, static_cast<dag::NodeId>(n), plan);
+  }
+}
+
+void IceBreakerPolicy::on_window(serverless::AppId app, const apps::App& spec,
+                                 serverless::Platform& platform,
+                                 const serverless::WindowStats& stats) {
+  count_history_.push_back(static_cast<double>(stats.arrivals));
+  const double predicted = fip_.predict_next(count_history_);
+
+  const bool warm = predicted >= options_.warm_threshold || stats.arrivals > 0;
+  for (std::size_t n = 0; n < spec.dag.size(); ++n) {
+    serverless::FunctionPlan plan = platform.plan(app, static_cast<dag::NodeId>(n));
+    if (warm) {
+      plan.keepalive = options_.horizon;
+      plan.min_instances = std::max(1, static_cast<int>(predicted *
+                                          profiles_[n].inference_time(chosen_[n], 1)));
+    } else {
+      // Predicted idle: let the instances drain away; they will be
+      // re-warmed (all simultaneously — no DAG offsets) when FIP predicts
+      // traffic again.
+      plan.keepalive = 0.0;
+      plan.min_instances = 0;
+    }
+    platform.set_plan(app, static_cast<dag::NodeId>(n), plan);
+  }
+}
+
+}  // namespace smiless::baselines

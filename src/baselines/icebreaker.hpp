@@ -1,0 +1,51 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/workflow_manager.hpp"
+#include "predictor/classic.hpp"
+#include "serverless/platform.hpp"
+
+namespace smiless::baselines {
+
+/// IceBreaker (ASPLOS'22) as characterised in §II-C2: manages each function
+/// in isolation — no DAG awareness. It picks per-function hardware by the
+/// efficiency-to-cost ratio (speed-up per price), predicts arrivals with a
+/// Fourier-based FIP model, and keeps functions warm across predicted-busy
+/// horizons. The result the paper observes: most functions parked warm on
+/// GPU slices (Fig. 9a) and a total cost up to 5.73x SMIless.
+class IceBreakerPolicy : public serverless::Policy {
+ public:
+  struct Options {
+    Options() { optimizer.config_space = perf::coarse_config_space(); }
+    core::OptimizerOptions optimizer;  ///< defaults to the no-MPS space
+    std::size_t fip_top_k = 6;
+    double warm_threshold = 0.3;  ///< predicted count above which we stay warm
+    double horizon = 30.0;        ///< keep-alive horizon while predicted busy (s)
+  };
+
+  IceBreakerPolicy(std::vector<perf::FunctionPerf> profiles_by_node, Options options);
+  explicit IceBreakerPolicy(std::vector<perf::FunctionPerf> profiles_by_node)
+      : IceBreakerPolicy(std::move(profiles_by_node), Options{}) {}
+
+  std::string name() const override { return "IceBreaker"; }
+  void on_deploy(serverless::AppId app, const apps::App& spec,
+                 serverless::Platform& platform) override;
+  void on_window(serverless::AppId app, const apps::App& spec,
+                 serverless::Platform& platform, const serverless::WindowStats& stats) override;
+
+  /// The efficiency-to-cost score IceBreaker ranks configurations by:
+  /// (speed-up over the 1-core CPU) / (price ratio over the 1-core CPU).
+  static double efficiency_score(const perf::FunctionPerf& fn, const perf::HwConfig& config,
+                                 const perf::Pricing& pricing);
+
+ private:
+  std::vector<perf::FunctionPerf> profiles_;
+  Options options_;
+  std::vector<perf::HwConfig> chosen_;
+  std::vector<double> count_history_;
+  predictor::FipPredictor fip_;
+};
+
+}  // namespace smiless::baselines

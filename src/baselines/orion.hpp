@@ -1,0 +1,49 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/workflow_manager.hpp"
+#include "serverless/platform.hpp"
+
+namespace smiless::baselines {
+
+/// Orion (OSDI'22) as characterised in §II-C2: sizes the DAG under the
+/// "right pre-warming" assumption — every function's initialization is
+/// presumed to overlap perfectly with its predecessor's execution — so the
+/// planner prices each invocation at (T+I)*U regardless of the arrival
+/// rate. At runtime it pre-warms per request and reacts to queue build-up
+/// by launching extra instances, which is exactly what hurts it when
+/// invocations arrive close together (Fig. 3a).
+class OrionPolicy : public serverless::Policy {
+ public:
+  struct Options {
+    Options() { optimizer.config_space = perf::coarse_config_space(); }
+    core::OptimizerOptions optimizer;  ///< defaults to the no-MPS space
+    /// Short fixed keep-alive: Orion terminates instances once it believes
+    /// the next invocation's pre-warming is covered by its right-pre-warming
+    /// assumption, so only back-to-back requests reuse an instance.
+    double keepalive = 4.0;
+  };
+
+  OrionPolicy(std::vector<perf::FunctionPerf> profiles_by_node, Options options);
+  explicit OrionPolicy(std::vector<perf::FunctionPerf> profiles_by_node)
+      : OrionPolicy(std::move(profiles_by_node), Options{}) {}
+
+  std::string name() const override { return "Orion"; }
+  void on_deploy(serverless::AppId app, const apps::App& spec,
+                 serverless::Platform& platform) override;
+  void on_arrival(serverless::AppId app, const apps::App& spec,
+                  serverless::Platform& platform, SimTime now) override;
+  void on_window(serverless::AppId app, const apps::App& spec,
+                 serverless::Platform& platform, const serverless::WindowStats& stats) override;
+
+  const core::AppSolution& solution() const { return solution_; }
+
+ private:
+  std::vector<perf::FunctionPerf> profiles_;
+  Options options_;
+  core::AppSolution solution_;
+};
+
+}  // namespace smiless::baselines

@@ -1,0 +1,74 @@
+#include "cluster/cluster.hpp"
+
+namespace smiless::cluster {
+
+Cluster::Cluster(std::size_t machines, MachineSpec spec, Placement placement)
+    : spec_(spec), placement_(placement) {
+  SMILESS_CHECK(machines >= 1);
+  SMILESS_CHECK(spec.cpu_cores >= 0 && spec.gpu_pct >= 0);
+  free_.assign(machines, spec);
+  total_cpu_ = spec.cpu_cores * static_cast<int>(machines);
+  total_gpu_ = spec.gpu_pct * static_cast<int>(machines);
+}
+
+std::optional<Allocation> Cluster::allocate(const perf::HwConfig& config) {
+  const bool cpu = config.backend == perf::Backend::Cpu;
+  const int need = cpu ? config.cpu_cores : config.gpu_pct;
+
+  int chosen = -1;
+  int chosen_free = 0;
+  for (std::size_t m = 0; m < free_.size(); ++m) {
+    const int avail = cpu ? free_[m].cpu_cores : free_[m].gpu_pct;
+    if (avail < need) continue;
+    switch (placement_) {
+      case Placement::FirstFit:
+        chosen = static_cast<int>(m);
+        break;
+      case Placement::BestFit:
+        if (chosen < 0 || avail < chosen_free) {
+          chosen = static_cast<int>(m);
+          chosen_free = avail;
+        }
+        break;
+      case Placement::WorstFit:
+        if (chosen < 0 || avail > chosen_free) {
+          chosen = static_cast<int>(m);
+          chosen_free = avail;
+        }
+        break;
+    }
+    if (placement_ == Placement::FirstFit) break;
+  }
+  if (chosen < 0) return std::nullopt;
+  if (cpu)
+    free_[chosen].cpu_cores -= need;
+  else
+    free_[chosen].gpu_pct -= need;
+  return Allocation{chosen, config};
+}
+
+void Cluster::release(const Allocation& a) {
+  SMILESS_CHECK(a.machine >= 0 && static_cast<std::size_t>(a.machine) < free_.size());
+  auto& m = free_[a.machine];
+  if (a.config.backend == perf::Backend::Cpu) {
+    m.cpu_cores += a.config.cpu_cores;
+    SMILESS_CHECK_MSG(m.cpu_cores <= spec_.cpu_cores, "double release of CPU cores");
+  } else {
+    m.gpu_pct += a.config.gpu_pct;
+    SMILESS_CHECK_MSG(m.gpu_pct <= spec_.gpu_pct, "double release of GPU slice");
+  }
+}
+
+int Cluster::free_cpu_cores() const {
+  int n = 0;
+  for (const auto& m : free_) n += m.cpu_cores;
+  return n;
+}
+
+int Cluster::free_gpu_pct() const {
+  int n = 0;
+  for (const auto& m : free_) n += m.gpu_pct;
+  return n;
+}
+
+}  // namespace smiless::cluster

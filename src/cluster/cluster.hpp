@@ -1,0 +1,60 @@
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/check.hpp"
+#include "perfmodel/hardware.hpp"
+
+namespace smiless::cluster {
+
+/// Capacity of one physical machine. Mirrors the paper's testbed: two
+/// 52-core Xeons (104 cores) and one GPU (100 MPS percent units).
+struct MachineSpec {
+  int cpu_cores = 104;
+  int gpu_pct = 100;
+};
+
+/// Resource grant for one container instance.
+struct Allocation {
+  int machine = -1;
+  perf::HwConfig config;
+};
+
+/// How allocations pick a machine. First-fit is the default (and what the
+/// experiments use); best-fit packs tightly (less stranded capacity for big
+/// GPU asks); worst-fit spreads load (less interference in a real cluster).
+enum class Placement { FirstFit, BestFit, WorstFit };
+
+/// A fixed fleet of machines with pluggable placement of container resource
+/// grants. Tracks free capacity; billing is handled by the serverless layer
+/// (capacity and money are orthogonal concerns).
+class Cluster {
+ public:
+  Cluster(std::size_t machines, MachineSpec spec, Placement placement = Placement::FirstFit);
+
+  /// Default fleet from the paper: 8 machines.
+  static Cluster paper_testbed() { return Cluster(8, MachineSpec{}); }
+
+  /// Try to place a container of the given configuration; std::nullopt when
+  /// no machine has room.
+  std::optional<Allocation> allocate(const perf::HwConfig& config);
+
+  /// Return a previous grant.
+  void release(const Allocation& a);
+
+  std::size_t machine_count() const { return free_.size(); }
+  int free_cpu_cores() const;
+  int free_gpu_pct() const;
+  int total_cpu_cores() const { return total_cpu_; }
+  int total_gpu_pct() const { return total_gpu_; }
+
+ private:
+  std::vector<MachineSpec> free_;
+  MachineSpec spec_;
+  Placement placement_;
+  int total_cpu_ = 0;
+  int total_gpu_ = 0;
+};
+
+}  // namespace smiless::cluster

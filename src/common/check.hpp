@@ -1,0 +1,42 @@
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace smiless {
+
+/// Error thrown by SMILESS_CHECK / SMILESS_CHECK_MSG on contract violation.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file, int line,
+                                      const std::string& msg) {
+  std::ostringstream os;
+  os << "check failed: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+}  // namespace detail
+
+}  // namespace smiless
+
+/// Precondition / invariant check. Always enabled (the simulator is only as
+/// trustworthy as its invariants); throws CheckError so tests can assert on
+/// violations instead of aborting the process.
+#define SMILESS_CHECK(expr)                                                  \
+  do {                                                                       \
+    if (!(expr)) ::smiless::detail::check_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define SMILESS_CHECK_MSG(expr, msg)                                         \
+  do {                                                                       \
+    if (!(expr)) {                                                           \
+      std::ostringstream os_;                                                \
+      os_ << msg;                                                            \
+      ::smiless::detail::check_failed(#expr, __FILE__, __LINE__, os_.str()); \
+    }                                                                        \
+  } while (0)

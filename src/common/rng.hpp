@@ -1,0 +1,78 @@
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <random>
+
+#include "common/check.hpp"
+
+namespace smiless {
+
+/// Deterministic random source used everywhere in the simulator.
+///
+/// Wraps a mersenne-twister seeded explicitly; every component that needs
+/// randomness takes an Rng& (or forks a child with fork()) so that whole
+/// experiments replay bit-identically from a single seed.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Derive an independent child stream; `salt` decorrelates siblings.
+  Rng fork(std::uint64_t salt) {
+    return Rng(engine_() ^ (salt * 0x9E3779B97F4A7C15ull));
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) {
+    SMILESS_CHECK(lo <= hi);
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int uniform_int(int lo, int hi) {
+    SMILESS_CHECK(lo <= hi);
+    return std::uniform_int_distribution<int>(lo, hi)(engine_);
+  }
+
+  /// Normal with the given mean/stddev.
+  double normal(double mean, double stddev) {
+    SMILESS_CHECK(stddev >= 0.0);
+    if (stddev == 0.0) return mean;
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  /// Normal truncated below at `lo` (resampled); used for noisy latencies
+  /// that must stay positive.
+  double truncated_normal(double mean, double stddev, double lo) {
+    double v = normal(mean, stddev);
+    int guard = 0;
+    while (v < lo && guard++ < 64) v = normal(mean, stddev);
+    return v < lo ? lo : v;
+  }
+
+  /// Exponential with the given rate (events per unit time).
+  double exponential(double rate) {
+    SMILESS_CHECK(rate > 0.0);
+    return std::exponential_distribution<double>(rate)(engine_);
+  }
+
+  /// Poisson count with the given mean.
+  int poisson(double mean) {
+    SMILESS_CHECK(mean >= 0.0);
+    if (mean == 0.0) return 0;
+    return std::poisson_distribution<int>(mean)(engine_);
+  }
+
+  /// Bernoulli trial.
+  bool bernoulli(double p) {
+    SMILESS_CHECK(p >= 0.0 && p <= 1.0);
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace smiless

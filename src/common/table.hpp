@@ -1,0 +1,56 @@
+#pragma once
+
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace smiless {
+
+/// Minimal fixed-width text table used by the bench harnesses to print the
+/// rows/series each paper figure reports.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header) : header_(std::move(header)) {}
+
+  void add_row(std::vector<std::string> row) {
+    SMILESS_CHECK(row.size() == header_.size());
+    rows_.push_back(std::move(row));
+  }
+
+  /// Format a double with fixed precision — the common cell type.
+  static std::string num(double v, int precision = 3) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    return os.str();
+  }
+
+  void print(std::ostream& os = std::cout) const {
+    std::vector<std::size_t> width(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+    for (const auto& r : rows_)
+      for (std::size_t c = 0; c < r.size(); ++c)
+        if (r[c].size() > width[c]) width[c] = r[c].size();
+
+    auto line = [&](const std::vector<std::string>& cells) {
+      for (std::size_t c = 0; c < cells.size(); ++c)
+        os << std::left << std::setw(static_cast<int>(width[c]) + 2) << cells[c];
+      os << '\n';
+    };
+    line(header_);
+    std::string rule;
+    for (std::size_t c = 0; c < header_.size(); ++c)
+      rule += std::string(width[c], '-') + "  ";
+    os << rule << '\n';
+    for (const auto& r : rows_) line(r);
+  }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace smiless

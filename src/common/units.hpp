@@ -1,0 +1,16 @@
+#pragma once
+
+namespace smiless {
+
+/// Simulated time, in seconds since experiment start. A plain double keeps
+/// arithmetic with latencies/intervals trivial; all public APIs document
+/// which quantities are SimTime (absolute) vs durations (relative seconds).
+using SimTime = double;
+
+/// Monetary cost in US dollars.
+using Dollars = double;
+
+/// Seconds-per-hour conversion used by the pricing model.
+inline constexpr double kSecondsPerHour = 3600.0;
+
+}  // namespace smiless

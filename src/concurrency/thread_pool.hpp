@@ -1,0 +1,71 @@
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace smiless {
+
+/// Fixed-size worker pool with a shared FIFO queue.
+///
+/// Used by the Strategy Optimizer to optimise decomposed DAG chains in
+/// parallel (§V-C2) and by the Auto-scaler to solve per-function batching
+/// problems concurrently (§V-D), mirroring the paper's multi-process design.
+class ThreadPool {
+ public:
+  /// `threads == 0` means hardware_concurrency (min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a task; the future resolves with its result (or exception).
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> fut = task->get_future();
+    {
+      std::lock_guard lock(mu_);
+      queue_.emplace_back([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+  std::size_t thread_count() const { return workers_.size(); }
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Run fn(i) for i in [0, n) across the pool and wait for completion.
+/// Exceptions from any iteration propagate (first one wins).
+void parallel_for(ThreadPool& pool, std::size_t n, const std::function<void(std::size_t)>& fn);
+
+/// Map fn over [0, n) collecting results in index order.
+template <typename F>
+auto parallel_map(ThreadPool& pool, std::size_t n, F&& fn)
+    -> std::vector<std::invoke_result_t<F, std::size_t>> {
+  using R = std::invoke_result_t<F, std::size_t>;
+  std::vector<std::future<R>> futs;
+  futs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) futs.push_back(pool.submit([&fn, i] { return fn(i); }));
+  std::vector<R> out;
+  out.reserve(n);
+  for (auto& f : futs) out.push_back(f.get());
+  return out;
+}
+
+}  // namespace smiless

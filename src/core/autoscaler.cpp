@@ -1,0 +1,81 @@
+#include "core/autoscaler.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "common/check.hpp"
+#include "math/bisection.hpp"
+
+namespace smiless::core {
+
+AutoScaler::AutoScaler(std::vector<perf::HwConfig> config_space, perf::Pricing pricing,
+                       double init_overhead_weight)
+    : config_space_(std::move(config_space)),
+      pricing_(pricing),
+      init_overhead_weight_(init_overhead_weight) {
+  SMILESS_CHECK(!config_space_.empty());
+  SMILESS_CHECK(init_overhead_weight_ >= 0.0);
+}
+
+ScaleDecision AutoScaler::solve(const perf::FunctionPerf& profile, int invocations,
+                                double budget, double interval) const {
+  SMILESS_CHECK(invocations >= 1 && budget > 0.0 && interval > 0.0);
+
+  ScaleDecision best;
+  best.cost = std::numeric_limits<double>::infinity();
+  ScaleDecision fastest;
+  double fastest_latency = std::numeric_limits<double>::infinity();
+
+  for (const auto& config : config_space_) {
+    const double single = profile.inference_time(config, 1);
+    const double billed_span =
+        interval + init_overhead_weight_ * profile.init_time(config, 0.0);
+    if (single < fastest_latency) {
+      fastest_latency = single;
+      fastest.config = config;
+      fastest.batch = 1;
+      fastest.instances = invocations;
+      fastest.batch_latency = single;
+      fastest.cost = invocations * billed_span * pricing_.per_second(config);
+      fastest.feasible = false;
+    }
+    if (single > budget) continue;  // constraint fails even unbatched
+
+    // Largest batch within the budget — bisection per §V-D.
+    const int b = math::bisect_max_true(1, invocations, [&](int batch) {
+      return profile.inference_time(config, batch) <= budget;
+    });
+    SMILESS_CHECK(b >= 1);
+    const int instances = (invocations + b - 1) / b;
+    const Dollars cost = instances * billed_span * pricing_.per_second(config);
+    if (cost < best.cost ||
+        (cost == best.cost && profile.inference_time(config, b) < best.batch_latency)) {
+      best.config = config;
+      best.batch = b;
+      best.instances = instances;
+      best.batch_latency = profile.inference_time(config, b);
+      best.cost = cost;
+      best.feasible = true;
+    }
+  }
+  return best.feasible ? best : fastest;
+}
+
+std::vector<ScaleDecision> AutoScaler::solve_all(std::span<const perf::FunctionPerf> profiles,
+                                                 std::span<const double> budgets,
+                                                 int invocations, double interval,
+                                                 ThreadPool* pool) const {
+  SMILESS_CHECK(profiles.size() == budgets.size());
+  std::vector<ScaleDecision> out(profiles.size());
+  auto one = [&](std::size_t i) {
+    out[i] = solve(profiles[i], invocations, budgets[i], interval);
+  };
+  if (pool != nullptr && profiles.size() > 1) {
+    parallel_for(*pool, profiles.size(), one);
+  } else {
+    for (std::size_t i = 0; i < profiles.size(); ++i) one(i);
+  }
+  return out;
+}
+
+}  // namespace smiless::core

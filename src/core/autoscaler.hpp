@@ -1,0 +1,61 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "concurrency/thread_pool.hpp"
+#include "core/prewarm.hpp"
+#include "perfmodel/latency_model.hpp"
+
+namespace smiless::core {
+
+/// The Auto-scaler's answer for one function during a burst (§V-D):
+/// batch B invocations per inference call on `config`, running `instances`
+/// instances, so that the batched inference stays within the latency budget
+/// I_s from the Strategy Optimizer.
+struct ScaleDecision {
+  perf::HwConfig config;
+  int batch = 1;
+  int instances = 1;
+  double batch_latency = 0.0;  ///< inference time of one full batch
+  Dollars cost = 0.0;          ///< objective of Eq. (7): ceil(G/B) * IT * U
+  bool feasible = false;       ///< some configuration met the budget
+};
+
+/// Solves the per-function optimization of Eq. (7)/(8): over all hardware
+/// configurations and batch sizes, minimise (G/B) * IT * U(config) subject
+/// to the batched inference time staying within I_s. The batch size for
+/// each configuration is found by bisection (the latency model is monotone
+/// in B).
+class AutoScaler {
+ public:
+  /// `init_overhead_weight` folds each scaled-out instance's initialization
+  /// time into the Eq. (7) objective (cost = instances * (IT + w*T_init) *
+  /// U): burst instances are created cold, so hardware with long inits both
+  /// bills longer and arrives too late. With the weight on, CPU fleets win
+  /// burst scale-outs while GPUs keep the big batches — the Fig. 14b
+  /// behaviour.
+  AutoScaler(std::vector<perf::HwConfig> config_space, perf::Pricing pricing,
+             double init_overhead_weight = 1.0);
+
+  /// `invocations` = predicted count G for the next interval; `budget` = I_s
+  /// (the per-function latency the E2E plan assumed); `interval` = IT, the
+  /// billing horizon of the decision. If no configuration meets the budget
+  /// even at B = 1, returns the fastest configuration with one instance per
+  /// invocation and feasible == false.
+  ScaleDecision solve(const perf::FunctionPerf& profile, int invocations, double budget,
+                      double interval) const;
+
+  /// Solve for every function of an application in parallel (the paper's
+  /// Auto-scaler uses multiple threads; pass null to run sequentially).
+  std::vector<ScaleDecision> solve_all(std::span<const perf::FunctionPerf> profiles,
+                                       std::span<const double> budgets, int invocations,
+                                       double interval, ThreadPool* pool = nullptr) const;
+
+ private:
+  std::vector<perf::HwConfig> config_space_;
+  perf::Pricing pricing_;
+  double init_overhead_weight_;
+};
+
+}  // namespace smiless::core

@@ -1,0 +1,30 @@
+#include "core/prewarm.hpp"
+
+#include "common/check.hpp"
+
+namespace smiless::core {
+
+FunctionDecision evaluate_decision(const perf::FunctionPerf& profile,
+                                   const perf::HwConfig& config, double interarrival,
+                                   const perf::Pricing& pricing, double n_sigma,
+                                   double prewarm_margin) {
+  SMILESS_CHECK(interarrival > 0.0);
+  SMILESS_CHECK(prewarm_margin > 0.0 && prewarm_margin <= 1.0);
+  FunctionDecision d;
+  d.config = config;
+  d.inference_time = profile.inference_time(config, /*batch=*/1);
+  d.init_time = profile.init_time(config, n_sigma);
+
+  const double unit = pricing.per_second(config);
+  const double prewarm_span = d.init_time + d.inference_time;
+  if (prewarm_span < prewarm_margin * interarrival) {
+    d.mode = ColdStartMode::Prewarm;
+    d.cost_per_invocation = prewarm_span * unit;
+  } else {
+    d.mode = ColdStartMode::KeepAlive;
+    d.cost_per_invocation = interarrival * unit;
+  }
+  return d;
+}
+
+}  // namespace smiless::core

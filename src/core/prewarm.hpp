@@ -1,0 +1,42 @@
+#pragma once
+
+#include "common/units.hpp"
+#include "perfmodel/latency_model.hpp"
+
+namespace smiless::core {
+
+/// Cold-start management modes of §V-B. Prewarm (Case I, T+I < IT):
+/// terminate after each invocation and re-initialize just in time so the
+/// init overlaps upstream inference. KeepAlive (Case II, T+I >= IT): keep
+/// the instance alive between invocations.
+enum class ColdStartMode { Prewarm, KeepAlive };
+
+/// The joint (hardware configuration, cold-start policy) decision for one
+/// function, with the derived quantities the optimizer reasons about.
+struct FunctionDecision {
+  perf::HwConfig config;
+  ColdStartMode mode = ColdStartMode::KeepAlive;
+  double inference_time = 0.0;       ///< I_k at batch 1 under `config`
+  double init_time = 0.0;            ///< T_k = mu + n*sigma under `config`
+  Dollars cost_per_invocation = 0.0; ///< Eq. (5): min(T+I, IT) * U
+};
+
+/// Evaluate the adaptive cold-start decision for one function under one
+/// configuration and an expected inter-arrival time. The adaptive policy
+/// picks the cheaper of the two modes, which by Theorem 5.1 is cost-optimal
+/// when the SLA is met:
+///   Prewarm cost   = (T_k + I_k) * U   (instance exists T+I seconds/invocation)
+///   KeepAlive cost = IT * U            (instance exists the whole interval)
+///
+/// `prewarm_margin` guards the boundary: Prewarm is selected only when
+/// T+I < margin * IT. The paper's rule (margin = 1) is exact for a
+/// deterministic inter-arrival time; under stochastic gaps a borderline
+/// Prewarm choice saves almost nothing (the two costs are equal at the
+/// boundary) while every shorter-than-predicted gap puts a cold start on
+/// the critical path, so production deployments want margin < 1.
+FunctionDecision evaluate_decision(const perf::FunctionPerf& profile,
+                                   const perf::HwConfig& config, double interarrival,
+                                   const perf::Pricing& pricing, double n_sigma,
+                                   double prewarm_margin = 0.6);
+
+}  // namespace smiless::core

@@ -1,0 +1,366 @@
+#include "core/strategy_optimizer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+
+#include "common/check.hpp"
+
+namespace smiless::core {
+
+OptimizerOptions::OptimizerOptions()
+    : config_space(perf::default_config_space()), pricing() {}
+
+StrategyOptimizer::StrategyOptimizer(OptimizerOptions options) : options_(std::move(options)) {
+  SMILESS_CHECK(!options_.config_space.empty());
+  SMILESS_CHECK(options_.top_k >= 1);
+}
+
+FunctionDecision StrategyOptimizer::evaluate(const perf::FunctionPerf& fn,
+                                             const perf::HwConfig& config,
+                                             double interarrival) const {
+  FunctionDecision d = evaluate_decision(fn, config, interarrival, options_.pricing,
+                                         options_.n_sigma, options_.prewarm_margin);
+  const double unit = options_.pricing.per_second(config);
+  switch (cost_model_) {
+    case CostModel::Adaptive:
+      break;
+    case CostModel::AlwaysPrewarm:
+      d.mode = ColdStartMode::Prewarm;
+      d.cost_per_invocation = (d.init_time + d.inference_time) * unit;
+      break;
+    case CostModel::AlwaysKeepAlive:
+      d.mode = ColdStartMode::KeepAlive;
+      d.cost_per_invocation = interarrival * unit;
+      break;
+  }
+  return d;
+}
+
+std::vector<FunctionDecision> StrategyOptimizer::ranked_decisions(const perf::FunctionPerf& fn,
+                                                                  double interarrival) const {
+  std::vector<FunctionDecision> all;
+  all.reserve(options_.config_space.size());
+  for (const auto& c : options_.config_space) all.push_back(evaluate(fn, c, interarrival));
+  // O(M log M) cost ordering (§V-C3); ties by faster inference.
+  std::sort(all.begin(), all.end(), [](const FunctionDecision& a, const FunctionDecision& b) {
+    if (a.cost_per_invocation != b.cost_per_invocation)
+      return a.cost_per_invocation < b.cost_per_invocation;
+    return a.inference_time < b.inference_time;
+  });
+  return all;
+}
+
+namespace {
+
+double total_latency(const std::vector<FunctionDecision>& ds) {
+  double s = 0.0;
+  for (const auto& d : ds) s += d.inference_time;
+  return s;
+}
+
+Dollars total_cost(const std::vector<FunctionDecision>& ds) {
+  Dollars s = 0.0;
+  for (const auto& d : ds) s += d.cost_per_invocation;
+  return s;
+}
+
+/// Start from the all-cheapest assignment and repeatedly apply the single
+/// configuration upgrade with the lowest marginal cost per second of latency
+/// saved, until the SLA holds. Requires the all-fastest assignment to be
+/// feasible (checked by the caller).
+std::vector<FunctionDecision> marginal_cost_candidate(
+    const std::vector<std::vector<FunctionDecision>>& ranked, double sla,
+    long& nodes_explored) {
+  const std::size_t n = ranked.size();
+  std::vector<FunctionDecision> greedy(n);
+  for (std::size_t k = 0; k < n; ++k) greedy[k] = ranked[k][0];
+  double latency = total_latency(greedy);
+  while (latency > sla) {
+    double best_ratio = std::numeric_limits<double>::infinity();
+    std::size_t best_k = 0;
+    const FunctionDecision* best_d = nullptr;
+    for (std::size_t k = 0; k < n; ++k) {
+      for (const auto& cand : ranked[k]) {
+        ++nodes_explored;
+        const double dt = greedy[k].inference_time - cand.inference_time;
+        if (dt <= 1e-12) continue;
+        const double dc = cand.cost_per_invocation - greedy[k].cost_per_invocation;
+        if (dc / dt < best_ratio) {
+          best_ratio = dc / dt;
+          best_k = k;
+          best_d = &cand;
+        }
+      }
+    }
+    SMILESS_CHECK_MSG(best_d != nullptr, "no upgrade available despite feasible bound");
+    latency += best_d->inference_time - greedy[best_k].inference_time;
+    greedy[best_k] = *best_d;
+  }
+  return greedy;
+}
+
+}  // namespace
+
+ChainSolution StrategyOptimizer::optimize_chain(std::span<const perf::FunctionPerf> chain,
+                                                double interarrival, double sla) const {
+  SMILESS_CHECK(!chain.empty());
+  SMILESS_CHECK(sla > 0.0);
+  const std::size_t n = chain.size();
+
+  std::vector<std::vector<FunctionDecision>> ranked(n);
+  std::vector<std::size_t> fastest(n);  // rank index of the min-latency option
+  for (std::size_t k = 0; k < n; ++k) {
+    ranked[k] = ranked_decisions(chain[k], interarrival);
+    std::size_t best = 0;
+    for (std::size_t j = 1; j < ranked[k].size(); ++j)
+      if (ranked[k][j].inference_time < ranked[k][best].inference_time) best = j;
+    fastest[k] = best;
+  }
+
+  ChainSolution out;
+  out.decisions.resize(n);
+
+  // Root node T^0: every function on its cheapest option (Eq. 6).
+  for (std::size_t k = 0; k < n; ++k) out.decisions[k] = ranked[k][0];
+  out.nodes_explored = 1;
+  out.latency = total_latency(out.decisions);
+  if (out.latency <= sla) {
+    out.cost = total_cost(out.decisions);
+    out.feasible = true;
+    return out;
+  }
+
+  // Feasibility bound: the all-fastest assignment.
+  std::vector<FunctionDecision> current(n);
+  for (std::size_t k = 0; k < n; ++k) current[k] = ranked[k][fastest[k]];
+  double latency = total_latency(current);
+  if (latency > sla) {
+    out.decisions = std::move(current);
+    out.latency = latency;
+    out.cost = total_cost(out.decisions);
+    out.feasible = false;
+    return out;
+  }
+
+  if (options_.top_k == 1) {
+    // §V-C1 walk: layer by layer, downgrade each function to the cheapest
+    // rank that keeps the SLA while later layers stay on their fastest
+    // option. The O(1) incremental latency update makes each SLA check
+    // constant-time.
+    for (std::size_t k = 0; k < n; ++k) {
+      for (std::size_t j = 0; j < ranked[k].size(); ++j) {
+        const double cand_latency =
+            latency - current[k].inference_time + ranked[k][j].inference_time;
+        ++out.nodes_explored;
+        if (cand_latency <= sla) {
+          current[k] = ranked[k][j];
+          latency = cand_latency;
+          break;
+        }
+      }
+    }
+
+    // Second candidate at the same O(N*M) budget: start from the cheapest
+    // assignment and repeatedly apply the upgrade with the best
+    // cost-per-latency-saved ratio until the SLA holds. The layered walk
+    // can strand early layers on slow hardware when the SLA is loose; this
+    // marginal-cost path avoids that, and we keep whichever is cheaper.
+    const auto greedy = marginal_cost_candidate(ranked, sla, out.nodes_explored);
+    if (total_cost(greedy) < total_cost(current)) current = greedy;
+
+    out.latency = total_latency(current);
+    out.decisions = std::move(current);
+    out.cost = total_cost(out.decisions);
+    out.feasible = true;
+    return out;
+  }
+
+  // Top-K beam: keep the K cheapest feasible partial assignments per layer
+  // (functions <= layer decided, the rest on their fastest option).
+  struct Partial {
+    std::vector<std::size_t> rank;  // decided ranks for layers [0, depth)
+    double latency;                 // full latency with the tail on fastest
+    Dollars cost;                   // cost of decided prefix
+  };
+  double tail_fast_latency = 0.0;
+  for (std::size_t k = 0; k < n; ++k)
+    tail_fast_latency += ranked[k][fastest[k]].inference_time;
+
+  std::vector<Partial> beam{{{}, tail_fast_latency, 0.0}};
+  for (std::size_t k = 0; k < n; ++k) {
+    std::vector<Partial> next;
+    for (const auto& p : beam) {
+      for (std::size_t j = 0; j < ranked[k].size(); ++j) {
+        ++out.nodes_explored;
+        const double cand = p.latency - ranked[k][fastest[k]].inference_time +
+                            ranked[k][j].inference_time;
+        if (cand > sla) continue;
+        Partial q = p;
+        q.rank.push_back(j);
+        q.latency = cand;
+        q.cost = p.cost + ranked[k][j].cost_per_invocation;
+        next.push_back(std::move(q));
+      }
+    }
+    std::sort(next.begin(), next.end(),
+              [](const Partial& a, const Partial& b) { return a.cost < b.cost; });
+    if (next.size() > static_cast<std::size_t>(options_.top_k))
+      next.resize(static_cast<std::size_t>(options_.top_k));
+    SMILESS_CHECK_MSG(!next.empty(), "beam emptied despite feasible all-fastest bound");
+    beam = std::move(next);
+  }
+  const Partial& best = beam.front();
+  for (std::size_t k = 0; k < n; ++k) out.decisions[k] = ranked[k][best.rank[k]];
+  // The beam and the marginal-cost path explore different corners; keep the
+  // cheaper (so top-K is never worse than top-1, which also runs both).
+  const auto greedy = marginal_cost_candidate(ranked, sla, out.nodes_explored);
+  if (total_cost(greedy) < total_cost(out.decisions)) out.decisions = greedy;
+  out.latency = total_latency(out.decisions);
+  out.cost = total_cost(out.decisions);
+  out.feasible = true;
+  return out;
+}
+
+ChainSolution StrategyOptimizer::optimize_chain_exhaustive(
+    std::span<const perf::FunctionPerf> chain, double interarrival, double sla) const {
+  SMILESS_CHECK(!chain.empty());
+  const std::size_t n = chain.size();
+  std::vector<std::vector<FunctionDecision>> all(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    for (const auto& c : options_.config_space)
+      all[k].push_back(evaluate(chain[k], c, interarrival));
+  }
+
+  ChainSolution out;
+  out.decisions.resize(n);
+  std::vector<std::size_t> idx(n, 0);
+  std::vector<FunctionDecision> best;
+  Dollars best_cost = std::numeric_limits<double>::infinity();
+  double best_latency = 0.0;
+
+  // Also track the fastest assignment as the infeasible fallback.
+  std::vector<FunctionDecision> fastest(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    fastest[k] = all[k][0];
+    for (const auto& d : all[k])
+      if (d.inference_time < fastest[k].inference_time) fastest[k] = d;
+  }
+
+  bool carrying = false;
+  while (!carrying) {
+    ++out.nodes_explored;
+    double latency = 0.0;
+    Dollars cost = 0.0;
+    for (std::size_t k = 0; k < n; ++k) {
+      latency += all[k][idx[k]].inference_time;
+      cost += all[k][idx[k]].cost_per_invocation;
+    }
+    if (latency <= sla && cost < best_cost) {
+      best_cost = cost;
+      best_latency = latency;
+      best.resize(n);
+      for (std::size_t k = 0; k < n; ++k) best[k] = all[k][idx[k]];
+    }
+    // Odometer increment.
+    std::size_t k = 0;
+    for (;; ++k) {
+      if (k == n) {
+        carrying = true;
+        break;
+      }
+      if (++idx[k] < all[k].size()) break;
+      idx[k] = 0;
+    }
+  }
+
+  if (best.empty()) {
+    out.decisions = std::move(fastest);
+    out.latency = total_latency(out.decisions);
+    out.cost = total_cost(out.decisions);
+    out.feasible = false;
+  } else {
+    out.decisions = std::move(best);
+    out.latency = best_latency;
+    out.cost = best_cost;
+    out.feasible = true;
+  }
+  return out;
+}
+
+ChainSolution StrategyOptimizer::optimize_chain_cspath(std::span<const perf::FunctionPerf> chain,
+                                                       double interarrival, double sla,
+                                                       double latency_step) const {
+  SMILESS_CHECK(!chain.empty() && latency_step > 0.0);
+  const std::size_t n = chain.size();
+  std::vector<std::vector<FunctionDecision>> all(n);
+  for (std::size_t k = 0; k < n; ++k)
+    for (const auto& c : options_.config_space)
+      all[k].push_back(evaluate(chain[k], c, interarrival));
+
+  // Dynamic program over (layer, discretised latency budget) -> min cost.
+  const auto buckets = static_cast<std::size_t>(sla / latency_step) + 1;
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> cost(buckets, kInf);
+  std::vector<std::vector<std::pair<int, std::size_t>>> back(
+      n, std::vector<std::pair<int, std::size_t>>(buckets, {-1, 0}));
+  cost[0] = 0.0;
+
+  ChainSolution out;
+  out.decisions.resize(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    std::vector<double> next(buckets, kInf);
+    for (std::size_t b = 0; b < buckets; ++b) {
+      if (cost[b] == kInf) continue;
+      for (std::size_t j = 0; j < all[k].size(); ++j) {
+        ++out.nodes_explored;
+        const auto add = static_cast<std::size_t>(
+            std::ceil(all[k][j].inference_time / latency_step));
+        const std::size_t nb = b + add;
+        if (nb >= buckets) continue;
+        const double c = cost[b] + all[k][j].cost_per_invocation;
+        if (c < next[nb]) {
+          next[nb] = c;
+          back[k][nb] = {static_cast<int>(j), b};
+        }
+      }
+    }
+    cost = std::move(next);
+  }
+
+  std::size_t best_b = buckets;
+  double best_cost = kInf;
+  for (std::size_t b = 0; b < buckets; ++b) {
+    if (cost[b] < best_cost) {
+      best_cost = cost[b];
+      best_b = b;
+    }
+  }
+  if (best_b == buckets) {
+    // Infeasible even under discretisation: fall back to fastest.
+    for (std::size_t k = 0; k < n; ++k) {
+      out.decisions[k] = all[k][0];
+      for (const auto& d : all[k])
+        if (d.inference_time < out.decisions[k].inference_time) out.decisions[k] = d;
+    }
+    out.latency = total_latency(out.decisions);
+    out.cost = total_cost(out.decisions);
+    out.feasible = false;
+    return out;
+  }
+
+  std::size_t b = best_b;
+  for (std::size_t k = n; k-- > 0;) {
+    const auto [j, pb] = back[k][b];
+    SMILESS_CHECK(j >= 0);
+    out.decisions[k] = all[k][static_cast<std::size_t>(j)];
+    b = pb;
+  }
+  out.latency = total_latency(out.decisions);
+  out.cost = total_cost(out.decisions);
+  out.feasible = out.latency <= sla;
+  return out;
+}
+
+}  // namespace smiless::core

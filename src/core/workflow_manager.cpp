@@ -1,0 +1,106 @@
+#include "core/workflow_manager.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace smiless::core {
+
+std::vector<double> start_offsets(const dag::Dag& dag,
+                                  const std::vector<FunctionDecision>& per_node) {
+  SMILESS_CHECK(per_node.size() == dag.size());
+  std::vector<double> offset(dag.size(), 0.0);
+  for (dag::NodeId n : dag.topo_order()) {
+    double start = 0.0;
+    for (dag::NodeId p : dag.predecessors(n))
+      start = std::max(start, offset[p] + per_node[p].inference_time);
+    offset[n] = start;
+  }
+  return offset;
+}
+
+AppSolution WorkflowManager::optimize(const dag::Dag& dag,
+                                      std::span<const perf::FunctionPerf> profiles,
+                                      double interarrival, double sla, Search search) const {
+  SMILESS_CHECK(profiles.size() == dag.size());
+  const auto paths = dag.all_paths();
+  SMILESS_CHECK(!paths.empty());
+
+  // 1. Optimize every decomposed chain (in parallel when a pool exists).
+  auto solve_path = [&](std::size_t i) {
+    const auto& path = paths[i];
+    std::vector<perf::FunctionPerf> chain;
+    chain.reserve(path.size());
+    for (dag::NodeId n : path) chain.push_back(profiles[n]);
+    return search == Search::Exhaustive
+               ? optimizer_.optimize_chain_exhaustive(chain, interarrival, sla)
+               : optimizer_.optimize_chain(chain, interarrival, sla);
+  };
+  std::vector<ChainSolution> solved;
+  if (pool_ != nullptr && paths.size() > 1) {
+    solved = parallel_map(*pool_, paths.size(), solve_path);
+  } else {
+    solved.reserve(paths.size());
+    for (std::size_t i = 0; i < paths.size(); ++i) solved.push_back(solve_path(i));
+  }
+
+  AppSolution out;
+  out.per_node.resize(dag.size());
+  std::vector<bool> assigned(dag.size(), false);
+  for (const auto& s : solved) out.nodes_explored += s.nodes_explored;
+
+  // 2. Combine: a node shared by several paths takes the decision with the
+  // shortest inference time among its per-path solutions (§V-C2).
+  for (std::size_t p = 0; p < paths.size(); ++p) {
+    for (std::size_t i = 0; i < paths[p].size(); ++i) {
+      const dag::NodeId n = paths[p][i];
+      const FunctionDecision& d = solved[p].decisions[i];
+      if (!assigned[n] || d.inference_time < out.per_node[n].inference_time) {
+        out.per_node[n] = d;
+        assigned[n] = true;
+      }
+    }
+  }
+
+  auto critical_path = [&](const std::vector<FunctionDecision>& per_node) {
+    std::vector<double> w(dag.size());
+    for (std::size_t i = 0; i < dag.size(); ++i) w[i] = per_node[i].inference_time;
+    return dag.critical_path_weight(w);
+  };
+
+  // 3. Cheapening sweep: revisit nodes from most to least expensive and take
+  // the cheapest configuration that keeps the critical path within the SLA.
+  double e2e = critical_path(out.per_node);
+  if (e2e <= sla) {
+    std::vector<dag::NodeId> order(dag.size());
+    for (std::size_t i = 0; i < dag.size(); ++i) order[i] = static_cast<dag::NodeId>(i);
+    std::sort(order.begin(), order.end(), [&](dag::NodeId a, dag::NodeId b) {
+      return out.per_node[a].cost_per_invocation > out.per_node[b].cost_per_invocation;
+    });
+    for (dag::NodeId n : order) {
+      FunctionDecision best = out.per_node[n];
+      for (const auto& cfg : optimizer_.options().config_space) {
+        FunctionDecision cand = evaluate_decision(profiles[n], cfg, interarrival,
+                                                  optimizer_.options().pricing,
+                                                  optimizer_.options().n_sigma,
+                                                  optimizer_.options().prewarm_margin);
+        if (cand.cost_per_invocation >= best.cost_per_invocation) continue;
+        FunctionDecision saved = out.per_node[n];
+        out.per_node[n] = cand;
+        if (critical_path(out.per_node) <= sla)
+          best = cand;
+        out.per_node[n] = saved;
+      }
+      out.per_node[n] = best;
+    }
+    e2e = critical_path(out.per_node);
+  }
+
+  out.e2e_latency = e2e;
+  out.feasible = e2e <= sla;
+  for (const auto& d : out.per_node) out.cost_per_invocation += d.cost_per_invocation;
+  out.start_offset = start_offsets(dag, out.per_node);
+  return out;
+}
+
+}  // namespace smiless::core

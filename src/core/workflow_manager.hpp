@@ -1,0 +1,60 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "concurrency/thread_pool.hpp"
+#include "core/strategy_optimizer.hpp"
+#include "dag/dag.hpp"
+
+namespace smiless::core {
+
+/// Joint solution for a whole application DAG.
+struct AppSolution {
+  std::vector<FunctionDecision> per_node;  ///< indexed by DAG node id
+  std::vector<double> start_offset;        ///< D_k: earliest start of node k
+                                           ///< relative to request arrival
+  double e2e_latency = 0.0;                ///< critical-path inference time
+  Dollars cost_per_invocation = 0.0;
+  bool feasible = false;
+  long nodes_explored = 0;
+};
+
+/// The Workflow Manager (§V-C2): decomposes a DAG into its simple
+/// source-to-sink paths, optimizes each sequential chain in parallel with
+/// the Strategy Optimizer, then recombines:
+///  - functions shared by several paths (fork/join members included) take
+///    the configuration with the shortest inference time among their
+///    per-path solutions, which can only shrink every path's latency;
+///  - a final cheapening sweep re-downgrades functions wherever the freed
+///    slack allows, keeping the end-to-end latency within the SLA.
+class WorkflowManager {
+ public:
+  enum class Search {
+    PathSearch,   ///< SMIless' top-K path search per chain
+    Exhaustive,   ///< exhaustive per chain (OPT)
+  };
+
+  /// `pool` may be null (sequential per-path optimisation).
+  explicit WorkflowManager(StrategyOptimizer optimizer, ThreadPool* pool = nullptr)
+      : optimizer_(std::move(optimizer)), pool_(pool) {}
+
+  AppSolution optimize(const dag::Dag& dag, std::span<const perf::FunctionPerf> profiles,
+                       double interarrival, double sla,
+                       Search search = Search::PathSearch) const;
+
+  const StrategyOptimizer& optimizer() const { return optimizer_; }
+  StrategyOptimizer& optimizer() { return optimizer_; }
+
+ private:
+  StrategyOptimizer optimizer_;
+  ThreadPool* pool_;
+};
+
+/// Earliest-start offsets D_k (critical path over predecessors' inference
+/// times) for a decided assignment — the quantity pre-warm timers are
+/// derived from: F_k's init should complete at arrival + D_k.
+std::vector<double> start_offsets(const dag::Dag& dag,
+                                  const std::vector<FunctionDecision>& per_node);
+
+}  // namespace smiless::core

@@ -1,0 +1,52 @@
+#include "dag/serialize.hpp"
+
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace smiless::dag {
+
+std::string to_text(const Dag& dag) {
+  std::ostringstream os;
+  for (std::size_t n = 0; n < dag.size(); ++n)
+    os << "node " << dag.name(static_cast<NodeId>(n)) << "\n";
+  for (std::size_t u = 0; u < dag.size(); ++u)
+    for (NodeId v : dag.successors(static_cast<NodeId>(u)))
+      os << "edge " << dag.name(static_cast<NodeId>(u)) << " " << dag.name(v) << "\n";
+  return os.str();
+}
+
+Dag from_text(const std::string& text) {
+  Dag dag;
+  std::istringstream is(text);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream ls(line);
+    std::string directive;
+    if (!(ls >> directive)) continue;  // blank / comment-only line
+
+    if (directive == "node") {
+      std::string name;
+      SMILESS_CHECK_MSG(static_cast<bool>(ls >> name), "line " << line_no << ": node needs a name");
+      dag.add_node(name);
+    } else if (directive == "edge") {
+      std::string from, to;
+      SMILESS_CHECK_MSG(static_cast<bool>(ls >> from >> to),
+                        "line " << line_no << ": edge needs two node names");
+      const NodeId u = dag.find(from);
+      const NodeId v = dag.find(to);
+      SMILESS_CHECK_MSG(u >= 0, "line " << line_no << ": unknown node " << from);
+      SMILESS_CHECK_MSG(v >= 0, "line " << line_no << ": unknown node " << to);
+      dag.add_edge(u, v);
+    } else {
+      SMILESS_CHECK_MSG(false, "line " << line_no << ": unknown directive " << directive);
+    }
+  }
+  return dag;
+}
+
+}  // namespace smiless::dag

@@ -1,0 +1,23 @@
+#pragma once
+
+#include <string>
+
+#include "dag/dag.hpp"
+
+namespace smiless::dag {
+
+/// Plain-text DAG format (one directive per line; '#' starts a comment):
+///
+///   node <name>
+///   edge <from-name> <to-name>
+///
+/// Nodes must be declared before edges reference them. This is the wire
+/// format a developer submits workflows in (the NetworkX-file equivalent of
+/// the paper's deployment flow).
+std::string to_text(const Dag& dag);
+
+/// Parse the format above; throws CheckError on malformed input, unknown
+/// node references, duplicates or cycles.
+Dag from_text(const std::string& text);
+
+}  // namespace smiless::dag

@@ -1,0 +1,44 @@
+#include "math/bisection.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace smiless::math {
+
+int bisect_max_true(int lo, int hi, const std::function<bool(int)>& pred) {
+  SMILESS_CHECK(lo <= hi);
+  if (!pred(lo)) return lo - 1;
+  if (pred(hi)) return hi;
+  // Invariant: pred(lo) true, pred(hi) false.
+  while (hi - lo > 1) {
+    const int mid = lo + (hi - lo) / 2;
+    if (pred(mid))
+      lo = mid;
+    else
+      hi = mid;
+  }
+  return lo;
+}
+
+double bisect_root(double lo, double hi, double tol, const std::function<double(double)>& f) {
+  SMILESS_CHECK(lo < hi && tol > 0.0);
+  double flo = f(lo);
+  double fhi = f(hi);
+  SMILESS_CHECK_MSG(flo * fhi <= 0.0, "bisect_root: interval does not bracket a root");
+  while (hi - lo > tol) {
+    const double mid = 0.5 * (lo + hi);
+    const double fm = f(mid);
+    if (flo * fm <= 0.0) {
+      hi = mid;
+      fhi = fm;
+    } else {
+      lo = mid;
+      flo = fm;
+    }
+  }
+  (void)fhi;
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace smiless::math

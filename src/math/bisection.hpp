@@ -1,0 +1,16 @@
+#pragma once
+
+#include <functional>
+
+namespace smiless::math {
+
+/// Largest integer b in [lo, hi] with pred(b) true, assuming pred is
+/// monotone (true..true false..false). Returns lo-1 if pred(lo) is false.
+/// This is the solver the Auto-scaler uses for the batch size in Eq. (7)/(8).
+int bisect_max_true(int lo, int hi, const std::function<bool(int)>& pred);
+
+/// Root of a continuous monotone function f on [lo, hi] (f(lo), f(hi) must
+/// bracket zero) to within tol.
+double bisect_root(double lo, double hi, double tol, const std::function<double(double)>& f);
+
+}  // namespace smiless::math

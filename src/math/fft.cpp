@@ -1,0 +1,90 @@
+#include "math/fft.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "common/check.hpp"
+
+namespace smiless::math {
+
+std::size_t next_pow2(std::size_t n) {
+  SMILESS_CHECK(n >= 1);
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+void fft(std::vector<std::complex<double>>& data, bool inverse) {
+  const std::size_t n = data.size();
+  SMILESS_CHECK_MSG((n & (n - 1)) == 0 && n > 0, "FFT size must be a power of two");
+
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double ang = 2.0 * std::numbers::pi / static_cast<double>(len) * (inverse ? 1.0 : -1.0);
+    const std::complex<double> wlen(std::cos(ang), std::sin(ang));
+    for (std::size_t i = 0; i < n; i += len) {
+      std::complex<double> w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const auto u = data[i + k];
+        const auto v = data[i + k + len / 2] * w;
+        data[i + k] = u + v;
+        data[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+  if (inverse) {
+    for (auto& x : data) x /= static_cast<double>(n);
+  }
+}
+
+std::vector<std::complex<double>> fft_real(std::span<const double> xs) {
+  SMILESS_CHECK(!xs.empty());
+  const std::size_t n = next_pow2(xs.size());
+  std::vector<std::complex<double>> data(n, {0.0, 0.0});
+  for (std::size_t i = 0; i < xs.size(); ++i) data[i] = {xs[i], 0.0};
+  fft(data, /*inverse=*/false);
+  return data;
+}
+
+std::vector<double> harmonic_extrapolate(std::span<const double> xs, std::size_t top_k,
+                                         std::size_t out_len) {
+  SMILESS_CHECK(xs.size() >= 2);
+  auto spectrum = fft_real(xs);
+  const std::size_t n = spectrum.size();
+
+  // Rank non-DC bins of the first half by magnitude (the second half mirrors).
+  std::vector<std::size_t> bins;
+  bins.reserve(n / 2);
+  for (std::size_t i = 1; i < n / 2; ++i) bins.push_back(i);
+  std::sort(bins.begin(), bins.end(), [&](std::size_t a, std::size_t b) {
+    return std::abs(spectrum[a]) > std::abs(spectrum[b]);
+  });
+  if (bins.size() > top_k) bins.resize(top_k);
+
+  std::vector<double> out(out_len, 0.0);
+  const double dc = spectrum[0].real() / static_cast<double>(n);
+  for (std::size_t t = 0; t < out_len; ++t) out[t] = dc;
+  for (std::size_t bin : bins) {
+    const double amp = 2.0 * std::abs(spectrum[bin]) / static_cast<double>(n);
+    const double phase = std::arg(spectrum[bin]);
+    for (std::size_t t = 0; t < out_len; ++t) {
+      const double ang =
+          2.0 * std::numbers::pi * static_cast<double>(bin) * static_cast<double>(t) /
+              static_cast<double>(n) +
+          phase;
+      out[t] += amp * std::cos(ang);
+    }
+  }
+  return out;
+}
+
+}  // namespace smiless::math

@@ -1,0 +1,25 @@
+#pragma once
+
+#include <complex>
+#include <span>
+#include <vector>
+
+namespace smiless::math {
+
+/// In-place iterative radix-2 Cooley–Tukey FFT. `data.size()` must be a
+/// power of two. `inverse` applies the conjugate transform and 1/N scaling.
+void fft(std::vector<std::complex<double>>& data, bool inverse);
+
+/// Forward FFT of a real series, zero-padded to the next power of two.
+std::vector<std::complex<double>> fft_real(std::span<const double> xs);
+
+/// Reconstruct / extrapolate a real series from its `top_k` largest-magnitude
+/// harmonics (plus DC). Returns `out_len` samples starting at t=0 of the
+/// periodic extension — the mechanism behind IceBreaker's FIP predictor.
+std::vector<double> harmonic_extrapolate(std::span<const double> xs, std::size_t top_k,
+                                         std::size_t out_len);
+
+/// Smallest power of two >= n (n >= 1).
+std::size_t next_pow2(std::size_t n);
+
+}  // namespace smiless::math

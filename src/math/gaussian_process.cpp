@@ -1,0 +1,74 @@
+#include "math/gaussian_process.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/check.hpp"
+
+namespace smiless::math {
+
+namespace {
+
+double std_normal_pdf(double z) {
+  return std::exp(-0.5 * z * z) / std::sqrt(2.0 * std::numbers::pi);
+}
+
+double std_normal_cdf(double z) { return 0.5 * std::erfc(-z / std::sqrt(2.0)); }
+
+}  // namespace
+
+double GaussianProcess::kernel(const std::vector<double>& a, const std::vector<double>& b) const {
+  SMILESS_CHECK(a.size() == b.size());
+  double d2 = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    d2 += d * d;
+  }
+  return signal_var_ * std::exp(-0.5 * d2 / (length_scale_ * length_scale_));
+}
+
+void GaussianProcess::fit(std::vector<std::vector<double>> xs, std::vector<double> ys) {
+  SMILESS_CHECK(xs.size() == ys.size());
+  SMILESS_CHECK(!xs.empty());
+  xs_ = std::move(xs);
+  ys_ = std::move(ys);
+  const std::size_t n = xs_.size();
+  Matrix k(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      const double v = kernel(xs_[i], xs_[j]);
+      k(i, j) = v;
+      k(j, i) = v;
+    }
+    k(i, i) += noise_var_;
+  }
+  chol_ = cholesky(k);
+  alpha_ = cholesky_solve(chol_, ys_);
+}
+
+GaussianProcess::Posterior GaussianProcess::predict(const std::vector<double>& x) const {
+  SMILESS_CHECK_MSG(!xs_.empty(), "predict() before fit()");
+  const std::size_t n = xs_.size();
+  std::vector<double> kstar(n);
+  for (std::size_t i = 0; i < n; ++i) kstar[i] = kernel(x, xs_[i]);
+
+  double mean = 0.0;
+  for (std::size_t i = 0; i < n; ++i) mean += kstar[i] * alpha_[i];
+
+  // variance = k(x,x) - k*^T (K + nI)^{-1} k*  via the Cholesky factor.
+  const std::vector<double> v = cholesky_solve(chol_, kstar);
+  double quad = 0.0;
+  for (std::size_t i = 0; i < n; ++i) quad += kstar[i] * v[i];
+  double var = kernel(x, x) - quad;
+  if (var < 1e-12) var = 1e-12;
+  return {mean, var};
+}
+
+double GaussianProcess::expected_improvement(const std::vector<double>& x, double best_y) const {
+  const auto post = predict(x);
+  const double sigma = std::sqrt(post.variance);
+  const double z = (best_y - post.mean) / sigma;
+  return (best_y - post.mean) * std_normal_cdf(z) + sigma * std_normal_pdf(z);
+}
+
+}  // namespace smiless::math

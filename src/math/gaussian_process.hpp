@@ -1,0 +1,46 @@
+#pragma once
+
+#include <vector>
+
+#include "math/matrix.hpp"
+
+namespace smiless::math {
+
+/// Gaussian-process regression with an RBF kernel over fixed-length feature
+/// vectors. This is the uncertainty-aware surrogate behind the Aquatope
+/// baseline's Bayesian-optimisation scheduler.
+class GaussianProcess {
+ public:
+  /// `length_scale` controls kernel width; `signal_var` the prior variance;
+  /// `noise_var` the observation noise added to the diagonal.
+  GaussianProcess(double length_scale, double signal_var, double noise_var)
+      : length_scale_(length_scale), signal_var_(signal_var), noise_var_(noise_var) {}
+
+  /// Fit to observations (xs[i] -> ys[i]). All xs must share a dimension.
+  void fit(std::vector<std::vector<double>> xs, std::vector<double> ys);
+
+  /// Posterior mean and variance at x. Requires fit() with >= 1 point.
+  struct Posterior {
+    double mean;
+    double variance;
+  };
+  Posterior predict(const std::vector<double>& x) const;
+
+  /// Expected improvement of minimising the objective below `best_y` at x.
+  double expected_improvement(const std::vector<double>& x, double best_y) const;
+
+  std::size_t size() const { return xs_.size(); }
+
+ private:
+  double kernel(const std::vector<double>& a, const std::vector<double>& b) const;
+
+  double length_scale_;
+  double signal_var_;
+  double noise_var_;
+  std::vector<std::vector<double>> xs_;
+  std::vector<double> ys_;
+  Matrix chol_;                  // Cholesky factor of K + noise I
+  std::vector<double> alpha_;    // (K + noise I)^{-1} y
+};
+
+}  // namespace smiless::math

@@ -1,0 +1,100 @@
+#include "math/levenberg_marquardt.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "math/matrix.hpp"
+
+namespace smiless::math {
+
+namespace {
+
+double sse_of(const std::vector<double>& r) {
+  double s = 0.0;
+  for (double x : r) s += x * x;
+  return s;
+}
+
+Matrix numeric_jacobian(
+    const std::function<std::vector<double>(const std::vector<double>&)>& residuals,
+    const std::vector<double>& p, const std::vector<double>& r0) {
+  const std::size_t n = p.size();
+  const std::size_t m = r0.size();
+  Matrix j(m, n);
+  for (std::size_t c = 0; c < n; ++c) {
+    const double h = std::max(1e-7, std::abs(p[c]) * 1e-7);
+    auto pp = p;
+    pp[c] += h;
+    const auto r1 = residuals(pp);
+    SMILESS_CHECK(r1.size() == m);
+    for (std::size_t i = 0; i < m; ++i) j(i, c) = (r1[i] - r0[i]) / h;
+  }
+  return j;
+}
+
+}  // namespace
+
+LmResult levenberg_marquardt(
+    const std::function<std::vector<double>(const std::vector<double>&)>& residuals,
+    std::vector<double> initial, const LmOptions& opts) {
+  SMILESS_CHECK(!initial.empty());
+  LmResult out;
+  out.params = std::move(initial);
+
+  auto r = residuals(out.params);
+  SMILESS_CHECK(r.size() >= out.params.size());
+  out.sse = sse_of(r);
+  double damping = opts.initial_damping;
+
+  for (int iter = 0; iter < opts.max_iterations; ++iter) {
+    out.iterations = iter + 1;
+    const Matrix j = numeric_jacobian(residuals, out.params, r);
+    const Matrix jt = j.transpose();
+    const Matrix jtj = jt * j;
+
+    // g = J^T r
+    std::vector<double> g = matvec(jt, r);
+
+    // Try the damped step; grow damping until the step improves the SSE.
+    bool stepped = false;
+    for (int attempt = 0; attempt < 24; ++attempt) {
+      Matrix a = jtj;
+      for (std::size_t i = 0; i < a.rows(); ++i) a(i, i) += damping * (1.0 + jtj(i, i));
+      std::vector<double> delta;
+      bool solved = true;
+      try {
+        delta = solve_linear(a, g);
+      } catch (const CheckError&) {
+        solved = false;
+      }
+      if (solved) {
+        auto cand = out.params;
+        for (std::size_t i = 0; i < cand.size(); ++i) cand[i] -= delta[i];
+        const auto rc = residuals(cand);
+        const double sc = sse_of(rc);
+        if (std::isfinite(sc) && sc < out.sse) {
+          const double improvement = out.sse - sc;
+          out.params = std::move(cand);
+          r = rc;
+          out.sse = sc;
+          damping = std::max(damping * 0.3, 1e-12);
+          stepped = true;
+          if (improvement < opts.tolerance) {
+            out.converged = true;
+            return out;
+          }
+          break;
+        }
+      }
+      damping *= 4.0;
+      if (damping > 1e12) break;
+    }
+    if (!stepped) {
+      out.converged = true;  // no further descent possible
+      return out;
+    }
+  }
+  return out;
+}
+
+}  // namespace smiless::math

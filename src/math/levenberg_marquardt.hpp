@@ -1,0 +1,30 @@
+#pragma once
+
+#include <functional>
+#include <vector>
+
+namespace smiless::math {
+
+/// Options for the Levenberg–Marquardt nonlinear least-squares solver.
+struct LmOptions {
+  int max_iterations = 200;
+  double initial_damping = 1e-3;
+  double tolerance = 1e-10;  ///< stop when the SSE improvement falls below this
+};
+
+struct LmResult {
+  std::vector<double> params;
+  double sse = 0.0;  ///< final sum of squared residuals
+  int iterations = 0;
+  bool converged = false;
+};
+
+/// Minimise sum_i residual_i(params)^2. `residuals(params)` returns one
+/// residual per observation; the Jacobian is approximated by forward
+/// differences. Used when fitting the Amdahl latency surfaces where the
+/// (lambda, alpha, beta, gamma) parameterisation is kept nonlinear.
+LmResult levenberg_marquardt(
+    const std::function<std::vector<double>(const std::vector<double>&)>& residuals,
+    std::vector<double> initial, const LmOptions& opts = {});
+
+}  // namespace smiless::math

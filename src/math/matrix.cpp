@@ -1,0 +1,166 @@
+#include "math/matrix.hpp"
+
+#include <cmath>
+
+namespace smiless::math {
+
+Matrix Matrix::transpose() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+  return t;
+}
+
+Matrix Matrix::operator*(const Matrix& rhs) const {
+  SMILESS_CHECK(cols_ == rhs.rows_);
+  Matrix out(rows_, rhs.cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double a = (*this)(r, k);
+      if (a == 0.0) continue;
+      for (std::size_t c = 0; c < rhs.cols_; ++c) out(r, c) += a * rhs(k, c);
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::operator+(const Matrix& rhs) const {
+  SMILESS_CHECK(rows_ == rhs.rows_ && cols_ == rhs.cols_);
+  Matrix out(rows_, cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] = data_[i] + rhs.data_[i];
+  return out;
+}
+
+Matrix Matrix::operator-(const Matrix& rhs) const {
+  SMILESS_CHECK(rows_ == rhs.rows_ && cols_ == rhs.cols_);
+  Matrix out(rows_, cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] = data_[i] - rhs.data_[i];
+  return out;
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix out(n, n);
+  for (std::size_t i = 0; i < n; ++i) out(i, i) = 1.0;
+  return out;
+}
+
+std::vector<double> matvec(const Matrix& a, const std::vector<double>& x) {
+  SMILESS_CHECK(a.cols() == x.size());
+  std::vector<double> y(a.rows(), 0.0);
+  for (std::size_t r = 0; r < a.rows(); ++r)
+    for (std::size_t c = 0; c < a.cols(); ++c) y[r] += a(r, c) * x[c];
+  return y;
+}
+
+std::vector<double> solve_least_squares(const Matrix& a, const std::vector<double>& b) {
+  SMILESS_CHECK(a.rows() == b.size());
+  SMILESS_CHECK(a.rows() >= a.cols());
+  const std::size_t m = a.rows(), n = a.cols();
+  Matrix r = a;                 // becomes R in place
+  std::vector<double> qtb = b;  // becomes Q^T b in place
+
+  // Householder QR: annihilate below-diagonal entries column by column,
+  // applying the same reflections to the right-hand side.
+  for (std::size_t k = 0; k < n; ++k) {
+    double norm = 0.0;
+    for (std::size_t i = k; i < m; ++i) norm += r(i, k) * r(i, k);
+    norm = std::sqrt(norm);
+    SMILESS_CHECK_MSG(norm > 1e-14, "rank-deficient design matrix in least squares");
+    if (r(k, k) > 0) norm = -norm;
+
+    std::vector<double> v(m - k);
+    v[0] = r(k, k) - norm;
+    for (std::size_t i = k + 1; i < m; ++i) v[i - k] = r(i, k);
+    double vtv = 0.0;
+    for (double vi : v) vtv += vi * vi;
+    if (vtv < 1e-30) continue;
+
+    for (std::size_t c = k; c < n; ++c) {
+      double dot = 0.0;
+      for (std::size_t i = k; i < m; ++i) dot += v[i - k] * r(i, c);
+      const double scale = 2.0 * dot / vtv;
+      for (std::size_t i = k; i < m; ++i) r(i, c) -= scale * v[i - k];
+    }
+    double dot = 0.0;
+    for (std::size_t i = k; i < m; ++i) dot += v[i - k] * qtb[i];
+    const double scale = 2.0 * dot / vtv;
+    for (std::size_t i = k; i < m; ++i) qtb[i] -= scale * v[i - k];
+  }
+
+  // Back substitution on the triangular system R x = Q^T b.
+  std::vector<double> x(n, 0.0);
+  for (std::size_t kk = n; kk-- > 0;) {
+    double s = qtb[kk];
+    for (std::size_t c = kk + 1; c < n; ++c) s -= r(kk, c) * x[c];
+    SMILESS_CHECK(std::abs(r(kk, kk)) > 1e-14);
+    x[kk] = s / r(kk, kk);
+  }
+  return x;
+}
+
+Matrix cholesky(const Matrix& a) {
+  SMILESS_CHECK(a.rows() == a.cols());
+  const std::size_t n = a.rows();
+  Matrix l(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double s = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) s -= l(i, k) * l(j, k);
+      if (i == j) {
+        SMILESS_CHECK_MSG(s > 0.0, "matrix not positive definite");
+        l(i, j) = std::sqrt(s);
+      } else {
+        l(i, j) = s / l(j, j);
+      }
+    }
+  }
+  return l;
+}
+
+std::vector<double> cholesky_solve(const Matrix& l, const std::vector<double>& b) {
+  SMILESS_CHECK(l.rows() == l.cols() && l.rows() == b.size());
+  const std::size_t n = b.size();
+  std::vector<double> y(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = b[i];
+    for (std::size_t k = 0; k < i; ++k) s -= l(i, k) * y[k];
+    y[i] = s / l(i, i);
+  }
+  std::vector<double> x(n, 0.0);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double s = y[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) s -= l(k, ii) * x[k];
+    x[ii] = s / l(ii, ii);
+  }
+  return x;
+}
+
+std::vector<double> solve_linear(Matrix a, std::vector<double> b) {
+  SMILESS_CHECK(a.rows() == a.cols() && a.rows() == b.size());
+  const std::size_t n = b.size();
+  for (std::size_t k = 0; k < n; ++k) {
+    std::size_t piv = k;
+    for (std::size_t i = k + 1; i < n; ++i)
+      if (std::abs(a(i, k)) > std::abs(a(piv, k))) piv = i;
+    SMILESS_CHECK_MSG(std::abs(a(piv, k)) > 1e-14, "singular matrix");
+    if (piv != k) {
+      for (std::size_t c = 0; c < n; ++c) std::swap(a(k, c), a(piv, c));
+      std::swap(b[k], b[piv]);
+    }
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double f = a(i, k) / a(k, k);
+      if (f == 0.0) continue;
+      for (std::size_t c = k; c < n; ++c) a(i, c) -= f * a(k, c);
+      b[i] -= f * b[k];
+    }
+  }
+  std::vector<double> x(n, 0.0);
+  for (std::size_t kk = n; kk-- > 0;) {
+    double s = b[kk];
+    for (std::size_t c = kk + 1; c < n; ++c) s -= a(kk, c) * x[c];
+    x[kk] = s / a(kk, kk);
+  }
+  return x;
+}
+
+}  // namespace smiless::math

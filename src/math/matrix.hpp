@@ -1,0 +1,79 @@
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace smiless::math {
+
+/// Dense row-major matrix of doubles. Small and simple by design — the
+/// numerics in this project (curve fitting, GP regression, LSTM layers)
+/// operate on matrices of at most a few hundred rows.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  /// Construct from nested initializer lists: Matrix m{{1,2},{3,4}};
+  Matrix(std::initializer_list<std::initializer_list<double>> init) {
+    rows_ = init.size();
+    cols_ = rows_ == 0 ? 0 : init.begin()->size();
+    data_.reserve(rows_ * cols_);
+    for (const auto& row : init) {
+      SMILESS_CHECK(row.size() == cols_);
+      data_.insert(data_.end(), row.begin(), row.end());
+    }
+  }
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  double& operator()(std::size_t r, std::size_t c) {
+    SMILESS_CHECK(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const {
+    SMILESS_CHECK(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+
+  Matrix transpose() const;
+  Matrix operator*(const Matrix& rhs) const;
+  Matrix operator+(const Matrix& rhs) const;
+  Matrix operator-(const Matrix& rhs) const;
+
+  static Matrix identity(std::size_t n);
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Matrix-vector product (y = A x).
+std::vector<double> matvec(const Matrix& a, const std::vector<double>& x);
+
+/// Solve the linear least-squares problem min ||A x - b||_2 via Householder
+/// QR with column pivoting disabled (the design matrices here are small and
+/// well-conditioned by construction). Requires rows >= cols and full rank.
+std::vector<double> solve_least_squares(const Matrix& a, const std::vector<double>& b);
+
+/// Cholesky factorisation of a symmetric positive-definite matrix; returns
+/// lower-triangular L with A = L L^T. Throws CheckError if not SPD.
+Matrix cholesky(const Matrix& a);
+
+/// Solve A x = b given the Cholesky factor L of A (forward + back
+/// substitution).
+std::vector<double> cholesky_solve(const Matrix& l, const std::vector<double>& b);
+
+/// Solve the square linear system A x = b via Gaussian elimination with
+/// partial pivoting. Used by Levenberg–Marquardt steps.
+std::vector<double> solve_linear(Matrix a, std::vector<double> b);
+
+}  // namespace smiless::math

@@ -1,0 +1,96 @@
+#include "math/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace smiless::math {
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double stddev(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double ss = 0.0;
+  for (double x : xs) ss += (x - m) * (x - m);
+  return std::sqrt(ss / static_cast<double>(xs.size() - 1));
+}
+
+double variance_to_mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  const double m = mean(xs);
+  if (m == 0.0) return 0.0;
+  double ss = 0.0;
+  for (double x : xs) ss += (x - m) * (x - m);
+  const double var = ss / static_cast<double>(xs.size());
+  return var / m;
+}
+
+double percentile(std::span<const double> xs, double p) {
+  SMILESS_CHECK(!xs.empty());
+  SMILESS_CHECK(p >= 0.0 && p <= 100.0);
+  std::vector<double> s(xs.begin(), xs.end());
+  std::sort(s.begin(), s.end());
+  if (s.size() == 1) return s[0];
+  const double rank = p / 100.0 * static_cast<double>(s.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= s.size()) return s.back();
+  return s[lo] * (1.0 - frac) + s[lo + 1] * frac;
+}
+
+double smape(std::span<const double> truth, std::span<const double> pred) {
+  SMILESS_CHECK(truth.size() == pred.size());
+  if (truth.empty()) return 0.0;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    const double denom = std::abs(truth[i]) + std::abs(pred[i]);
+    if (denom > 0.0) acc += 2.0 * std::abs(pred[i] - truth[i]) / denom;
+  }
+  return 100.0 * acc / static_cast<double>(truth.size());
+}
+
+double mape(std::span<const double> truth, std::span<const double> pred) {
+  SMILESS_CHECK(truth.size() == pred.size());
+  double acc = 0.0;
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    if (truth[i] != 0.0) {
+      acc += std::abs(pred[i] - truth[i]) / std::abs(truth[i]);
+      ++n;
+    }
+  }
+  return n == 0 ? 0.0 : 100.0 * acc / static_cast<double>(n);
+}
+
+double underestimation_rate(std::span<const double> truth, std::span<const double> pred) {
+  SMILESS_CHECK(truth.size() == pred.size());
+  if (truth.empty()) return 0.0;
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < truth.size(); ++i)
+    if (pred[i] < truth[i]) ++n;
+  return static_cast<double>(n) / static_cast<double>(truth.size());
+}
+
+double overestimation_rate(std::span<const double> truth, std::span<const double> pred) {
+  SMILESS_CHECK(truth.size() == pred.size());
+  if (truth.empty()) return 0.0;
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < truth.size(); ++i)
+    if (pred[i] > truth[i]) ++n;
+  return static_cast<double>(n) / static_cast<double>(truth.size());
+}
+
+std::vector<double> sorted_copy(std::span<const double> xs) {
+  std::vector<double> s(xs.begin(), xs.end());
+  std::sort(s.begin(), s.end());
+  return s;
+}
+
+}  // namespace smiless::math

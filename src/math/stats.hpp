@@ -1,0 +1,39 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace smiless::math {
+
+/// Arithmetic mean; 0 for an empty span.
+double mean(std::span<const double> xs);
+
+/// Sample standard deviation (n-1 denominator); 0 when fewer than 2 points.
+double stddev(std::span<const double> xs);
+
+/// Population variance-to-mean ratio (index of dispersion); 0 if mean == 0.
+/// The paper characterises its test trace as having VMR > 2.
+double variance_to_mean(std::span<const double> xs);
+
+/// p-th percentile (p in [0,100]) with linear interpolation; requires a
+/// non-empty span. Does not assume the input is sorted.
+double percentile(std::span<const double> xs, double p);
+
+/// Symmetric mean absolute percentage error, in percent (Fig. 11b metric).
+/// Pairs where |truth|+|pred| == 0 contribute zero error.
+double smape(std::span<const double> truth, std::span<const double> pred);
+
+/// Mean absolute percentage error, in percent (Fig. 12b metric). Pairs with
+/// truth == 0 are skipped.
+double mape(std::span<const double> truth, std::span<const double> pred);
+
+/// Fraction of predictions strictly below truth (Fig. 12a metric).
+double underestimation_rate(std::span<const double> truth, std::span<const double> pred);
+
+/// Fraction of predictions strictly above truth.
+double overestimation_rate(std::span<const double> truth, std::span<const double> pred);
+
+/// Cumulative distribution sample: sorted copy of xs, for latency CDF plots.
+std::vector<double> sorted_copy(std::span<const double> xs);
+
+}  // namespace smiless::math

@@ -1,0 +1,36 @@
+#include "perfmodel/hardware.hpp"
+
+#include <sstream>
+
+namespace smiless::perf {
+
+std::string HwConfig::to_string() const {
+  std::ostringstream os;
+  if (backend == Backend::Cpu)
+    os << "cpu" << cpu_cores;
+  else
+    os << "gpu" << gpu_pct << "%";
+  return os.str();
+}
+
+std::vector<HwConfig> default_config_space() {
+  std::vector<HwConfig> out;
+  for (int cores : {1, 2, 4, 8, 16}) out.push_back({Backend::Cpu, cores, 0});
+  for (int pct = 10; pct <= 100; pct += 10) out.push_back({Backend::Gpu, 0, pct});
+  return out;
+}
+
+std::vector<HwConfig> coarse_config_space() {
+  std::vector<HwConfig> out;
+  for (int cores : {1, 2, 4, 8, 16}) out.push_back({Backend::Cpu, cores, 0});
+  out.push_back({Backend::Gpu, 0, 100});
+  return out;
+}
+
+std::vector<HwConfig> cpu_only_config_space() {
+  std::vector<HwConfig> out;
+  for (int cores : {1, 2, 4, 8, 16}) out.push_back({Backend::Cpu, cores, 0});
+  return out;
+}
+
+}  // namespace smiless::perf

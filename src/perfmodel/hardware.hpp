@@ -1,0 +1,58 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace smiless::perf {
+
+enum class Backend { Cpu, Gpu };
+
+/// One heterogeneous hardware configuration for a container instance.
+/// CPU containers come in 1/2/4/8/16 cores (AWS c6g tiers); GPU containers
+/// are MPS slices in 10% units of one device (§VII-A system settings).
+struct HwConfig {
+  Backend backend = Backend::Cpu;
+  int cpu_cores = 1;  ///< valid when backend == Cpu
+  int gpu_pct = 0;    ///< 10..100 in steps of 10 when backend == Gpu
+
+  bool operator==(const HwConfig&) const = default;
+
+  /// Amount of the resource the latency model divides by: cores or % GPU.
+  double resource_amount() const {
+    return backend == Backend::Cpu ? static_cast<double>(cpu_cores)
+                                   : static_cast<double>(gpu_pct);
+  }
+
+  std::string to_string() const;
+};
+
+/// Pricing anchored to the paper's setup: c6g at $0.034 per core-hour,
+/// p3.2xlarge at $3.06/hour so a 10% MPS slice costs $0.306/hour.
+struct Pricing {
+  Dollars cpu_per_core_hour = 0.034;
+  Dollars gpu_per_10pct_hour = 0.306;
+
+  /// Unit cost U(*) in dollars per second of instance lifetime.
+  Dollars per_second(const HwConfig& c) const {
+    if (c.backend == Backend::Cpu)
+      return cpu_per_core_hour * c.cpu_cores / kSecondsPerHour;
+    return gpu_per_10pct_hour * (c.gpu_pct / 10.0) / kSecondsPerHour;
+  }
+};
+
+/// The full configuration space C: five CPU tiers then ten GPU slices
+/// (15 options, M = 15 in the complexity analysis).
+std::vector<HwConfig> default_config_space();
+
+/// CPU-only subset, for the SMIless-Homo ablation.
+std::vector<HwConfig> cpu_only_config_space();
+
+/// CPU tiers plus one *full* GPU: the space available to systems without
+/// GPU multiplexing. MPS slicing (the 10% units) is part of SMIless'
+/// implementation (§VI); the baselines it is compared against allocate
+/// whole devices.
+std::vector<HwConfig> coarse_config_space();
+
+}  // namespace smiless::perf

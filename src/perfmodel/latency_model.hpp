@@ -1,0 +1,81 @@
+#pragma once
+
+#include <string>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "perfmodel/hardware.hpp"
+
+namespace smiless::perf {
+
+/// Parameters of the paper's Amdahl-law latency model (Eq. 1 for CPU,
+/// Eq. 2 for GPU):
+///   inference = lambda * B * (alpha / resource + beta) + gamma
+/// where resource is #cores (CPU) or %GPU, B the batch size, gamma the
+/// network transmission time.
+struct AmdahlParams {
+  double lambda = 1.0;
+  double alpha = 0.0;  ///< computational volume
+  double beta = 0.0;   ///< serial overhead per item
+  double gamma = 0.0;  ///< network transmission time
+
+  double inference_time(double resource, int batch) const {
+    return lambda * batch * (alpha / resource + beta) + gamma;
+  }
+};
+
+/// Initialization-time statistics for one backend of one function. The
+/// profiler estimates mu + n*sigma as its robust measurement (§IV-A1).
+struct InitStats {
+  double mu = 0.0;
+  double sigma = 0.0;
+
+  double estimate(double n_sigma) const { return mu + n_sigma * sigma; }
+};
+
+/// Complete performance profile of one inference function (either ground
+/// truth in apps/, or the fitted version produced by the Offline Profiler).
+struct FunctionPerf {
+  std::string name;
+  AmdahlParams cpu;
+  AmdahlParams gpu;
+  InitStats init_cpu;
+  InitStats init_gpu;
+
+  /// Deterministic (noise-free) inference latency under `config` / `batch`.
+  double inference_time(const HwConfig& config, int batch) const {
+    const auto& p = config.backend == Backend::Cpu ? cpu : gpu;
+    return p.inference_time(config.resource_amount(), batch);
+  }
+
+  /// Robust initialization-time estimate under `config` using mu + n*sigma.
+  double init_time(const HwConfig& config, double n_sigma) const {
+    const auto& s = config.backend == Backend::Cpu ? init_cpu : init_gpu;
+    return s.estimate(n_sigma);
+  }
+
+  /// Noisy sample of an actual execution (what the cluster "observes"):
+  /// multiplicative lognormal-ish jitter around the Amdahl surface, clipped
+  /// at a small positive floor.
+  double sample_inference_time(const HwConfig& config, int batch, double noise_frac,
+                               Rng& rng) const {
+    const double base = inference_time(config, batch);
+    return rng.truncated_normal(base, noise_frac * base, 0.2 * base);
+  }
+
+  /// Noisy sample of an initialization (normal around mu with stddev sigma).
+  double sample_init_time(const HwConfig& config, Rng& rng) const {
+    const auto& s = config.backend == Backend::Cpu ? init_cpu : init_gpu;
+    return rng.truncated_normal(s.mu, s.sigma, 0.25 * s.mu);
+  }
+};
+
+/// Per-invocation execution cost of a function, Eq. (3):
+/// C_k = E_k(config, policy) * U(config), where E_k is the billed instance
+/// time attributable to one invocation.
+inline Dollars execution_cost(double billed_seconds, const HwConfig& config,
+                              const Pricing& pricing) {
+  return billed_seconds * pricing.per_second(config);
+}
+
+}  // namespace smiless::perf

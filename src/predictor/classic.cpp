@@ -1,0 +1,113 @@
+#include "predictor/classic.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "math/fft.hpp"
+#include "math/matrix.hpp"
+#include "math/stats.hpp"
+
+namespace smiless::predictor {
+
+namespace {
+
+std::vector<double> difference(std::span<const double> s, int d) {
+  std::vector<double> cur(s.begin(), s.end());
+  for (int k = 0; k < d; ++k) {
+    if (cur.size() < 2) return {};
+    std::vector<double> next(cur.size() - 1);
+    for (std::size_t i = 1; i < cur.size(); ++i) next[i - 1] = cur[i] - cur[i - 1];
+    cur = std::move(next);
+  }
+  return cur;
+}
+
+}  // namespace
+
+ArimaPredictor::ArimaPredictor(int p, int d) : p_(p), d_(d) {
+  SMILESS_CHECK(p >= 1 && d >= 0);
+}
+
+void ArimaPredictor::fit(std::span<const double> series) {
+  const auto diffed = difference(series, d_);
+  const auto p = static_cast<std::size_t>(p_);
+  if (diffed.size() < p + 2) {
+    trained_ = false;
+    return;
+  }
+  const std::size_t rows = diffed.size() - p;
+  math::Matrix design(rows, p + 1);
+  std::vector<double> y(rows);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t lag = 0; lag < p; ++lag) design(r, lag) = diffed[r + p - 1 - lag];
+    design(r, p) = 1.0;  // intercept
+    y[r] = diffed[r + p];
+  }
+  try {
+    coef_ = math::solve_least_squares(design, y);
+    trained_ = true;
+    drift_ = 0.0;
+  } catch (const CheckError&) {
+    // Degenerate design (e.g. the differenced series is constant): fall
+    // back to a drift model, predicting last + mean difference.
+    trained_ = false;
+    drift_ = 0.0;
+    for (double v : diffed) drift_ += v;
+    drift_ /= static_cast<double>(diffed.size());
+  }
+}
+
+double ArimaPredictor::predict_next(std::span<const double> recent) const {
+  if (recent.empty()) return 0.0;
+  if (!trained_) return std::max(0.0, recent.back() + (d_ >= 1 ? drift_ : 0.0));
+  const auto diffed = difference(recent, d_);
+  const auto p = static_cast<std::size_t>(p_);
+  if (diffed.size() < p) return recent.back();
+
+  double dnext = coef_[p];
+  for (std::size_t lag = 0; lag < p; ++lag)
+    dnext += coef_[lag] * diffed[diffed.size() - 1 - lag];
+
+  // Integrate back: one-step-ahead needs only the last value of each
+  // difference level below d.
+  double forecast = dnext;
+  for (int k = d_ - 1; k >= 0; --k) {
+    const auto lvl = difference(recent, k);
+    if (lvl.empty()) return recent.back();
+    forecast += lvl.back();
+  }
+  return std::max(0.0, forecast);
+}
+
+FipPredictor::FipPredictor(std::size_t top_k, std::size_t fit_window)
+    : top_k_(top_k), fit_window_(fit_window) {
+  SMILESS_CHECK(top_k >= 1 && fit_window >= 8);
+}
+
+void FipPredictor::fit(std::span<const double>) {
+  // FIP is refit on the recent window at prediction time.
+}
+
+double FipPredictor::predict_next(std::span<const double> recent) const {
+  if (recent.size() < 8) return recent.empty() ? 0.0 : recent.back();
+  // Use the largest power-of-two tail: zero-padding a non-power-of-two
+  // window would corrupt the harmonic amplitudes and phases.
+  std::size_t n = 8;
+  while (n * 2 <= std::min(fit_window_, recent.size())) n *= 2;
+  const std::span<const double> window = recent.subspan(recent.size() - n, n);
+  // Reconstruct the periodic extension and read the sample one step past the
+  // training window.
+  const auto series = math::harmonic_extrapolate(window, top_k_, n + 1);
+  return std::max(0.0, series[n]);
+}
+
+double MovingAveragePredictor::predict_next(std::span<const double> recent) const {
+  if (recent.empty()) return 0.0;
+  const std::size_t n = std::min(horizon_, recent.size());
+  double s = 0.0;
+  for (std::size_t i = recent.size() - n; i < recent.size(); ++i) s += recent[i];
+  return s / static_cast<double>(n);
+}
+
+}  // namespace smiless::predictor

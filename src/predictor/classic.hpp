@@ -1,0 +1,67 @@
+#pragma once
+
+#include <vector>
+
+#include "predictor/series_predictor.hpp"
+
+namespace smiless::predictor {
+
+/// ARIMA(p, d, 0): difference the series d times, fit an AR(p) model by
+/// ordinary least squares, forecast one step, then integrate back. The
+/// widely-adopted time-series baseline of Fig. 12.
+class ArimaPredictor : public SeriesPredictor {
+ public:
+  explicit ArimaPredictor(int p = 4, int d = 1);
+
+  std::string name() const override { return "ARIMA"; }
+  void fit(std::span<const double> series) override;
+  double predict_next(std::span<const double> recent) const override;
+
+ private:
+  int p_;
+  int d_;
+  std::vector<double> coef_;  // AR coefficients (+ intercept at the back)
+  double drift_ = 0.0;        // fallback slope when the AR fit is degenerate
+  bool trained_ = false;
+};
+
+/// FIP: the Fourier-transform-based predictor used by IceBreaker. Keeps the
+/// top-k harmonics of the training window and extrapolates the periodic
+/// reconstruction one step ahead.
+class FipPredictor : public SeriesPredictor {
+ public:
+  explicit FipPredictor(std::size_t top_k = 6, std::size_t fit_window = 256);
+
+  std::string name() const override { return "FIP"; }
+  void fit(std::span<const double> series) override;
+  double predict_next(std::span<const double> recent) const override;
+
+ private:
+  std::size_t top_k_;
+  std::size_t fit_window_;
+};
+
+/// Last-observation predictor; the trivial floor every learned model must
+/// beat.
+class NaivePredictor : public SeriesPredictor {
+ public:
+  std::string name() const override { return "Naive"; }
+  void fit(std::span<const double>) override {}
+  double predict_next(std::span<const double> recent) const override {
+    return recent.empty() ? 0.0 : recent.back();
+  }
+};
+
+/// Trailing-mean predictor over a fixed horizon.
+class MovingAveragePredictor : public SeriesPredictor {
+ public:
+  explicit MovingAveragePredictor(std::size_t horizon = 16) : horizon_(horizon) {}
+  std::string name() const override { return "MovingAvg"; }
+  void fit(std::span<const double>) override {}
+  double predict_next(std::span<const double> recent) const override;
+
+ private:
+  std::size_t horizon_;
+};
+
+}  // namespace smiless::predictor

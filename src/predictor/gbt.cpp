@@ -1,0 +1,167 @@
+#include "predictor/gbt.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.hpp"
+
+namespace smiless::predictor {
+
+namespace {
+
+struct TreeNode {
+  int feature = -1;          ///< -1 marks a leaf
+  double threshold = 0.0;
+  double value = 0.0;        ///< leaf prediction
+  int left = -1, right = -1; ///< child indices
+};
+
+struct Tree {
+  std::vector<TreeNode> nodes;
+
+  double predict(const std::vector<double>& x) const {
+    int n = 0;
+    while (nodes[n].feature >= 0)
+      n = x[nodes[n].feature] <= nodes[n].threshold ? nodes[n].left : nodes[n].right;
+    return nodes[n].value;
+  }
+};
+
+double mean_of(const std::vector<double>& y, const std::vector<int>& idx) {
+  double s = 0.0;
+  for (int i : idx) s += y[i];
+  return idx.empty() ? 0.0 : s / static_cast<double>(idx.size());
+}
+
+/// Build one regression tree on (xs, residuals) restricted to `idx`.
+int build_node(Tree& tree, const std::vector<std::vector<double>>& xs,
+               const std::vector<double>& y, std::vector<int> idx, int depth, int max_depth,
+               int min_leaf) {
+  const int node_id = static_cast<int>(tree.nodes.size());
+  tree.nodes.push_back({});
+  tree.nodes[node_id].value = mean_of(y, idx);
+  if (depth >= max_depth || static_cast<int>(idx.size()) < 2 * min_leaf) return node_id;
+
+  const std::size_t n_features = xs[0].size();
+  double best_gain = 1e-12;
+  int best_feature = -1;
+  double best_threshold = 0.0;
+
+  double total_sum = 0.0;
+  for (int i : idx) total_sum += y[i];
+  const double total_n = static_cast<double>(idx.size());
+  const double parent_score = total_sum * total_sum / total_n;
+
+  for (std::size_t f = 0; f < n_features; ++f) {
+    std::sort(idx.begin(), idx.end(),
+              [&](int a, int b) { return xs[a][f] < xs[b][f]; });
+    double left_sum = 0.0;
+    for (std::size_t k = 0; k + 1 < idx.size(); ++k) {
+      left_sum += y[idx[k]];
+      const auto left_n = static_cast<double>(k + 1);
+      const double right_sum = total_sum - left_sum;
+      const double right_n = total_n - left_n;
+      if (left_n < min_leaf || right_n < min_leaf) continue;
+      if (xs[idx[k]][f] == xs[idx[k + 1]][f]) continue;  // no valid threshold
+      const double gain =
+          left_sum * left_sum / left_n + right_sum * right_sum / right_n - parent_score;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_feature = static_cast<int>(f);
+        best_threshold = 0.5 * (xs[idx[k]][f] + xs[idx[k + 1]][f]);
+      }
+    }
+  }
+  if (best_feature < 0) return node_id;
+
+  std::vector<int> left_idx, right_idx;
+  for (int i : idx) {
+    if (xs[i][best_feature] <= best_threshold)
+      left_idx.push_back(i);
+    else
+      right_idx.push_back(i);
+  }
+  tree.nodes[node_id].feature = best_feature;
+  tree.nodes[node_id].threshold = best_threshold;
+  const int l = build_node(tree, xs, y, std::move(left_idx), depth + 1, max_depth, min_leaf);
+  const int r = build_node(tree, xs, y, std::move(right_idx), depth + 1, max_depth, min_leaf);
+  tree.nodes[node_id].left = l;
+  tree.nodes[node_id].right = r;
+  return node_id;
+}
+
+}  // namespace
+
+struct GbtPredictor::Impl {
+  Options opts;
+  double base = 0.0;
+  std::vector<Tree> trees;
+  bool trained = false;
+
+  std::vector<double> features(std::span<const double> s, std::size_t t) const {
+    // x = (s[t-1], ..., s[t-num_lags]); left-pad with the first value.
+    std::vector<double> x(opts.num_lags);
+    for (int lag = 1; lag <= opts.num_lags; ++lag) {
+      const std::ptrdiff_t idx = static_cast<std::ptrdiff_t>(t) - lag;
+      x[lag - 1] = idx >= 0 ? s[static_cast<std::size_t>(idx)] : s.front();
+    }
+    return x;
+  }
+
+  double predict_features(const std::vector<double>& x) const {
+    double y = base;
+    for (const auto& t : trees) y += opts.learning_rate * t.predict(x);
+    return y;
+  }
+};
+
+GbtPredictor::GbtPredictor(Options options) : impl_(std::make_unique<Impl>()) {
+  SMILESS_CHECK(options.num_trees >= 1 && options.max_depth >= 1 && options.num_lags >= 1);
+  impl_->opts = options;
+}
+
+GbtPredictor::~GbtPredictor() = default;
+
+void GbtPredictor::fit(std::span<const double> series) {
+  auto& im = *impl_;
+  im.trees.clear();
+  im.trained = false;
+  const auto lags = static_cast<std::size_t>(im.opts.num_lags);
+  if (series.size() < lags + 4) return;
+
+  std::vector<std::vector<double>> xs;
+  std::vector<double> ys;
+  for (std::size_t t = lags; t < series.size(); ++t) {
+    xs.push_back(im.features(series, t));
+    ys.push_back(series[t]);
+  }
+
+  double s = 0.0;
+  for (double v : ys) s += v;
+  im.base = s / static_cast<double>(ys.size());
+
+  std::vector<double> residual(ys.size());
+  std::vector<double> pred(ys.size(), im.base);
+  std::vector<int> all_idx(ys.size());
+  for (std::size_t i = 0; i < ys.size(); ++i) all_idx[i] = static_cast<int>(i);
+
+  for (int round = 0; round < im.opts.num_trees; ++round) {
+    for (std::size_t i = 0; i < ys.size(); ++i) residual[i] = ys[i] - pred[i];
+    Tree tree;
+    build_node(tree, xs, residual, all_idx, 0, im.opts.max_depth, im.opts.min_leaf_size);
+    for (std::size_t i = 0; i < ys.size(); ++i)
+      pred[i] += im.opts.learning_rate * tree.predict(xs[i]);
+    im.trees.push_back(std::move(tree));
+  }
+  im.trained = true;
+}
+
+double GbtPredictor::predict_next(std::span<const double> recent) const {
+  if (recent.empty()) return 0.0;
+  if (!impl_->trained) return recent.back();
+  const auto x = impl_->features(recent, recent.size());
+  return std::max(0.0, impl_->predict_features(x));
+}
+
+}  // namespace smiless::predictor

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "predictor/series_predictor.hpp"
+
+namespace smiless::predictor {
+
+/// Gradient-boosted regression trees over lag features — the XGBoost
+/// stand-in of Fig. 12. Squared-error boosting with depth-limited exact
+/// greedy splits.
+class GbtPredictor : public SeriesPredictor {
+ public:
+  struct Options {
+    int num_trees = 60;
+    int max_depth = 3;
+    double learning_rate = 0.15;
+    int num_lags = 12;       ///< feature vector = the last num_lags values
+    int min_leaf_size = 4;
+  };
+
+  explicit GbtPredictor(Options options);
+  GbtPredictor() : GbtPredictor(Options{}) {}
+  ~GbtPredictor() override;
+
+  std::string name() const override { return "XGBoost"; }
+  void fit(std::span<const double> series) override;
+  double predict_next(std::span<const double> recent) const override;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace smiless::predictor

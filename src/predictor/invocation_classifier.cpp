@@ -1,0 +1,154 @@
+#include "predictor/invocation_classifier.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "math/stats.hpp"
+#include "predictor/lstm.hpp"
+
+namespace smiless::predictor {
+
+struct InvocationClassifier::Impl {
+  Options opts;
+  Rng rng;
+  LstmLayer lstm;
+  math::Matrix head_w;  // K x H
+  std::vector<double> head_b;
+  int classes = 2;
+  double norm_mean = 0.0, norm_std = 1.0;
+  bool trained = false;
+
+  explicit Impl(const Options& o)
+      : opts(o),
+        rng(o.lstm.seed),
+        lstm(1, o.lstm.hidden, rng),
+        head_w(o.max_buckets, o.lstm.hidden),
+        head_b(o.max_buckets, 0.0) {
+    SMILESS_CHECK(o.bucket_size >= 1 && o.max_buckets >= 2);
+    for (std::size_t r = 0; r < head_w.rows(); ++r)
+      for (std::size_t c = 0; c < head_w.cols(); ++c) head_w(r, c) = rng.uniform(-0.3, 0.3);
+  }
+
+  int bucket_of(double count) const {
+    const int b = static_cast<int>(count) / opts.bucket_size;
+    return std::min(b, classes - 1);
+  }
+
+  std::vector<std::vector<double>> window(std::span<const double> s, std::size_t start) const {
+    std::vector<std::vector<double>> seq(opts.lstm.seq_len);
+    for (std::size_t i = 0; i < opts.lstm.seq_len; ++i)
+      seq[i] = {(s[start + i] - norm_mean) / norm_std};
+    return seq;
+  }
+
+  std::vector<double> logits(const std::vector<double>& h) const {
+    std::vector<double> z(classes, 0.0);
+    for (int k = 0; k < classes; ++k) {
+      double acc = head_b[k];
+      for (std::size_t j = 0; j < h.size(); ++j) acc += head_w(k, j) * h[j];
+      z[k] = acc;
+    }
+    return z;
+  }
+
+  static std::vector<double> softmax(std::vector<double> z) {
+    const double m = *std::max_element(z.begin(), z.end());
+    double sum = 0.0;
+    for (auto& v : z) {
+      v = std::exp(v - m);
+      sum += v;
+    }
+    for (auto& v : z) v /= sum;
+    return z;
+  }
+
+  void train(std::span<const double> counts) {
+    if (counts.size() <= opts.lstm.seq_len + 1) {
+      trained = false;
+      return;
+    }
+    norm_mean = math::mean(counts);
+    norm_std = std::max(1e-9, math::stddev(counts));
+
+    // Class count: enough buckets to cover the observed maximum.
+    double max_c = 0.0;
+    for (double c : counts) max_c = std::max(max_c, c);
+    classes = std::clamp(static_cast<int>(max_c) / opts.bucket_size + 1, 2, opts.max_buckets);
+
+    std::vector<std::size_t> starts;
+    for (std::size_t t = opts.lstm.seq_len; t < counts.size(); ++t)
+      starts.push_back(t - opts.lstm.seq_len);
+
+    auto params = lstm.parameters();
+    for (int k = 0; k < classes; ++k)
+      for (std::size_t j = 0; j < head_w.cols(); ++j) params.push_back(&head_w(k, j));
+    for (int k = 0; k < classes; ++k) params.push_back(&head_b[k]);
+    Adam adam(params.size(), opts.lstm.learning_rate);
+
+    for (int epoch = 0; epoch < opts.lstm.epochs; ++epoch) {
+      std::shuffle(starts.begin(), starts.end(), rng.engine());
+      for (std::size_t start : starts) {
+        const auto h = lstm.forward(window(counts, start));
+        const auto p = softmax(logits(h));
+        const int target = bucket_of(counts[start + opts.lstm.seq_len]);
+
+        // Cross-entropy gradient dz_k = p_k - [k == target].
+        std::vector<double> dz(classes);
+        for (int k = 0; k < classes; ++k) dz[k] = p[k] - (k == target ? 1.0 : 0.0);
+
+        std::vector<double> dh(opts.lstm.hidden, 0.0);
+        for (int k = 0; k < classes; ++k)
+          for (std::size_t j = 0; j < dh.size(); ++j) dh[j] += head_w(k, j) * dz[k];
+        const LstmGrads grads = lstm.backward(dh);
+
+        std::vector<double> flat;
+        flat.reserve(params.size());
+        LstmLayer::accumulate(flat, grads);
+        for (int k = 0; k < classes; ++k)
+          for (std::size_t j = 0; j < head_w.cols(); ++j) flat.push_back(dz[k] * h[j]);
+        for (int k = 0; k < classes; ++k) flat.push_back(dz[k]);
+        adam.step(params, flat);
+      }
+    }
+    trained = true;
+  }
+
+  int classify(std::span<const double> recent) const {
+    if (!trained || recent.empty()) return 0;
+    std::vector<double> tail(opts.lstm.seq_len);
+    for (std::size_t i = 0; i < opts.lstm.seq_len; ++i) {
+      const std::ptrdiff_t idx = static_cast<std::ptrdiff_t>(recent.size()) -
+                                 static_cast<std::ptrdiff_t>(opts.lstm.seq_len) +
+                                 static_cast<std::ptrdiff_t>(i);
+      tail[i] = idx >= 0 ? recent[static_cast<std::size_t>(idx)] : recent.front();
+    }
+    auto* self = const_cast<Impl*>(this);
+    const auto h = self->lstm.forward(self->window(tail, 0));
+    const auto z = logits(h);
+    return static_cast<int>(std::max_element(z.begin(), z.end()) - z.begin());
+  }
+};
+
+InvocationClassifier::InvocationClassifier(Options options)
+    : impl_(std::make_unique<Impl>(options)) {}
+InvocationClassifier::~InvocationClassifier() = default;
+
+void InvocationClassifier::fit(std::span<const double> counts) { impl_->train(counts); }
+
+int InvocationClassifier::predict_bucket(std::span<const double> recent) const {
+  return impl_->classify(recent);
+}
+
+double InvocationClassifier::predict_next(std::span<const double> recent) const {
+  const int bucket = impl_->classify(recent);
+  // Upper bound of the bucket, then the +3% compensation of §VII-C2.
+  const double upper = static_cast<double>((bucket + 1) * impl_->opts.bucket_size);
+  return upper * (1.0 + impl_->opts.compensation);
+}
+
+const InvocationClassifier::Options& InvocationClassifier::options() const {
+  return impl_->opts;
+}
+
+}  // namespace smiless::predictor

@@ -1,0 +1,166 @@
+#include "predictor/lstm.hpp"
+
+#include <cmath>
+
+namespace smiless::predictor {
+
+namespace {
+double sigmoid(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+}  // namespace
+
+LstmLayer::LstmLayer(std::size_t input_dim, std::size_t hidden_dim, Rng& rng)
+    : input_dim_(input_dim),
+      hidden_dim_(hidden_dim),
+      wx_(4 * hidden_dim, input_dim),
+      wh_(4 * hidden_dim, hidden_dim),
+      b_(4 * hidden_dim, 0.0) {
+  SMILESS_CHECK(input_dim >= 1 && hidden_dim >= 1);
+  // Xavier-ish init; forget-gate bias starts positive so early training
+  // retains state.
+  const double sx = 1.0 / std::sqrt(static_cast<double>(input_dim));
+  const double sh = 1.0 / std::sqrt(static_cast<double>(hidden_dim));
+  for (std::size_t r = 0; r < 4 * hidden_dim; ++r) {
+    for (std::size_t c = 0; c < input_dim; ++c) wx_(r, c) = rng.uniform(-sx, sx);
+    for (std::size_t c = 0; c < hidden_dim; ++c) wh_(r, c) = rng.uniform(-sh, sh);
+  }
+  for (std::size_t h = hidden_dim; h < 2 * hidden_dim; ++h) b_[h] = 1.0;
+}
+
+std::vector<double> LstmLayer::forward(const std::vector<std::vector<double>>& sequence) {
+  SMILESS_CHECK(!sequence.empty());
+  const std::size_t h_dim = hidden_dim_;
+  cache_.clear();
+  cache_.reserve(sequence.size());
+  h0_.assign(h_dim, 0.0);
+  c0_.assign(h_dim, 0.0);
+
+  std::vector<double> h = h0_, c = c0_;
+  for (const auto& x : sequence) {
+    SMILESS_CHECK(x.size() == input_dim_);
+    StepCache sc;
+    sc.x = x;
+
+    std::vector<double> z(4 * h_dim, 0.0);
+    for (std::size_t r = 0; r < 4 * h_dim; ++r) {
+      double acc = b_[r];
+      for (std::size_t cidx = 0; cidx < input_dim_; ++cidx) acc += wx_(r, cidx) * x[cidx];
+      for (std::size_t cidx = 0; cidx < h_dim; ++cidx) acc += wh_(r, cidx) * h[cidx];
+      z[r] = acc;
+    }
+    sc.i.resize(h_dim);
+    sc.f.resize(h_dim);
+    sc.g.resize(h_dim);
+    sc.o.resize(h_dim);
+    sc.c.resize(h_dim);
+    sc.h.resize(h_dim);
+    sc.tanh_c.resize(h_dim);
+    for (std::size_t j = 0; j < h_dim; ++j) {
+      sc.i[j] = sigmoid(z[j]);
+      sc.f[j] = sigmoid(z[h_dim + j]);
+      sc.g[j] = std::tanh(z[2 * h_dim + j]);
+      sc.o[j] = sigmoid(z[3 * h_dim + j]);
+      sc.c[j] = sc.f[j] * c[j] + sc.i[j] * sc.g[j];
+      sc.tanh_c[j] = std::tanh(sc.c[j]);
+      sc.h[j] = sc.o[j] * sc.tanh_c[j];
+    }
+    h = sc.h;
+    c = sc.c;
+    cache_.push_back(std::move(sc));
+  }
+  return h;
+}
+
+LstmGrads LstmLayer::backward(const std::vector<double>& d_h_final) const {
+  SMILESS_CHECK_MSG(!cache_.empty(), "backward() before forward()");
+  SMILESS_CHECK(d_h_final.size() == hidden_dim_);
+  const std::size_t h_dim = hidden_dim_;
+
+  LstmGrads g;
+  g.d_wx = math::Matrix(4 * h_dim, input_dim_);
+  g.d_wh = math::Matrix(4 * h_dim, h_dim);
+  g.d_b.assign(4 * h_dim, 0.0);
+
+  std::vector<double> dh = d_h_final;
+  std::vector<double> dc(h_dim, 0.0);
+
+  for (std::size_t t = cache_.size(); t-- > 0;) {
+    const StepCache& sc = cache_[t];
+    const std::vector<double>& h_prev = t == 0 ? h0_ : cache_[t - 1].h;
+    const std::vector<double>& c_prev = t == 0 ? c0_ : cache_[t - 1].c;
+
+    std::vector<double> dz(4 * h_dim, 0.0);
+    std::vector<double> dc_prev(h_dim, 0.0);
+    for (std::size_t j = 0; j < h_dim; ++j) {
+      const double d_o = dh[j] * sc.tanh_c[j];
+      const double dc_total = dc[j] + dh[j] * sc.o[j] * (1.0 - sc.tanh_c[j] * sc.tanh_c[j]);
+      const double d_i = dc_total * sc.g[j];
+      const double d_f = dc_total * c_prev[j];
+      const double d_g = dc_total * sc.i[j];
+      dz[j] = d_i * sc.i[j] * (1.0 - sc.i[j]);
+      dz[h_dim + j] = d_f * sc.f[j] * (1.0 - sc.f[j]);
+      dz[2 * h_dim + j] = d_g * (1.0 - sc.g[j] * sc.g[j]);
+      dz[3 * h_dim + j] = d_o * sc.o[j] * (1.0 - sc.o[j]);
+      dc_prev[j] = dc_total * sc.f[j];
+    }
+
+    for (std::size_t r = 0; r < 4 * h_dim; ++r) {
+      if (dz[r] == 0.0) continue;
+      for (std::size_t cidx = 0; cidx < input_dim_; ++cidx)
+        g.d_wx(r, cidx) += dz[r] * sc.x[cidx];
+      for (std::size_t cidx = 0; cidx < h_dim; ++cidx)
+        g.d_wh(r, cidx) += dz[r] * h_prev[cidx];
+      g.d_b[r] += dz[r];
+    }
+
+    std::vector<double> dh_prev(h_dim, 0.0);
+    for (std::size_t r = 0; r < 4 * h_dim; ++r) {
+      if (dz[r] == 0.0) continue;
+      for (std::size_t cidx = 0; cidx < h_dim; ++cidx) dh_prev[cidx] += wh_(r, cidx) * dz[r];
+    }
+    dh = std::move(dh_prev);
+    dc = std::move(dc_prev);
+  }
+  return g;
+}
+
+std::vector<double*> LstmLayer::parameters() {
+  std::vector<double*> out;
+  out.reserve(parameter_count());
+  for (std::size_t r = 0; r < 4 * hidden_dim_; ++r)
+    for (std::size_t c = 0; c < input_dim_; ++c) out.push_back(&wx_(r, c));
+  for (std::size_t r = 0; r < 4 * hidden_dim_; ++r)
+    for (std::size_t c = 0; c < hidden_dim_; ++c) out.push_back(&wh_(r, c));
+  for (auto& v : b_) out.push_back(&v);
+  return out;
+}
+
+void LstmLayer::accumulate(std::vector<double>& flat, const LstmGrads& grads) {
+  for (std::size_t r = 0; r < grads.d_wx.rows(); ++r)
+    for (std::size_t c = 0; c < grads.d_wx.cols(); ++c) flat.push_back(grads.d_wx(r, c));
+  for (std::size_t r = 0; r < grads.d_wh.rows(); ++r)
+    for (std::size_t c = 0; c < grads.d_wh.cols(); ++c) flat.push_back(grads.d_wh(r, c));
+  for (double v : grads.d_b) flat.push_back(v);
+}
+
+std::size_t LstmLayer::parameter_count() const {
+  return 4 * hidden_dim_ * (input_dim_ + hidden_dim_ + 1);
+}
+
+Adam::Adam(std::size_t n, double lr, double beta1, double beta2, double eps)
+    : lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps), m_(n, 0.0), v_(n, 0.0) {}
+
+void Adam::step(std::vector<double*>& params, const std::vector<double>& grads) {
+  SMILESS_CHECK(params.size() == grads.size() && params.size() == m_.size());
+  ++t_;
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    m_[i] = beta1_ * m_[i] + (1.0 - beta1_) * grads[i];
+    v_[i] = beta2_ * v_[i] + (1.0 - beta2_) * grads[i] * grads[i];
+    const double mhat = m_[i] / bc1;
+    const double vhat = v_[i] / bc2;
+    *params[i] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+  }
+}
+
+}  // namespace smiless::predictor

@@ -1,0 +1,75 @@
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "math/matrix.hpp"
+
+namespace smiless::predictor {
+
+/// Gradients of one LstmLayer (same shapes as the parameters).
+struct LstmGrads {
+  math::Matrix d_wx, d_wh;
+  std::vector<double> d_b;
+};
+
+/// A single LSTM layer implemented from scratch: forward over a sequence,
+/// full backpropagation-through-time, parameters updated externally (Adam).
+/// Gate layout in the stacked weight matrices: rows [0,H) input gate,
+/// [H,2H) forget, [2H,3H) cell candidate, [3H,4H) output.
+class LstmLayer {
+ public:
+  LstmLayer(std::size_t input_dim, std::size_t hidden_dim, Rng& rng);
+
+  std::size_t input_dim() const { return input_dim_; }
+  std::size_t hidden_dim() const { return hidden_dim_; }
+
+  /// Run the layer over a sequence (each element an input vector of
+  /// input_dim). Returns the final hidden state; caches activations for
+  /// backward().
+  std::vector<double> forward(const std::vector<std::vector<double>>& sequence);
+
+  /// BPTT given the loss gradient w.r.t. the final hidden state. Returns
+  /// parameter gradients; must follow a forward() on the same sequence.
+  LstmGrads backward(const std::vector<double>& d_h_final) const;
+
+  /// Flattened parameter access for the optimizer: (wx, wh, b) in order.
+  std::vector<double*> parameters();
+  static void accumulate(std::vector<double>& flat, const LstmGrads& grads);
+  std::size_t parameter_count() const;
+
+  math::Matrix& wx() { return wx_; }
+  math::Matrix& wh() { return wh_; }
+  std::vector<double>& bias() { return b_; }
+
+ private:
+  std::size_t input_dim_;
+  std::size_t hidden_dim_;
+  math::Matrix wx_;  // 4H x D
+  math::Matrix wh_;  // 4H x H
+  std::vector<double> b_;
+
+  // Forward cache.
+  struct StepCache {
+    std::vector<double> x, i, f, g, o, c, h, tanh_c;
+  };
+  std::vector<StepCache> cache_;
+  std::vector<double> h0_, c0_;
+};
+
+/// Adam optimizer over a flat parameter vector.
+class Adam {
+ public:
+  Adam(std::size_t n, double lr = 1e-2, double beta1 = 0.9, double beta2 = 0.999,
+       double eps = 1e-8);
+
+  /// Apply one update: params[i] -= step computed from grads[i].
+  void step(std::vector<double*>& params, const std::vector<double>& grads);
+
+ private:
+  double lr_, beta1_, beta2_, eps_;
+  long t_ = 0;
+  std::vector<double> m_, v_;
+};
+
+}  // namespace smiless::predictor

@@ -1,0 +1,252 @@
+#include "predictor/lstm_regressor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "math/stats.hpp"
+
+namespace smiless::predictor {
+
+namespace {
+
+struct Norm {
+  double mean = 0.0;
+  double std = 1.0;
+  void fit(std::span<const double> xs) {
+    mean = math::mean(xs);
+    std = math::stddev(xs);
+    if (std < 1e-9) std = 1.0;
+  }
+  double fwd(double x) const { return (x - mean) / std; }
+  double inv(double z) const { return z * std + mean; }
+};
+
+/// Build (window, next-value) training pairs from a series.
+void make_pairs(std::span<const double> s, std::size_t len,
+                std::vector<std::size_t>& starts) {
+  starts.clear();
+  if (s.size() <= len) return;
+  for (std::size_t t = len; t < s.size(); ++t) starts.push_back(t - len);
+}
+
+std::vector<std::vector<double>> window_of(std::span<const double> s, std::size_t start,
+                                           std::size_t len, const Norm& norm) {
+  std::vector<std::vector<double>> seq(len);
+  for (std::size_t i = 0; i < len; ++i) seq[i] = {norm.fwd(s[start + i])};
+  return seq;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Single-input regressor
+// ---------------------------------------------------------------------------
+
+struct LstmRegressor::Impl {
+  LstmOptions opts;
+  Rng rng;
+  LstmLayer lstm;
+  std::vector<double> head_w;
+  double head_b = 0.0;
+  Norm norm;
+  bool trained = false;
+
+  explicit Impl(const LstmOptions& o)
+      : opts(o), rng(o.seed), lstm(1, o.hidden, rng), head_w(o.hidden, 0.0) {
+    for (auto& w : head_w) w = rng.uniform(-0.3, 0.3);
+  }
+
+  double forward_window(std::span<const double> s, std::size_t start) {
+    const auto h = lstm.forward(window_of(s, start, opts.seq_len, norm));
+    double y = head_b;
+    for (std::size_t j = 0; j < head_w.size(); ++j) y += head_w[j] * h[j];
+    return y;
+  }
+
+  void train(std::span<const double> series) {
+    norm.fit(series);
+    std::vector<std::size_t> starts;
+    make_pairs(series, opts.seq_len, starts);
+    if (starts.empty()) {
+      trained = false;
+      return;
+    }
+
+    auto params = lstm.parameters();
+    for (auto& w : head_w) params.push_back(&w);
+    params.push_back(&head_b);
+    Adam adam(params.size(), opts.learning_rate);
+
+    for (int epoch = 0; epoch < opts.epochs; ++epoch) {
+      std::shuffle(starts.begin(), starts.end(), rng.engine());
+      for (std::size_t start : starts) {
+        const auto seq = window_of(series, start, opts.seq_len, norm);
+        const auto h = lstm.forward(seq);
+        double y = head_b;
+        for (std::size_t j = 0; j < head_w.size(); ++j) y += head_w[j] * h[j];
+        const double target = norm.fwd(series[start + opts.seq_len]);
+        const double err = y - target;
+        const double w = err > 0.0 ? opts.over_weight : opts.under_weight;
+        const double dy = 2.0 * w * err;
+
+        std::vector<double> dh(opts.hidden);
+        for (std::size_t j = 0; j < opts.hidden; ++j) dh[j] = dy * head_w[j];
+        const LstmGrads grads = lstm.backward(dh);
+
+        std::vector<double> flat;
+        flat.reserve(params.size());
+        LstmLayer::accumulate(flat, grads);
+        for (std::size_t j = 0; j < opts.hidden; ++j) flat.push_back(dy * h[j]);
+        flat.push_back(dy);
+        adam.step(params, flat);
+      }
+    }
+    trained = true;
+  }
+};
+
+LstmRegressor::LstmRegressor(LstmOptions options) : impl_(std::make_unique<Impl>(options)) {}
+LstmRegressor::~LstmRegressor() = default;
+
+void LstmRegressor::fit(std::span<const double> series) { impl_->train(series); }
+
+double LstmRegressor::predict_next(std::span<const double> recent) const {
+  if (!impl_->trained || recent.empty()) return recent.empty() ? 0.0 : recent.back();
+  const std::size_t len = impl_->opts.seq_len;
+  // Pad on the left with the first value when history is short.
+  std::vector<double> tail(len);
+  for (std::size_t i = 0; i < len; ++i) {
+    const std::ptrdiff_t idx = static_cast<std::ptrdiff_t>(recent.size()) -
+                               static_cast<std::ptrdiff_t>(len) + static_cast<std::ptrdiff_t>(i);
+    tail[i] = idx >= 0 ? recent[static_cast<std::size_t>(idx)] : recent.front();
+  }
+  const double z = impl_->forward_window(tail, 0);
+  return std::max(0.0, impl_->norm.inv(z));
+}
+
+// ---------------------------------------------------------------------------
+// Dual-input regressor
+// ---------------------------------------------------------------------------
+
+struct DualLstmRegressor::Impl {
+  LstmOptions opts;
+  Rng rng;
+  LstmLayer lstm_a;  // primary (inter-arrival) branch
+  LstmLayer lstm_b;  // auxiliary (invocation count) branch
+  std::vector<double> head_w;  // over tanh(concat(h_a, h_b))
+  double head_b = 0.0;
+  Norm norm_a, norm_b;
+  bool trained = false;
+
+  explicit Impl(const LstmOptions& o)
+      : opts(o),
+        rng(o.seed),
+        lstm_a(1, o.hidden, rng),
+        lstm_b(1, o.hidden, rng),
+        head_w(2 * o.hidden, 0.0) {
+    for (auto& w : head_w) w = rng.uniform(-0.3, 0.3);
+  }
+
+  double forward(const std::vector<std::vector<double>>& sa,
+                 const std::vector<std::vector<double>>& sb, std::vector<double>* merged_out) {
+    const auto ha = lstm_a.forward(sa);
+    const auto hb = lstm_b.forward(sb);
+    std::vector<double> merged(2 * opts.hidden);
+    for (std::size_t j = 0; j < opts.hidden; ++j) {
+      merged[j] = std::tanh(ha[j]);
+      merged[opts.hidden + j] = std::tanh(hb[j]);
+    }
+    double y = head_b;
+    for (std::size_t j = 0; j < merged.size(); ++j) y += head_w[j] * merged[j];
+    if (merged_out) *merged_out = std::move(merged);
+    return y;
+  }
+
+  void train(std::span<const double> a, std::span<const double> b) {
+    SMILESS_CHECK(a.size() == b.size());
+    norm_a.fit(a);
+    norm_b.fit(b);
+    std::vector<std::size_t> starts;
+    make_pairs(a, opts.seq_len, starts);
+    if (starts.empty()) {
+      trained = false;
+      return;
+    }
+
+    auto params = lstm_a.parameters();
+    for (double* p : lstm_b.parameters()) params.push_back(p);
+    for (auto& w : head_w) params.push_back(&w);
+    params.push_back(&head_b);
+    Adam adam(params.size(), opts.learning_rate);
+
+    for (int epoch = 0; epoch < opts.epochs; ++epoch) {
+      std::shuffle(starts.begin(), starts.end(), rng.engine());
+      for (std::size_t start : starts) {
+        const auto sa = window_of(a, start, opts.seq_len, norm_a);
+        const auto sb = window_of(b, start, opts.seq_len, norm_b);
+        std::vector<double> merged;
+        const double y = forward(sa, sb, &merged);
+        const double target = norm_a.fwd(a[start + opts.seq_len]);
+        const double err = y - target;
+        const double w = err > 0.0 ? opts.over_weight : opts.under_weight;
+        const double dy = 2.0 * w * err;
+
+        // Back through the head and tanh merge into each branch.
+        std::vector<double> dha(opts.hidden), dhb(opts.hidden);
+        for (std::size_t j = 0; j < opts.hidden; ++j) {
+          dha[j] = dy * head_w[j] * (1.0 - merged[j] * merged[j]);
+          dhb[j] = dy * head_w[opts.hidden + j] *
+                   (1.0 - merged[opts.hidden + j] * merged[opts.hidden + j]);
+        }
+        const LstmGrads ga = lstm_a.backward(dha);
+        const LstmGrads gb = lstm_b.backward(dhb);
+
+        std::vector<double> flat;
+        flat.reserve(params.size());
+        LstmLayer::accumulate(flat, ga);
+        LstmLayer::accumulate(flat, gb);
+        for (std::size_t j = 0; j < merged.size(); ++j) flat.push_back(dy * merged[j]);
+        flat.push_back(dy);
+        adam.step(params, flat);
+      }
+    }
+    trained = true;
+  }
+};
+
+DualLstmRegressor::DualLstmRegressor(LstmOptions options)
+    : impl_(std::make_unique<Impl>(options)) {}
+DualLstmRegressor::~DualLstmRegressor() = default;
+
+void DualLstmRegressor::fit(std::span<const double> primary, std::span<const double> auxiliary) {
+  impl_->train(primary, auxiliary);
+}
+
+double DualLstmRegressor::predict_next(std::span<const double> recent_primary,
+                                       std::span<const double> recent_auxiliary) const {
+  if (!impl_->trained || recent_primary.empty())
+    return recent_primary.empty() ? 0.0 : recent_primary.back();
+  const std::size_t len = impl_->opts.seq_len;
+  auto tail_of = [len](std::span<const double> s) {
+    std::vector<double> tail(len);
+    for (std::size_t i = 0; i < len; ++i) {
+      const std::ptrdiff_t idx = static_cast<std::ptrdiff_t>(s.size()) -
+                                 static_cast<std::ptrdiff_t>(len) +
+                                 static_cast<std::ptrdiff_t>(i);
+      tail[i] = idx >= 0 ? s[static_cast<std::size_t>(idx)] : s.front();
+    }
+    return tail;
+  };
+  const auto ta = tail_of(recent_primary);
+  const auto tb = tail_of(recent_auxiliary.empty() ? recent_primary : recent_auxiliary);
+
+  std::vector<std::vector<double>> sa(len), sb(len);
+  for (std::size_t i = 0; i < len; ++i) {
+    sa[i] = {impl_->norm_a.fwd(ta[i])};
+    sb[i] = {impl_->norm_b.fwd(tb[i])};
+  }
+  const double z = const_cast<Impl&>(*impl_).forward(sa, sb, nullptr);
+  return std::max(0.0, impl_->norm_a.inv(z));
+}
+
+}  // namespace smiless::predictor

@@ -1,0 +1,25 @@
+#pragma once
+
+#include <span>
+#include <string>
+
+namespace smiless::predictor {
+
+/// Common interface of the one-step-ahead time-series predictors compared in
+/// Fig. 12: SMIless' LSTM, plus ARIMA, FIP (Fourier) and gradient-boosted
+/// trees (the XGBoost stand-in).
+class SeriesPredictor {
+ public:
+  virtual ~SeriesPredictor() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Train on a historical series (per-window counts or inter-arrivals).
+  virtual void fit(std::span<const double> series) = 0;
+
+  /// Predict the next value given the most recent history (the tail of the
+  /// live series; implementations use as much of it as they need).
+  virtual double predict_next(std::span<const double> recent) const = 0;
+};
+
+}  // namespace smiless::predictor

@@ -1,0 +1,131 @@
+#include "profiler/offline_profiler.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "math/levenberg_marquardt.hpp"
+#include "math/matrix.hpp"
+#include "math/stats.hpp"
+
+namespace smiless::profiler {
+
+perf::AmdahlParams fit_amdahl(const std::vector<LatencySample>& samples) {
+  SMILESS_CHECK_MSG(samples.size() >= 3, "need at least 3 samples to fit 3 parameters");
+  math::Matrix design(samples.size(), 3);
+  std::vector<double> y(samples.size());
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const double b = samples[i].batch;
+    const double res = samples[i].config.resource_amount();
+    // Measurement noise is multiplicative, so weight each equation by
+    // 1/latency: otherwise the large-batch samples drown out gamma and the
+    // fit extrapolates poorly to batch-1 latencies.
+    const double w = 1.0 / std::max(samples[i].latency, 1e-9);
+    design(i, 0) = w * b / res;
+    design(i, 1) = w * b;
+    design(i, 2) = w;
+    y[i] = w * samples[i].latency;
+  }
+  const auto coef = math::solve_least_squares(design, y);
+  perf::AmdahlParams p;
+  p.lambda = 1.0;
+  p.alpha = coef[0];
+  p.beta = coef[1];
+  p.gamma = coef[2];
+  return p;
+}
+
+perf::AmdahlParams refine_amdahl(const std::vector<LatencySample>& samples,
+                                 const perf::AmdahlParams& initial) {
+  auto residuals = [&samples](const std::vector<double>& p) {
+    std::vector<double> r(samples.size());
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+      const double pred =
+          samples[i].batch * (p[0] / samples[i].config.resource_amount() + p[1]) + p[2];
+      r[i] = (pred - samples[i].latency) / std::max(samples[i].latency, 1e-9);
+    }
+    return r;
+  };
+  const auto result = math::levenberg_marquardt(
+      residuals, {initial.alpha, initial.beta, initial.gamma});
+  perf::AmdahlParams out;
+  out.lambda = 1.0;
+  out.alpha = result.params[0];
+  out.beta = result.params[1];
+  out.gamma = result.params[2];
+  return out;
+}
+
+namespace {
+
+perf::InitStats measure_init(const perf::FunctionPerf& truth, const perf::HwConfig& config,
+                             int repeats, Rng& rng) {
+  std::vector<double> obs;
+  obs.reserve(repeats);
+  for (int i = 0; i < repeats; ++i) obs.push_back(truth.sample_init_time(config, rng));
+  return {math::mean(obs), math::stddev(obs)};
+}
+
+double validation_smape(const perf::FunctionPerf& truth, const perf::AmdahlParams& fitted,
+                        const std::vector<LatencySample>& grid, double noise, Rng& rng) {
+  std::vector<double> observed, predicted;
+  observed.reserve(grid.size());
+  predicted.reserve(grid.size());
+  for (const auto& s : grid) {
+    observed.push_back(truth.sample_inference_time(s.config, s.batch, noise, rng));
+    predicted.push_back(fitted.inference_time(s.config.resource_amount(), s.batch));
+  }
+  return math::smape(observed, predicted);
+}
+
+}  // namespace
+
+ProfileResult OfflineProfiler::profile(const perf::FunctionPerf& truth, Rng& rng) const {
+  ProfileResult out;
+  out.fitted.name = truth.name;
+
+  // Inference-time sampling: 5x5 grid on the CPU backend, 10x|B| on GPU.
+  for (int cores : options_.cpu_cores) {
+    for (int b : options_.batch_sizes) {
+      perf::HwConfig c{perf::Backend::Cpu, cores, 0};
+      out.cpu_samples.push_back(
+          {c, b, truth.sample_inference_time(c, b, options_.measurement_noise, rng)});
+    }
+  }
+  for (int pct : options_.gpu_pcts) {
+    for (int b : options_.batch_sizes) {
+      perf::HwConfig c{perf::Backend::Gpu, 0, pct};
+      out.gpu_samples.push_back(
+          {c, b, truth.sample_inference_time(c, b, options_.measurement_noise, rng)});
+    }
+  }
+  out.fitted.cpu = fit_amdahl(out.cpu_samples);
+  out.fitted.gpu = fit_amdahl(out.gpu_samples);
+  if (options_.nonlinear_refine) {
+    out.fitted.cpu = refine_amdahl(out.cpu_samples, out.fitted.cpu);
+    out.fitted.gpu = refine_amdahl(out.gpu_samples, out.fitted.gpu);
+  }
+
+  // Initialization: repeat the cold start `init_repeats` times per backend
+  // and keep (mu, sigma); consumers apply mu + n*sigma (§IV-A1).
+  out.fitted.init_cpu =
+      measure_init(truth, {perf::Backend::Cpu, 4, 0}, options_.init_repeats, rng);
+  out.fitted.init_gpu =
+      measure_init(truth, {perf::Backend::Gpu, 0, 50}, options_.init_repeats, rng);
+
+  // Validate on a fresh noisy grid (Fig. 11b methodology).
+  out.smape_cpu = validation_smape(truth, out.fitted.cpu, out.cpu_samples,
+                                   options_.measurement_noise, rng);
+  out.smape_gpu = validation_smape(truth, out.fitted.gpu, out.gpu_samples,
+                                   options_.measurement_noise, rng);
+  return out;
+}
+
+std::vector<ProfileResult> OfflineProfiler::profile_all(
+    const std::vector<perf::FunctionPerf>& truths, Rng& rng) const {
+  std::vector<ProfileResult> out;
+  out.reserve(truths.size());
+  for (const auto& t : truths) out.push_back(profile(t, rng));
+  return out;
+}
+
+}  // namespace smiless::profiler

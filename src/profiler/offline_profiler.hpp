@@ -1,0 +1,77 @@
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "perfmodel/latency_model.hpp"
+
+namespace smiless::profiler {
+
+/// One observed execution sample (what Prometheus would have recorded).
+struct LatencySample {
+  perf::HwConfig config;
+  int batch = 1;
+  double latency = 0.0;
+};
+
+/// Knobs of the Offline Profiler (§IV-A). Defaults mirror the paper:
+/// 10 initialization repeats; 25 CPU samples (batch 2^1..2^5 x cores
+/// 2^0..2^4) and 50 GPU samples (10 slices x 5 batch sizes); mu + 3 sigma
+/// as the robust initialization estimate.
+struct ProfilerOptions {
+  int init_repeats = 10;
+  double n_sigma = 3.0;
+  std::vector<int> batch_sizes = {2, 4, 8, 16, 32};
+  std::vector<int> cpu_cores = {1, 2, 4, 8, 16};
+  std::vector<int> gpu_pcts = {10, 20, 30, 40, 50, 60, 70, 80, 90, 100};
+  double measurement_noise = 0.06;  ///< relative jitter of observed latencies
+
+  /// Refine the linear least-squares fit with Levenberg–Marquardt on the
+  /// relative residuals of the full nonlinear (lambda, alpha, beta, gamma)
+  /// surface. Rarely moves the answer (the reparameterisation is exact) but
+  /// guards against ill-conditioned sample grids.
+  bool nonlinear_refine = false;
+};
+
+/// Result of profiling one function: the fitted performance model (what the
+/// Strategy Optimizer consumes) plus fit-quality metrics.
+struct ProfileResult {
+  perf::FunctionPerf fitted;
+  double smape_cpu = 0.0;  ///< validation SMAPE (%) on fresh CPU samples
+  double smape_gpu = 0.0;
+  std::vector<LatencySample> cpu_samples;
+  std::vector<LatencySample> gpu_samples;
+};
+
+/// Fit Eq. (1)/(2) parameters from samples by linear least squares on the
+/// reparameterisation latency = a*(B/resource) + b*B + c with a = lambda *
+/// alpha, b = lambda*beta, c = gamma (only the products are identifiable
+/// from latency observations, so lambda is normalised to 1).
+perf::AmdahlParams fit_amdahl(const std::vector<LatencySample>& samples);
+
+/// Levenberg–Marquardt refinement of an existing fit, minimising relative
+/// residuals of Eq. (1)/(2) directly in (alpha, beta, gamma) (lambda stays
+/// normalised to 1; it is not identifiable from latency observations).
+perf::AmdahlParams refine_amdahl(const std::vector<LatencySample>& samples,
+                                 const perf::AmdahlParams& initial);
+
+/// The Offline Profiler: runs synthetic executions of a ground-truth
+/// function profile, collects timing events, estimates init times as
+/// mu + n*sigma, and curve-fits the inference-time models.
+class OfflineProfiler {
+ public:
+  explicit OfflineProfiler(ProfilerOptions options = {}) : options_(options) {}
+
+  ProfileResult profile(const perf::FunctionPerf& truth, Rng& rng) const;
+
+  /// Profile a whole catalog (parallelisable by the caller).
+  std::vector<ProfileResult> profile_all(const std::vector<perf::FunctionPerf>& truths,
+                                         Rng& rng) const;
+
+  const ProfilerOptions& options() const { return options_; }
+
+ private:
+  ProfilerOptions options_;
+};
+
+}  // namespace smiless::profiler

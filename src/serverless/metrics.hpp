@@ -1,0 +1,82 @@
+#pragma once
+
+#include <vector>
+
+#include "common/units.hpp"
+#include "serverless/tracing.hpp"
+
+namespace smiless::serverless {
+
+/// Per-function accounting.
+struct FunctionMetrics {
+  long invocations = 0;     ///< function executions (batch items)
+  long batches = 0;         ///< inference calls (>= invocations / max_batch)
+  long initializations = 0; ///< container (re)inits — Fig. 9b numerator
+  double billed_seconds = 0.0;
+  double billed_cpu_seconds = 0.0;   ///< core-seconds billed on CPU configs
+  double billed_gpu_seconds = 0.0;   ///< GPU-percent-seconds billed
+  Dollars cost = 0.0;
+};
+
+/// One completed end-to-end request.
+struct RequestRecord {
+  SimTime arrival = 0.0;
+  SimTime completion = 0.0;
+  double e2e() const { return completion - arrival; }
+};
+
+/// Periodic sample of platform state (1 s windows) — feeds Fig. 14.
+struct WindowSample {
+  SimTime window_start = 0.0;
+  int arrivals = 0;
+  int instances_total = 0;
+  int instances_cpu = 0;
+  int instances_gpu = 0;
+};
+
+/// Everything an experiment measures about one application.
+struct AppMetrics {
+  std::vector<RequestRecord> completed;
+  /// Per-request execution traces; populated only when
+  /// PlatformOptions::record_traces is set.
+  std::vector<RequestTrace> traces;
+  long submitted = 0;
+  std::vector<FunctionMetrics> per_function;  // by DAG node id
+  std::vector<WindowSample> windows;
+
+  Dollars total_cost() const {
+    Dollars c = 0.0;
+    for (const auto& f : per_function) c += f.cost;
+    return c;
+  }
+  long total_initializations() const {
+    long n = 0;
+    for (const auto& f : per_function) n += f.initializations;
+    return n;
+  }
+  long total_invocations() const {
+    long n = 0;
+    for (const auto& f : per_function) n += f.invocations;
+    return n;
+  }
+  double total_cpu_seconds() const {
+    double s = 0.0;
+    for (const auto& f : per_function) s += f.billed_cpu_seconds;
+    return s;
+  }
+  double total_gpu_seconds() const {
+    double s = 0.0;
+    for (const auto& f : per_function) s += f.billed_gpu_seconds;
+    return s;
+  }
+  /// Fraction of completed requests whose E2E latency exceeded `sla`.
+  double sla_violation_ratio(double sla) const {
+    if (completed.empty()) return 0.0;
+    long v = 0;
+    for (const auto& r : completed)
+      if (r.e2e() > sla) ++v;
+    return static_cast<double>(v) / static_cast<double>(completed.size());
+  }
+};
+
+}  // namespace smiless::serverless

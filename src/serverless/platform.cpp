@@ -1,0 +1,511 @@
+#include "serverless/platform.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace smiless::serverless {
+
+namespace {
+enum class InstState { Init, Idle, Busy };
+}  // namespace
+
+struct Platform::Instance {
+  int id = -1;
+  perf::HwConfig config;
+  cluster::Allocation alloc;
+  InstState st = InstState::Init;
+  SimTime created = 0.0;
+  SimTime ready_at = 0.0;       // when the cold init completes
+  SimTime kill_at = std::numeric_limits<SimTime>::infinity();  // armed reap time
+  bool served = false;          // has executed at least one batch
+  sim::EventId kill_timer = 0;  // pending keep-alive reap, 0 if none
+};
+
+struct Platform::FnState {
+  FunctionPlan plan;
+  std::vector<Instance> instances;
+  std::deque<int> queue;  // ready invocations, by request index
+  std::vector<sim::EventId> prewarms;
+  int next_instance_id = 0;
+  bool retry_scheduled = false;
+};
+
+struct Platform::RequestState {
+  SimTime arrival = 0.0;
+  std::vector<int> pending_preds;  // per node
+  std::vector<SimTime> ready_at;   // when each node's invocation became ready
+  std::vector<NodeSpan> spans;     // recorded when tracing is enabled
+  int sinks_remaining = 0;
+  bool done = false;
+};
+
+struct Platform::AppState {
+  apps::App spec;
+  std::shared_ptr<Policy> policy;
+  std::vector<FnState> fns;
+  std::vector<RequestState> requests;
+  AppMetrics metrics;
+  std::vector<int> window_counts;  // finished windows
+  int current_window_arrivals = 0;
+  SimTime next_window_end = 0.0;
+};
+
+Platform::Platform(sim::Engine& engine, cluster::Cluster& cluster, perf::Pricing pricing,
+                   Rng& rng, PlatformOptions options)
+    : engine_(engine), cluster_(cluster), pricing_(pricing), rng_(rng), options_(options) {
+  SMILESS_CHECK(options_.window > 0.0);
+}
+
+Platform::~Platform() = default;
+
+Platform::AppState& Platform::state(AppId app) {
+  SMILESS_CHECK(app >= 0 && static_cast<std::size_t>(app) < apps_.size());
+  return *apps_[app];
+}
+
+const Platform::AppState& Platform::state(AppId app) const {
+  SMILESS_CHECK(app >= 0 && static_cast<std::size_t>(app) < apps_.size());
+  return *apps_[app];
+}
+
+Platform::FnState& Platform::fn_state(AppId app, dag::NodeId node) {
+  auto& a = state(app);
+  SMILESS_CHECK(node >= 0 && static_cast<std::size_t>(node) < a.fns.size());
+  return a.fns[node];
+}
+
+AppId Platform::deploy(apps::App app, std::shared_ptr<Policy> policy) {
+  SMILESS_CHECK(policy != nullptr);
+  SMILESS_CHECK(app.dag.size() == app.truth.size());
+  auto st = std::make_unique<AppState>();
+  st->spec = std::move(app);
+  st->policy = std::move(policy);
+  st->fns.resize(st->spec.dag.size());
+  st->metrics.per_function.resize(st->spec.dag.size());
+  st->next_window_end = engine_.now() + options_.window;
+  apps_.push_back(std::move(st));
+  const AppId id = static_cast<AppId>(apps_.size() - 1);
+
+  auto& a = state(id);
+  a.policy->on_deploy(id, a.spec, *this);
+  engine_.schedule_at(a.next_window_end, [this, id] { window_tick(id); });
+  return id;
+}
+
+void Platform::window_tick(AppId app) {
+  if (finalized_) return;  // engine may still drain ticks after finalize()
+  auto& a = state(app);
+  WindowStats stats;
+  stats.window_end = a.next_window_end;
+  stats.window_start = a.next_window_end - options_.window;
+  stats.arrivals = a.current_window_arrivals;
+  a.window_counts.push_back(a.current_window_arrivals);
+
+  WindowSample sample;
+  sample.window_start = stats.window_start;
+  sample.arrivals = a.current_window_arrivals;
+  for (const auto& fn : a.fns) {
+    for (const auto& inst : fn.instances) {
+      ++sample.instances_total;
+      if (inst.config.backend == perf::Backend::Cpu)
+        ++sample.instances_cpu;
+      else
+        ++sample.instances_gpu;
+    }
+  }
+  a.metrics.windows.push_back(sample);
+
+  a.current_window_arrivals = 0;
+  a.next_window_end += options_.window;
+  a.policy->on_window(app, a.spec, *this, stats);
+  engine_.schedule_at(a.next_window_end, [this, app] { window_tick(app); });
+}
+
+void Platform::submit_request(AppId app, SimTime arrival) {
+  SMILESS_CHECK(arrival >= engine_.now());
+  engine_.schedule_at(arrival, [this, app] {
+    auto& a = state(app);
+    ++a.metrics.submitted;
+    ++a.current_window_arrivals;
+    a.policy->on_arrival(app, a.spec, *this, engine_.now());
+
+    RequestState req;
+    req.arrival = engine_.now();
+    req.pending_preds.resize(a.spec.dag.size());
+    if (options_.record_traces) req.ready_at.assign(a.spec.dag.size(), 0.0);
+    for (std::size_t n = 0; n < a.spec.dag.size(); ++n)
+      req.pending_preds[n] = static_cast<int>(a.spec.dag.in_degree(static_cast<dag::NodeId>(n)));
+    req.sinks_remaining = static_cast<int>(a.spec.dag.sinks().size());
+    a.requests.push_back(std::move(req));
+    const int ridx = static_cast<int>(a.requests.size() - 1);
+
+    for (dag::NodeId src : a.spec.dag.sources()) enqueue_invocation(app, src, ridx);
+  });
+}
+
+void Platform::enqueue_invocation(AppId app, dag::NodeId node, int request) {
+  auto& a = state(app);
+  auto& f = fn_state(app, node);
+  if (options_.record_traces) a.requests[request].ready_at[node] = engine_.now();
+  f.queue.push_back(request);
+  dispatch(app, node);
+}
+
+void Platform::dispatch(AppId app, dag::NodeId node) {
+  auto& a = state(app);
+  auto& f = fn_state(app, node);
+
+  while (!f.queue.empty()) {
+    // Prefer an idle instance whose config matches the current plan; fall
+    // back to any warm idle instance (it is warm — use it).
+    Instance* chosen = nullptr;
+    for (auto& inst : f.instances) {
+      if (inst.st != InstState::Idle) continue;
+      if (inst.config == f.plan.config) {
+        chosen = &inst;
+        break;
+      }
+      if (chosen == nullptr) chosen = &inst;
+    }
+    if (chosen == nullptr) break;
+
+    // Claim the instance and form a batch.
+    if (chosen->kill_timer != 0) {
+      engine_.cancel(chosen->kill_timer);
+      chosen->kill_timer = 0;
+    }
+    chosen->kill_at = std::numeric_limits<SimTime>::infinity();
+    chosen->st = InstState::Busy;
+    chosen->served = true;
+    const int batch_n =
+        std::min<int>(std::max(1, f.plan.max_batch), static_cast<int>(f.queue.size()));
+    std::vector<int> batch;
+    batch.reserve(batch_n);
+    for (int i = 0; i < batch_n; ++i) {
+      batch.push_back(f.queue.front());
+      f.queue.pop_front();
+    }
+
+    auto& fm = a.metrics.per_function[node];
+    fm.invocations += batch_n;
+    fm.batches += 1;
+
+    const double latency = a.spec.perf_of(node).sample_inference_time(
+        chosen->config, batch_n, options_.inference_noise, rng_);
+    const int inst_id = chosen->id;
+    const SimTime exec_start = engine_.now();
+    engine_.schedule_after(
+        latency, [this, app, node, inst_id, exec_start, batch = std::move(batch)]() mutable {
+          if (options_.record_traces) {
+            auto& st = state(app);
+            for (int r : batch) {
+              NodeSpan span;
+              span.node = node;
+              span.ready = st.requests[r].ready_at[node];
+              span.start = exec_start;
+              span.end = engine_.now();
+              span.batch = static_cast<int>(batch.size());
+              span.cold = span.wait() > 1e-6;
+              st.requests[r].spans.push_back(span);
+            }
+          }
+          on_batch_done(app, node, inst_id, std::move(batch));
+        });
+  }
+
+  if (f.queue.empty()) return;
+
+  // Queue still non-empty: cold-start on demand iff the function has no
+  // instance at all (scale-out beyond that is the policy's decision).
+  if (f.instances.empty()) {
+    if (create_instance(app, node, f.plan.config) == nullptr && !f.retry_scheduled) {
+      f.retry_scheduled = true;
+      engine_.schedule_after(options_.retry_delay, [this, app, node] {
+        fn_state(app, node).retry_scheduled = false;
+        dispatch(app, node);
+      });
+    }
+  }
+}
+
+Platform::Instance* Platform::create_instance(AppId app, dag::NodeId node,
+                                              const perf::HwConfig& config) {
+  auto& a = state(app);
+  auto& f = fn_state(app, node);
+  auto alloc = cluster_.allocate(config);
+  if (!alloc) return nullptr;
+
+  Instance inst;
+  inst.id = f.next_instance_id++;
+  inst.config = config;
+  inst.alloc = *alloc;
+  inst.st = InstState::Init;
+  inst.created = engine_.now();
+  f.instances.push_back(inst);
+  ++a.metrics.per_function[node].initializations;
+
+  const double init = a.spec.perf_of(node).sample_init_time(config, rng_);
+  f.instances.back().ready_at = engine_.now() + init;
+  const int inst_id = inst.id;
+  engine_.schedule_after(init, [this, app, node, inst_id] { on_init_done(app, node, inst_id); });
+  return &f.instances.back();
+}
+
+void Platform::on_init_done(AppId app, dag::NodeId node, int instance_id) {
+  auto& f = fn_state(app, node);
+  auto it = std::find_if(f.instances.begin(), f.instances.end(),
+                         [&](const Instance& i) { return i.id == instance_id; });
+  if (it == f.instances.end()) return;  // terminated during init (finalize)
+  it->st = InstState::Idle;
+  on_instance_idle(app, node, instance_id);
+}
+
+void Platform::on_batch_done(AppId app, dag::NodeId node, int instance_id,
+                             std::vector<int> requests) {
+  auto& f = fn_state(app, node);
+  auto it = std::find_if(f.instances.begin(), f.instances.end(),
+                         [&](const Instance& i) { return i.id == instance_id; });
+  SMILESS_CHECK_MSG(it != f.instances.end(), "busy instance vanished");
+  it->st = InstState::Idle;
+
+  for (int r : requests) complete_node(app, node, r);
+  on_instance_idle(app, node, instance_id);
+}
+
+void Platform::on_instance_idle(AppId app, dag::NodeId node, int instance_id) {
+  // Serve any queued work first; the instance may go Busy again.
+  dispatch(app, node);
+
+  auto& f = fn_state(app, node);
+  auto it = std::find_if(f.instances.begin(), f.instances.end(),
+                         [&](const Instance& i) { return i.id == instance_id; });
+  if (it == f.instances.end() || it->st != InstState::Idle) return;
+
+  // Config drift: reap stale-config instances as soon as they are idle,
+  // unless they are needed to hold the min_instances floor.
+  const int total = static_cast<int>(f.instances.size());
+  const bool above_floor = total > f.plan.min_instances;
+  if (!(it->config == f.plan.config) && above_floor) {
+    terminate_instance(app, node, instance_id);
+    return;
+  }
+
+  // A never-used pre-warmed instance gets the grace window instead of the
+  // plain keep-alive: it exists precisely to absorb the next invocation.
+  const double effective_keepalive =
+      it->served ? f.plan.keepalive : std::max(f.plan.keepalive, f.plan.prewarm_grace);
+  if (effective_keepalive <= 0.0 && above_floor) {
+    terminate_instance(app, node, instance_id);
+    return;
+  }
+  if (std::isfinite(effective_keepalive) && it->kill_timer == 0) {
+    it->kill_at = engine_.now() + effective_keepalive;
+    it->kill_timer = engine_.schedule_after(effective_keepalive, [this, app, node, instance_id] {
+      auto& fs = fn_state(app, node);
+      auto inst = std::find_if(fs.instances.begin(), fs.instances.end(),
+                               [&](const Instance& i) { return i.id == instance_id; });
+      if (inst == fs.instances.end() || inst->st != InstState::Idle) return;
+      inst->kill_timer = 0;
+      if (static_cast<int>(fs.instances.size()) > fs.plan.min_instances)
+        terminate_instance(app, node, instance_id);
+    });
+  }
+}
+
+void Platform::terminate_instance(AppId app, dag::NodeId node, int instance_id) {
+  auto& a = state(app);
+  auto& f = fn_state(app, node);
+  auto it = std::find_if(f.instances.begin(), f.instances.end(),
+                         [&](const Instance& i) { return i.id == instance_id; });
+  SMILESS_CHECK(it != f.instances.end());
+  SMILESS_CHECK_MSG(it->st != InstState::Busy, "cannot terminate a busy instance");
+
+  if (it->kill_timer != 0) engine_.cancel(it->kill_timer);
+  const double billed = engine_.now() - it->created;
+  auto& fm = a.metrics.per_function[node];
+  fm.billed_seconds += billed;
+  if (it->config.backend == perf::Backend::Cpu)
+    fm.billed_cpu_seconds += billed * it->config.cpu_cores;
+  else
+    fm.billed_gpu_seconds += billed * it->config.gpu_pct;
+  fm.cost += billed * pricing_.per_second(it->config);
+  cluster_.release(it->alloc);
+  f.instances.erase(it);
+}
+
+void Platform::complete_node(AppId app, dag::NodeId node, int request) {
+  auto& a = state(app);
+  auto& req = a.requests[request];
+  SMILESS_CHECK(!req.done);
+
+  for (dag::NodeId s : a.spec.dag.successors(node)) {
+    if (--req.pending_preds[s] == 0) enqueue_invocation(app, s, request);
+  }
+  if (a.spec.dag.out_degree(node) == 0) {
+    if (--req.sinks_remaining == 0) {
+      req.done = true;
+      a.metrics.completed.push_back({req.arrival, engine_.now()});
+      if (options_.record_traces)
+        a.metrics.traces.push_back({req.arrival, engine_.now(), std::move(req.spans)});
+    }
+  }
+}
+
+void Platform::finalize(SimTime end) {
+  if (finalized_) return;
+  finalized_ = true;
+  for (std::size_t ai = 0; ai < apps_.size(); ++ai) {
+    auto& a = *apps_[ai];
+    for (std::size_t n = 0; n < a.fns.size(); ++n) {
+      auto& f = a.fns[n];
+      auto& fm = a.metrics.per_function[n];
+      for (auto& inst : f.instances) {
+        if (inst.kill_timer != 0) engine_.cancel(inst.kill_timer);
+        const double billed = std::max(0.0, end - inst.created);
+        fm.billed_seconds += billed;
+        if (inst.config.backend == perf::Backend::Cpu)
+          fm.billed_cpu_seconds += billed * inst.config.cpu_cores;
+        else
+          fm.billed_gpu_seconds += billed * inst.config.gpu_pct;
+        fm.cost += billed * pricing_.per_second(inst.config);
+        cluster_.release(inst.alloc);
+      }
+      f.instances.clear();
+      for (sim::EventId ev : f.prewarms) engine_.cancel(ev);
+      f.prewarms.clear();
+    }
+  }
+}
+
+// --- control surface --------------------------------------------------------
+
+void Platform::set_plan(AppId app, dag::NodeId node, FunctionPlan plan) {
+  SMILESS_CHECK(plan.max_batch >= 1);
+  SMILESS_CHECK(plan.min_instances >= 0);
+  auto& f = fn_state(app, node);
+  f.plan = plan;
+  // Reap idle instances whose configuration no longer matches (above the
+  // floor); busy ones are reaped when they next go idle.
+  std::vector<int> stale;
+  for (const auto& inst : f.instances)
+    if (inst.st == InstState::Idle && !(inst.config == plan.config)) stale.push_back(inst.id);
+  for (int id : stale) {
+    if (static_cast<int>(f.instances.size()) <= plan.min_instances) break;
+    terminate_instance(app, node, id);
+  }
+  // Raise to the floor immediately (burst scale-out, §V-D).
+  int total = static_cast<int>(f.instances.size());
+  while (total < plan.min_instances) {
+    if (create_instance(app, node, plan.config) == nullptr) break;
+    ++total;
+  }
+  dispatch(app, node);
+}
+
+const FunctionPlan& Platform::plan(AppId app, dag::NodeId node) const {
+  const auto& a = state(app);
+  SMILESS_CHECK(node >= 0 && static_cast<std::size_t>(node) < a.fns.size());
+  return a.fns[node].plan;
+}
+
+sim::EventId Platform::prewarm_at(AppId app, dag::NodeId node, SimTime init_start) {
+  auto& f = fn_state(app, node);
+  const SimTime at = std::max(init_start, engine_.now());
+  const sim::EventId id = engine_.schedule_at(at, [this, app, node] {
+    auto& a = state(app);
+    auto& fs = fn_state(app, node);
+    // Skip only if an existing instance is expected to still be warm when
+    // the pre-warmed one would become ready — otherwise a short-lived
+    // instance from the previous request would silently cancel the
+    // pre-warm and then die before the arrival it was meant to serve.
+    const double mu_init = a.spec.perf_of(node).init_time(fs.plan.config, 0.0);
+    const SimTime need = engine_.now() + mu_init + 0.5;
+    for (const auto& inst : fs.instances) {
+      SimTime covers;
+      switch (inst.st) {
+        case InstState::Init:
+          covers = inst.ready_at + fs.plan.keepalive;
+          break;
+        case InstState::Idle:
+          covers = inst.kill_at;
+          break;
+        case InstState::Busy:
+        default:
+          covers = engine_.now() + fs.plan.keepalive;
+          break;
+      }
+      if (covers > need) return;
+    }
+    create_instance(app, node, fs.plan.config);
+  });
+  f.prewarms.push_back(id);
+  // Bound growth of the handle list.
+  if (f.prewarms.size() > 64)
+    f.prewarms.erase(f.prewarms.begin(), f.prewarms.begin() + 32);
+  return id;
+}
+
+void Platform::cancel_prewarm(sim::EventId id) { engine_.cancel(id); }
+
+void Platform::clear_prewarms(AppId app, dag::NodeId node) {
+  auto& f = fn_state(app, node);
+  for (sim::EventId ev : f.prewarms) engine_.cancel(ev);
+  f.prewarms.clear();
+}
+
+bool Platform::spawn_instance(AppId app, dag::NodeId node) {
+  auto& f = fn_state(app, node);
+  return create_instance(app, node, f.plan.config) != nullptr;
+}
+
+// --- introspection -----------------------------------------------------------
+
+SimTime Platform::now() const { return engine_.now(); }
+
+const apps::App& Platform::app_spec(AppId app) const { return state(app).spec; }
+
+int Platform::instances_total(AppId app, dag::NodeId node) const {
+  const auto& a = state(app);
+  return static_cast<int>(a.fns[node].instances.size());
+}
+
+int Platform::instances_idle(AppId app, dag::NodeId node) const {
+  const auto& a = state(app);
+  int n = 0;
+  for (const auto& i : a.fns[node].instances)
+    if (i.st == InstState::Idle) ++n;
+  return n;
+}
+
+int Platform::instances_initializing(AppId app, dag::NodeId node) const {
+  const auto& a = state(app);
+  int n = 0;
+  for (const auto& i : a.fns[node].instances)
+    if (i.st == InstState::Init) ++n;
+  return n;
+}
+
+int Platform::instances_busy(AppId app, dag::NodeId node) const {
+  const auto& a = state(app);
+  int n = 0;
+  for (const auto& i : a.fns[node].instances)
+    if (i.st == InstState::Busy) ++n;
+  return n;
+}
+
+std::size_t Platform::queue_length(AppId app, dag::NodeId node) const {
+  return state(app).fns[node].queue.size();
+}
+
+const AppMetrics& Platform::metrics(AppId app) const { return state(app).metrics; }
+
+long Platform::in_flight(AppId app) const {
+  const auto& a = state(app);
+  return a.metrics.submitted - static_cast<long>(a.metrics.completed.size());
+}
+
+const std::vector<int>& Platform::arrival_counts(AppId app) const {
+  return state(app).window_counts;
+}
+
+}  // namespace smiless::serverless

@@ -1,0 +1,131 @@
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "apps/app.hpp"
+#include "cluster/cluster.hpp"
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "perfmodel/hardware.hpp"
+#include "serverless/metrics.hpp"
+#include "serverless/plan.hpp"
+#include "serverless/policy.hpp"
+#include "sim/engine.hpp"
+
+namespace smiless::serverless {
+
+/// Platform tuning knobs.
+struct PlatformOptions {
+  double window = 1.0;          ///< Gateway counting window (s), §IV-B
+  double inference_noise = 0.06; ///< multiplicative jitter on sampled latencies
+  double retry_delay = 0.1;     ///< re-dispatch delay after a failed allocation
+  bool record_traces = false;   ///< keep per-request NodeSpan traces (§IV-A events)
+};
+
+/// The serverless serving platform (OpenFaaS substitute) running inside the
+/// discrete-event engine. It owns deployed applications, executes request
+/// DAGs on container instances placed on the Cluster, enforces the
+/// FunctionPlans installed by a Policy, and keeps the books (cost, E2E
+/// latency, initializations, per-window samples).
+///
+/// Execution semantics:
+///  - A request triggers its DAG's source functions; a function becomes
+///    ready once all its predecessors completed (§II-A).
+///  - A ready invocation queues at its function. An Idle instance picks up
+///    up to `max_batch` queued invocations per inference call. If the
+///    function has no instance at all, a cold start is triggered on demand.
+///  - Instances transition Init -> Idle -> Busy -> Idle ... -> terminated.
+///    The keep-alive reaper and pre-warm timers implement the cold-start
+///    policies of §V-B.
+///  - Billing accrues per instance from creation to termination at the
+///    configuration's unit price (Eq. 3).
+class Platform {
+ public:
+  Platform(sim::Engine& engine, cluster::Cluster& cluster, perf::Pricing pricing, Rng& rng,
+           PlatformOptions options = {});
+  ~Platform();
+
+  Platform(const Platform&) = delete;
+  Platform& operator=(const Platform&) = delete;
+
+  /// Deploy an application under a policy; fires Policy::on_deploy and
+  /// starts the window ticker.
+  AppId deploy(apps::App app, std::shared_ptr<Policy> policy);
+
+  /// Schedule a user request for `app` at absolute time `arrival`.
+  void submit_request(AppId app, SimTime arrival);
+
+  /// Stop billing and close all instances at time `end` (call after the
+  /// engine has drained). Idempotent.
+  void finalize(SimTime end);
+
+  // --- control surface used by policies -----------------------------------
+
+  /// Replace the plan of one function. Config changes apply to future
+  /// instances; existing mismatched instances are reaped when next idle.
+  void set_plan(AppId app, dag::NodeId node, FunctionPlan plan);
+  const FunctionPlan& plan(AppId app, dag::NodeId node) const;
+
+  /// Schedule a pre-warm: at `init_start`, create a fresh instance (cold
+  /// init begins then) unless the function already has a non-busy instance.
+  /// Returns a handle usable with cancel_prewarm.
+  sim::EventId prewarm_at(AppId app, dag::NodeId node, SimTime init_start);
+  void cancel_prewarm(sim::EventId id);
+  /// Cancel all pending pre-warms of a function.
+  void clear_prewarms(AppId app, dag::NodeId node);
+
+  /// Force-create one instance now (cold). Returns false if the cluster had
+  /// no capacity.
+  bool spawn_instance(AppId app, dag::NodeId node);
+
+  // --- introspection -------------------------------------------------------
+
+  SimTime now() const;
+  const apps::App& app_spec(AppId app) const;
+  int instances_total(AppId app, dag::NodeId node) const;
+  int instances_idle(AppId app, dag::NodeId node) const;
+  int instances_initializing(AppId app, dag::NodeId node) const;
+  int instances_busy(AppId app, dag::NodeId node) const;
+  std::size_t queue_length(AppId app, dag::NodeId node) const;
+
+  const AppMetrics& metrics(AppId app) const;
+  /// Completed-request count still pending (submitted - completed).
+  long in_flight(AppId app) const;
+
+  /// Per-window arrival counts observed by the Gateway so far (the series
+  /// the Online Predictor trains on).
+  const std::vector<int>& arrival_counts(AppId app) const;
+
+ private:
+  struct Instance;
+  struct FnState;
+  struct RequestState;
+  struct AppState;
+
+  AppState& state(AppId app);
+  const AppState& state(AppId app) const;
+  FnState& fn_state(AppId app, dag::NodeId node);
+
+  void enqueue_invocation(AppId app, dag::NodeId node, int request);
+  void dispatch(AppId app, dag::NodeId node);
+  Instance* create_instance(AppId app, dag::NodeId node, const perf::HwConfig& config);
+  void on_init_done(AppId app, dag::NodeId node, int instance_id);
+  void on_batch_done(AppId app, dag::NodeId node, int instance_id, std::vector<int> requests);
+  void on_instance_idle(AppId app, dag::NodeId node, int instance_id);
+  void terminate_instance(AppId app, dag::NodeId node, int instance_id);
+  void complete_node(AppId app, dag::NodeId node, int request);
+  void window_tick(AppId app);
+
+  sim::Engine& engine_;
+  cluster::Cluster& cluster_;
+  perf::Pricing pricing_;
+  Rng& rng_;
+  PlatformOptions options_;
+  std::vector<std::unique_ptr<AppState>> apps_;
+  bool finalized_ = false;
+};
+
+}  // namespace smiless::serverless

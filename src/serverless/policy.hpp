@@ -1,0 +1,54 @@
+#pragma once
+
+#include <string>
+
+#include "apps/app.hpp"
+#include "common/units.hpp"
+
+namespace smiless::serverless {
+
+class Platform;
+using AppId = int;
+
+/// Arrival statistics for the window that just closed, delivered by the
+/// Gateway to the policy each second (§IV-B: "a specified time window,
+/// which is set to one second").
+struct WindowStats {
+  SimTime window_start = 0.0;
+  SimTime window_end = 0.0;
+  int arrivals = 0;  ///< requests for this app inside the window
+};
+
+/// A scheduling policy: the pluggable brain controlling hardware
+/// configuration, cold-start management and scaling for every function of
+/// an application. SMIless, the four baselines, OPT and the ablations all
+/// implement this interface.
+class Policy {
+ public:
+  virtual ~Policy() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Called once when the application is deployed. Must install an initial
+  /// FunctionPlan for every DAG node.
+  virtual void on_deploy(AppId app, const apps::App& spec, Platform& platform) = 0;
+
+  /// Called at each 1 s window boundary with the closed window's stats.
+  virtual void on_window(AppId app, const apps::App& spec, Platform& platform,
+                         const WindowStats& stats) {
+    (void)app;
+    (void)spec;
+    (void)platform;
+    (void)stats;
+  }
+
+  /// Called when a request arrives at the Gateway, before it is routed.
+  virtual void on_arrival(AppId app, const apps::App& spec, Platform& platform, SimTime now) {
+    (void)app;
+    (void)spec;
+    (void)platform;
+    (void)now;
+  }
+};
+
+}  // namespace smiless::serverless

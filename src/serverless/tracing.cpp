@@ -1,0 +1,20 @@
+#include "serverless/tracing.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+namespace smiless::serverless {
+
+std::string format_trace(const RequestTrace& trace, const dag::Dag& dag) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(3);
+  os << "request arrival=" << trace.arrival << " e2e=" << trace.e2e() << "\n";
+  for (const auto& s : trace.spans) {
+    os << "  " << dag.name(s.node) << ": ready+" << (s.ready - trace.arrival) << " wait="
+       << s.wait() << " infer=" << s.inference() << " batch=" << s.batch
+       << (s.cold ? " COLD" : "") << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace smiless::serverless

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+#include "dag/dag.hpp"
+
+namespace smiless::serverless {
+
+/// One function execution within a request, as the event tracker records it
+/// (the Prometheus-equivalent of §IV-A): when the invocation became ready
+/// (all predecessors done), when inference actually started, and when it
+/// finished. `start - ready` is the cold/queue wait that pre-warming is
+/// supposed to eliminate.
+struct NodeSpan {
+  dag::NodeId node = -1;
+  SimTime ready = 0.0;
+  SimTime start = 0.0;
+  SimTime end = 0.0;
+  int batch = 0;       ///< batch size of the inference call that served it
+  bool cold = false;   ///< true when the wait exceeded the scheduling epsilon
+
+  double wait() const { return start - ready; }
+  double inference() const { return end - start; }
+};
+
+/// The full execution trace of one request.
+struct RequestTrace {
+  SimTime arrival = 0.0;
+  SimTime completion = 0.0;
+  std::vector<NodeSpan> spans;  ///< in completion order
+
+  double e2e() const { return completion - arrival; }
+  /// Total cold/queue wait along the request's critical path is bounded by
+  /// the sum of waits; this helper reports that sum.
+  double total_wait() const {
+    double s = 0.0;
+    for (const auto& span : spans) s += span.wait();
+    return s;
+  }
+  /// Number of stages that experienced a cold/queue wait.
+  int cold_stages() const {
+    int n = 0;
+    for (const auto& span : spans)
+      if (span.cold) ++n;
+    return n;
+  }
+};
+
+/// Human-readable rendering of a trace (one line per span).
+std::string format_trace(const RequestTrace& trace, const dag::Dag& dag);
+
+}  // namespace smiless::serverless

@@ -1,0 +1,39 @@
+#include "sim/engine.hpp"
+
+#include <limits>
+
+namespace smiless::sim {
+
+EventId Engine::schedule_at(SimTime t, Callback cb) {
+  SMILESS_CHECK_MSG(t >= now_, "cannot schedule in the past: " << t << " < " << now_);
+  SMILESS_CHECK(cb != nullptr);
+  const EventId id = next_id_++;
+  queue_.push({t, id});
+  callbacks_.emplace(id, std::move(cb));
+  return id;
+}
+
+bool Engine::cancel(EventId id) { return callbacks_.erase(id) > 0; }
+
+void Engine::run_until(SimTime end) {
+  SMILESS_CHECK(end >= now_);
+  while (!queue_.empty()) {
+    const QueuedEvent ev = queue_.top();
+    auto it = callbacks_.find(ev.id);
+    if (it == callbacks_.end()) {  // cancelled
+      queue_.pop();
+      continue;
+    }
+    if (ev.time > end) break;
+    queue_.pop();
+    Callback cb = std::move(it->second);
+    callbacks_.erase(it);
+    now_ = ev.time;
+    cb();
+  }
+  now_ = end;
+}
+
+void Engine::run() { run_until(std::numeric_limits<SimTime>::max()); }
+
+}  // namespace smiless::sim

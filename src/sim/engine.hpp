@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+
+#include "common/check.hpp"
+#include "common/units.hpp"
+
+namespace smiless::sim {
+
+using EventId = std::uint64_t;
+
+/// Discrete-event simulation engine: a clock plus an ordered queue of
+/// cancellable callbacks. Events at the same timestamp fire in scheduling
+/// order, which makes whole experiments deterministic.
+class Engine {
+ public:
+  using Callback = std::function<void()>;
+
+  SimTime now() const { return now_; }
+
+  /// Schedule `cb` at absolute sim time `t` (>= now). Returns a handle
+  /// usable with cancel(); the ContainerManager relies on this for pre-warm
+  /// and keep-alive timers.
+  EventId schedule_at(SimTime t, Callback cb);
+
+  /// Schedule `cb` after `delay` seconds (>= 0).
+  EventId schedule_after(double delay, Callback cb) {
+    SMILESS_CHECK(delay >= 0.0);
+    return schedule_at(now_ + delay, std::move(cb));
+  }
+
+  /// Cancel a pending event; returns false if it already fired or was
+  /// cancelled.
+  bool cancel(EventId id);
+
+  /// Run events until the queue is empty or the clock would pass `end`;
+  /// leaves now() == end when it drains early.
+  void run_until(SimTime end);
+
+  /// Run until the queue drains completely.
+  void run();
+
+  std::size_t pending() const { return callbacks_.size(); }
+
+ private:
+  struct QueuedEvent {
+    SimTime time;
+    EventId id;
+    bool operator>(const QueuedEvent& o) const {
+      if (time != o.time) return time > o.time;
+      return id > o.id;  // FIFO among simultaneous events
+    }
+  };
+
+  SimTime now_ = 0.0;
+  EventId next_id_ = 1;
+  std::priority_queue<QueuedEvent, std::vector<QueuedEvent>, std::greater<>> queue_;
+  std::unordered_map<EventId, Callback> callbacks_;
+};
+
+}  // namespace smiless::sim

@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "apps/catalog.hpp"
+#include "apps/serialize.hpp"
+#include "baselines/experiment.hpp"
+#include "core/workflow_manager.hpp"
+
+namespace smiless::apps {
+namespace {
+
+TEST(Ipa, MatchesFig1Topology) {
+  const auto app = make_ipa();
+  EXPECT_EQ(app.dag.size(), 4u);
+  // Two independent entry modules (language understanding + image
+  // recognition) feeding QA, then TTS.
+  EXPECT_EQ(app.dag.sources().size(), 2u);
+  EXPECT_EQ(app.dag.sinks().size(), 1u);
+  EXPECT_EQ(app.dag.all_paths().size(), 2u);
+}
+
+TEST(Ipa, ServesRequestsWithMultipleSources) {
+  // A multi-source DAG triggers *all* sources per request; the request
+  // completes only after the join ran once.
+  Rng srng(71);
+  baselines::ProfileStore store{profiler::OfflineProfiler{}, srng};
+  const auto app = make_ipa();
+  Rng trng(72);
+  workload::TraceOptions o;
+  o.duration = 90.0;
+  const auto trace = workload::generate_trace(o, trng);
+  baselines::PolicySettings s;
+  s.use_lstm = false;
+  baselines::ExperimentOptions eo;
+  eo.drain_slack = 60.0;
+  const auto r = baselines::run_experiment(
+      app, trace, baselines::make_policy(baselines::PolicyKind::Smiless, app, store, s), eo);
+  EXPECT_EQ(r.completed, r.submitted);
+  // QA executed exactly once per request, not once per source.
+  const auto qa = app.dag.find("QA");
+  ASSERT_GE(qa, 0);
+  EXPECT_EQ(r.invocations, 4 * r.submitted);
+}
+
+TEST(Ipa, ManifestRoundTrip) {
+  const auto app = make_ipa(3.0);
+  const auto parsed = parse_app(to_manifest(app));
+  EXPECT_EQ(parsed.dag.all_paths().size(), app.dag.all_paths().size());
+  EXPECT_DOUBLE_EQ(parsed.sla, 3.0);
+}
+
+TEST(SyntheticFanout, StructureMatchesParameters) {
+  const auto app = make_synthetic_fanout(3, 2, 5.0);
+  // Nodes: start + per stage (width branches + join) = 1 + 2*(3+1) = 9.
+  EXPECT_EQ(app.dag.size(), 9u);
+  // Paths multiply: width^depth.
+  EXPECT_EQ(app.dag.all_paths().size(), 9u);
+  EXPECT_EQ(app.dag.sources().size(), 1u);
+  EXPECT_EQ(app.dag.sinks().size(), 1u);
+  // At least the two per-stage fork/join substructures (transitive pairs —
+  // start fork to final join — are also reported); smallest-first ordering
+  // puts the per-stage ones in front.
+  const auto fj = app.dag.fork_join_pairs();
+  ASSERT_GE(fj.size(), 2u);
+  EXPECT_EQ(fj[0].interior_size(), 3u);
+  EXPECT_EQ(fj[1].interior_size(), 3u);
+}
+
+TEST(SyntheticFanout, WorkflowManagerSolvesWideDags) {
+  core::WorkflowManager wm{core::StrategyOptimizer{}};
+  for (std::size_t width : {2u, 3u, 4u}) {
+    const auto app = make_synthetic_fanout(width, 2, 4.0);
+    const auto sol = wm.optimize(app.dag, app.truth, 2.0, app.sla);
+    EXPECT_TRUE(sol.feasible) << width;
+    EXPECT_LE(sol.e2e_latency, app.sla) << width;
+    // Branch functions within a stage share their start offset. Only the
+    // per-stage pairs have single-node branches; skip the transitive
+    // (start fork -> final join) pairs the detector also reports.
+    for (const auto& pair : app.dag.fork_join_pairs()) {
+      bool per_stage = true;
+      for (const auto& branch : pair.branches)
+        if (branch.size() != 1u) per_stage = false;
+      if (!per_stage) continue;
+      double first = -1.0;
+      for (const auto& branch : pair.branches) {
+        if (first < 0.0)
+          first = sol.start_offset[branch[0]];
+        else
+          EXPECT_NEAR(sol.start_offset[branch[0]], first, 1e-9);
+      }
+    }
+  }
+}
+
+class FanoutSweep : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(FanoutSweep, PathCountIsWidthToTheDepth) {
+  const auto [width, depth] = GetParam();
+  const auto app = make_synthetic_fanout(static_cast<std::size_t>(width),
+                                         static_cast<std::size_t>(depth), 10.0);
+  std::size_t expected = 1;
+  for (int d = 0; d < depth; ++d) expected *= static_cast<std::size_t>(width);
+  EXPECT_EQ(app.dag.all_paths().size(), expected);
+  EXPECT_EQ(app.dag.size(), 1u + static_cast<std::size_t>(depth) *
+                                     (static_cast<std::size_t>(width) + 1u));
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, FanoutSweep,
+                         ::testing::Combine(::testing::Values(1, 2, 3, 4),
+                                            ::testing::Values(1, 2, 3)));
+
+TEST(Workloads, AllWorkloadsHaveDistinctComplexity) {
+  const auto apps = make_all_workloads(2.0);
+  ASSERT_EQ(apps.size(), 3u);
+  // WL1 has more paths than WL2, which has more than WL3 (the paper's
+  // "as DAG complexity increases" axis).
+  EXPECT_GT(apps[0].dag.all_paths().size(), apps[1].dag.all_paths().size());
+  EXPECT_GT(apps[1].dag.all_paths().size(), apps[2].dag.all_paths().size());
+}
+
+TEST(Workloads, EveryWorkloadMeetsItsSlaOnFastHardware) {
+  // Feasibility invariant: on full-GPU hardware the critical path of every
+  // shipped workload fits well inside the default 2 s SLA.
+  for (const auto& app : make_all_workloads(2.0)) {
+    std::vector<double> w(app.dag.size());
+    for (std::size_t n = 0; n < app.dag.size(); ++n)
+      w[n] = app.truth[n].inference_time({perf::Backend::Gpu, 0, 100}, 1);
+    EXPECT_LT(app.dag.critical_path_weight(w), 0.25) << app.name;
+  }
+}
+
+}  // namespace
+}  // namespace smiless::apps

@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.hpp"
+
+namespace smiless::cluster {
+namespace {
+
+using perf::Backend;
+using perf::HwConfig;
+
+TEST(Cluster, PaperTestbedCapacity) {
+  const Cluster c = Cluster::paper_testbed();
+  EXPECT_EQ(c.machine_count(), 8u);
+  EXPECT_EQ(c.total_cpu_cores(), 8 * 104);
+  EXPECT_EQ(c.total_gpu_pct(), 8 * 100);
+}
+
+TEST(Cluster, AllocateConsumesCapacity) {
+  Cluster c(1, {8, 100});
+  const auto a = c.allocate({Backend::Cpu, 4, 0});
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(c.free_cpu_cores(), 4);
+  c.release(*a);
+  EXPECT_EQ(c.free_cpu_cores(), 8);
+}
+
+TEST(Cluster, AllocationFailsWhenFull) {
+  Cluster c(1, {4, 0});
+  const auto a = c.allocate({Backend::Cpu, 4, 0});
+  ASSERT_TRUE(a.has_value());
+  EXPECT_FALSE(c.allocate({Backend::Cpu, 1, 0}).has_value());
+}
+
+TEST(Cluster, GpuSlicesAreIndependentOfCpu) {
+  Cluster c(1, {4, 100});
+  const auto g = c.allocate({Backend::Gpu, 0, 60});
+  ASSERT_TRUE(g.has_value());
+  EXPECT_EQ(c.free_gpu_pct(), 40);
+  EXPECT_EQ(c.free_cpu_cores(), 4);  // untouched
+  EXPECT_FALSE(c.allocate({Backend::Gpu, 0, 50}).has_value());
+  EXPECT_TRUE(c.allocate({Backend::Gpu, 0, 40}).has_value());
+}
+
+TEST(Cluster, FirstFitSpillsToSecondMachine) {
+  Cluster c(2, {4, 0});
+  const auto a = c.allocate({Backend::Cpu, 3, 0});
+  const auto b = c.allocate({Backend::Cpu, 3, 0});
+  ASSERT_TRUE(a && b);
+  EXPECT_EQ(a->machine, 0);
+  EXPECT_EQ(b->machine, 1);
+}
+
+TEST(Cluster, FragmentationCanBlockLargeRequests) {
+  Cluster c(2, {4, 0});
+  ASSERT_TRUE(c.allocate({Backend::Cpu, 3, 0}));
+  ASSERT_TRUE(c.allocate({Backend::Cpu, 3, 0}));
+  // 2 free cores total but split 1+1: a 2-core container cannot fit.
+  EXPECT_EQ(c.free_cpu_cores(), 2);
+  EXPECT_FALSE(c.allocate({Backend::Cpu, 2, 0}).has_value());
+}
+
+TEST(Cluster, DoubleReleaseIsDetected) {
+  Cluster c(1, {4, 100});
+  const auto a = c.allocate({Backend::Cpu, 4, 0});
+  ASSERT_TRUE(a);
+  c.release(*a);
+  EXPECT_THROW(c.release(*a), CheckError);
+}
+
+TEST(Placement, BestFitPacksTightestMachine) {
+  Cluster c(2, {8, 0}, Placement::BestFit);
+  // Leave machine 0 with 2 free and machine 1 with 6 free.
+  ASSERT_TRUE(c.allocate({Backend::Cpu, 6, 0}));  // m0: 2 free
+  ASSERT_TRUE(c.allocate({Backend::Cpu, 2, 0}));  // best-fit -> m0 again (exact fit)
+  // Machine 0 now full; next 2-core lands on machine 1.
+  const auto a = c.allocate({Backend::Cpu, 2, 0});
+  ASSERT_TRUE(a);
+  EXPECT_EQ(a->machine, 1);
+}
+
+TEST(Placement, WorstFitSpreadsLoad) {
+  Cluster c(2, {8, 0}, Placement::WorstFit);
+  ASSERT_TRUE(c.allocate({Backend::Cpu, 2, 0}));  // m0 (tie -> first)
+  const auto b = c.allocate({Backend::Cpu, 2, 0});
+  ASSERT_TRUE(b);
+  EXPECT_EQ(b->machine, 1);  // m1 now has more free capacity
+}
+
+TEST(Placement, WorstFitStrandsWholeGpuCapacity) {
+  // Spreading MPS slices across machines (worst-fit) strands whole-GPU
+  // capacity that packing policies preserve — why the platform defaults to
+  // a packing placement.
+  Cluster wf(2, {0, 100}, Placement::WorstFit);
+  ASSERT_TRUE(wf.allocate({Backend::Gpu, 0, 30}));  // m0
+  ASSERT_TRUE(wf.allocate({Backend::Gpu, 0, 40}));  // worst fit -> m1 (100 > 70)
+  EXPECT_FALSE(wf.allocate({Backend::Gpu, 0, 100}).has_value());
+
+  for (const auto packing : {Placement::FirstFit, Placement::BestFit}) {
+    Cluster c(2, {0, 100}, packing);
+    ASSERT_TRUE(c.allocate({Backend::Gpu, 0, 30}));
+    ASSERT_TRUE(c.allocate({Backend::Gpu, 0, 40}));  // packs onto m0
+    EXPECT_TRUE(c.allocate({Backend::Gpu, 0, 100}).has_value());  // m1 intact
+  }
+}
+
+TEST(Placement, AllStrategiesAgreeOnTotalCapacity) {
+  for (const auto placement :
+       {Placement::FirstFit, Placement::BestFit, Placement::WorstFit}) {
+    Cluster c(3, {4, 100}, placement);
+    int grants = 0;
+    while (c.allocate({Backend::Cpu, 1, 0})) ++grants;
+    EXPECT_EQ(grants, 12);
+  }
+}
+
+}  // namespace
+}  // namespace smiless::cluster

@@ -1,0 +1,206 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "apps/catalog.hpp"
+#include "dag/dag.hpp"
+
+namespace smiless::dag {
+namespace {
+
+Dag diamond() {
+  Dag d;
+  const auto a = d.add_node("A");
+  const auto b = d.add_node("B");
+  const auto c = d.add_node("C");
+  const auto e = d.add_node("D");
+  d.add_edge(a, b);
+  d.add_edge(a, c);
+  d.add_edge(b, e);
+  d.add_edge(c, e);
+  return d;
+}
+
+TEST(Dag, AddNodeAssignsSequentialIds) {
+  Dag d;
+  EXPECT_EQ(d.add_node("x"), 0);
+  EXPECT_EQ(d.add_node("y"), 1);
+  EXPECT_EQ(d.size(), 2u);
+}
+
+TEST(Dag, RejectsDuplicateNames) {
+  Dag d;
+  d.add_node("x");
+  EXPECT_THROW(d.add_node("x"), CheckError);
+}
+
+TEST(Dag, RejectsSelfLoop) {
+  Dag d;
+  const auto a = d.add_node("a");
+  EXPECT_THROW(d.add_edge(a, a), CheckError);
+}
+
+TEST(Dag, RejectsDuplicateEdge) {
+  Dag d;
+  const auto a = d.add_node("a");
+  const auto b = d.add_node("b");
+  d.add_edge(a, b);
+  EXPECT_THROW(d.add_edge(a, b), CheckError);
+}
+
+TEST(Dag, RejectsCycle) {
+  Dag d;
+  const auto a = d.add_node("a");
+  const auto b = d.add_node("b");
+  const auto c = d.add_node("c");
+  d.add_edge(a, b);
+  d.add_edge(b, c);
+  EXPECT_THROW(d.add_edge(c, a), CheckError);
+}
+
+TEST(Dag, FindByName) {
+  Dag d = diamond();
+  EXPECT_EQ(d.find("C"), 2);
+  EXPECT_EQ(d.find("missing"), -1);
+}
+
+TEST(Dag, SourcesAndSinks) {
+  Dag d = diamond();
+  EXPECT_EQ(d.sources(), std::vector<NodeId>{0});
+  EXPECT_EQ(d.sinks(), std::vector<NodeId>{3});
+}
+
+TEST(Dag, TopoOrderRespectsEdges) {
+  Dag d = diamond();
+  const auto order = d.topo_order();
+  ASSERT_EQ(order.size(), 4u);
+  auto pos = [&](NodeId n) {
+    return std::find(order.begin(), order.end(), n) - order.begin();
+  };
+  EXPECT_LT(pos(0), pos(1));
+  EXPECT_LT(pos(0), pos(2));
+  EXPECT_LT(pos(1), pos(3));
+  EXPECT_LT(pos(2), pos(3));
+}
+
+TEST(Dag, Reachability) {
+  Dag d = diamond();
+  EXPECT_TRUE(d.is_reachable(0, 3));
+  EXPECT_FALSE(d.is_reachable(3, 0));
+  EXPECT_FALSE(d.is_reachable(1, 2));
+  EXPECT_TRUE(d.is_reachable(2, 2));
+}
+
+TEST(Dag, AllPathsOfDiamond) {
+  Dag d = diamond();
+  const auto paths = d.all_paths();
+  ASSERT_EQ(paths.size(), 2u);
+  for (const auto& p : paths) {
+    ASSERT_EQ(p.size(), 3u);
+    EXPECT_EQ(p.front(), 0);
+    EXPECT_EQ(p.back(), 3);
+  }
+}
+
+TEST(Dag, AllPathsOfChainIsSingle) {
+  Dag d;
+  const auto a = d.add_node("a");
+  const auto b = d.add_node("b");
+  d.add_edge(a, b);
+  const auto paths = d.all_paths();
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_EQ(paths[0], (std::vector<NodeId>{a, b}));
+}
+
+TEST(Dag, CriticalPathPicksHeavierBranch) {
+  Dag d = diamond();
+  // Branch through B weighs 1+5+1 = 7; through C weighs 1+2+1 = 4.
+  const std::vector<double> w{1.0, 5.0, 2.0, 1.0};
+  EXPECT_DOUBLE_EQ(d.critical_path_weight(w), 7.0);
+}
+
+TEST(Dag, CriticalPathOfParallelSourcesIsMax) {
+  Dag d;
+  d.add_node("a");
+  d.add_node("b");
+  const std::vector<double> w{3.0, 8.0};
+  EXPECT_DOUBLE_EQ(d.critical_path_weight(w), 8.0);
+}
+
+TEST(Dag, LongestPathByNodeCount) {
+  Dag d;
+  const auto a = d.add_node("a");
+  const auto b = d.add_node("b");
+  const auto c = d.add_node("c");
+  const auto e = d.add_node("e");
+  d.add_edge(a, b);
+  d.add_edge(b, c);
+  d.add_edge(a, e);  // short branch
+  const auto p = d.longest_path();
+  EXPECT_EQ(p, (std::vector<NodeId>{a, b, c}));
+}
+
+TEST(Dag, ForkJoinOfDiamond) {
+  Dag d = diamond();
+  const auto fj = d.fork_join_pairs();
+  ASSERT_EQ(fj.size(), 1u);
+  EXPECT_EQ(fj[0].fork, 0);
+  EXPECT_EQ(fj[0].join, 3);
+  ASSERT_EQ(fj[0].branches.size(), 2u);
+  EXPECT_EQ(fj[0].interior_size(), 2u);
+}
+
+TEST(Dag, ForkJoinAbsentInChain) {
+  Dag d;
+  const auto a = d.add_node("a");
+  const auto b = d.add_node("b");
+  d.add_edge(a, b);
+  EXPECT_TRUE(d.fork_join_pairs().empty());
+}
+
+TEST(Dag, DotExportMentionsAllNodes) {
+  Dag d = diamond();
+  const auto dot = d.to_dot("g");
+  EXPECT_NE(dot.find("digraph g"), std::string::npos);
+  EXPECT_NE(dot.find("\"A\""), std::string::npos);
+  EXPECT_NE(dot.find("n0 -> n1"), std::string::npos);
+}
+
+// --- workload application topologies ---------------------------------------
+
+TEST(AppDags, AmberAlertShape) {
+  const auto app = apps::make_amber_alert();
+  EXPECT_EQ(app.dag.size(), 6u);
+  EXPECT_EQ(app.dag.sources().size(), 1u);
+  EXPECT_EQ(app.dag.sinks().size(), 1u);
+  // OD fans out to three recognisers.
+  EXPECT_EQ(app.dag.out_degree(app.dag.find("OD")), 3u);
+  EXPECT_EQ(app.dag.all_paths().size(), 3u);
+  EXPECT_EQ(app.truth.size(), app.dag.size());
+}
+
+TEST(AppDags, ImageQueryShape) {
+  const auto app = apps::make_image_query();
+  EXPECT_EQ(app.dag.size(), 5u);
+  EXPECT_EQ(app.dag.all_paths().size(), 2u);
+  const auto fj = app.dag.fork_join_pairs();
+  ASSERT_FALSE(fj.empty());
+  EXPECT_EQ(app.dag.name(fj[0].fork), "IR");
+  EXPECT_EQ(app.dag.name(fj[0].join), "QA");
+}
+
+TEST(AppDags, VoiceAssistantIsPipeline) {
+  const auto app = apps::make_voice_assistant();
+  EXPECT_EQ(app.dag.size(), 4u);
+  EXPECT_EQ(app.dag.all_paths().size(), 1u);
+  EXPECT_TRUE(app.dag.fork_join_pairs().empty());
+}
+
+TEST(AppDags, SyntheticPipelineLength) {
+  const auto app = apps::make_synthetic_pipeline(12, 10.0);
+  EXPECT_EQ(app.dag.size(), 12u);
+  EXPECT_EQ(app.dag.longest_path().size(), 12u);
+}
+
+}  // namespace
+}  // namespace smiless::dag

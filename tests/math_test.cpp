@@ -1,0 +1,287 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "common/rng.hpp"
+#include "math/bisection.hpp"
+#include "math/fft.hpp"
+#include "math/gaussian_process.hpp"
+#include "math/levenberg_marquardt.hpp"
+#include "math/matrix.hpp"
+#include "math/stats.hpp"
+
+namespace smiless::math {
+namespace {
+
+TEST(Stats, MeanAndStddev) {
+  const std::vector<double> xs{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 5.0);
+  EXPECT_NEAR(stddev(xs), 2.138, 1e-3);
+}
+
+TEST(Stats, EmptyInputsAreSafe) {
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(stddev({}), 0.0);
+  EXPECT_DOUBLE_EQ(variance_to_mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(smape({}, {}), 0.0);
+}
+
+TEST(Stats, SingleElementStddevIsZero) {
+  const std::vector<double> xs{3.0};
+  EXPECT_DOUBLE_EQ(stddev(xs), 0.0);
+}
+
+TEST(Stats, VarianceToMeanOfPoissonLikeSeries) {
+  // A constant series has VMR 0; a bursty one exceeds 1.
+  const std::vector<double> constant{5, 5, 5, 5, 5};
+  EXPECT_DOUBLE_EQ(variance_to_mean(constant), 0.0);
+  const std::vector<double> bursty{0, 0, 0, 20, 0, 0, 0, 20};
+  EXPECT_GT(variance_to_mean(bursty), 2.0);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 4.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 2.5);
+}
+
+TEST(Stats, PercentileDoesNotRequireSortedInput) {
+  const std::vector<double> xs{4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 2.5);
+}
+
+TEST(Stats, SmapeOfPerfectPredictionIsZero) {
+  const std::vector<double> t{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(smape(t, t), 0.0);
+  EXPECT_DOUBLE_EQ(mape(t, t), 0.0);
+}
+
+TEST(Stats, SmapeIsSymmetricInError) {
+  const std::vector<double> t{10.0};
+  const std::vector<double> over{12.0};
+  const std::vector<double> under{8.0};
+  // SMAPE denominators differ (|t|+|p|), so over/under are close but the
+  // under-prediction scores slightly larger.
+  EXPECT_GT(smape(t, under), smape(t, over));
+}
+
+TEST(Stats, UnderOverEstimationRates) {
+  const std::vector<double> t{1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> p{0.5, 2.0, 4.0, 3.0};
+  EXPECT_DOUBLE_EQ(underestimation_rate(t, p), 0.5);
+  EXPECT_DOUBLE_EQ(overestimation_rate(t, p), 0.25);
+}
+
+TEST(Matrix, MultiplyIdentity) {
+  Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  const Matrix i = Matrix::identity(2);
+  const Matrix p = a * i;
+  EXPECT_DOUBLE_EQ(p(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(p(1, 1), 4.0);
+}
+
+TEST(Matrix, TransposeRoundTrip) {
+  Matrix a{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  const Matrix t = a.transpose();
+  ASSERT_EQ(t.rows(), 3u);
+  ASSERT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+}
+
+TEST(Matrix, LeastSquaresRecoversExactSolution) {
+  // y = 2*x0 - 3*x1 + 1
+  Matrix a{{1.0, 0.0, 1.0}, {0.0, 1.0, 1.0}, {1.0, 1.0, 1.0}, {2.0, 1.0, 1.0}};
+  std::vector<double> y{3.0, -2.0, 0.0, 2.0};
+  const auto x = solve_least_squares(a, y);
+  EXPECT_NEAR(x[0], 2.0, 1e-9);
+  EXPECT_NEAR(x[1], -3.0, 1e-9);
+  EXPECT_NEAR(x[2], 1.0, 1e-9);
+}
+
+TEST(Matrix, LeastSquaresMinimisesResidualOnOverdetermined) {
+  Rng rng(1);
+  const std::size_t m = 60;
+  Matrix a(m, 2);
+  std::vector<double> y(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    const double x = rng.uniform(0.0, 10.0);
+    a(i, 0) = x;
+    a(i, 1) = 1.0;
+    y[i] = 3.0 * x + 0.5 + rng.normal(0.0, 0.01);
+  }
+  const auto c = solve_least_squares(a, y);
+  EXPECT_NEAR(c[0], 3.0, 0.01);
+  EXPECT_NEAR(c[1], 0.5, 0.05);
+}
+
+TEST(Matrix, RankDeficientThrows) {
+  Matrix a{{1.0, 1.0}, {2.0, 2.0}, {3.0, 3.0}};
+  std::vector<double> y{1.0, 2.0, 3.0};
+  EXPECT_THROW(solve_least_squares(a, y), CheckError);
+}
+
+TEST(Matrix, CholeskySolvesSpdSystem) {
+  Matrix a{{4.0, 2.0}, {2.0, 3.0}};
+  const Matrix l = cholesky(a);
+  const auto x = cholesky_solve(l, {8.0, 7.0});
+  // Verify A x = b.
+  EXPECT_NEAR(4.0 * x[0] + 2.0 * x[1], 8.0, 1e-9);
+  EXPECT_NEAR(2.0 * x[0] + 3.0 * x[1], 7.0, 1e-9);
+}
+
+TEST(Matrix, CholeskyRejectsIndefinite) {
+  Matrix a{{1.0, 2.0}, {2.0, 1.0}};  // eigenvalues 3, -1
+  EXPECT_THROW(cholesky(a), CheckError);
+}
+
+TEST(Matrix, GaussianEliminationSolves) {
+  Matrix a{{0.0, 2.0, 1.0}, {1.0, -2.0, -3.0}, {-1.0, 1.0, 2.0}};
+  const auto x = solve_linear(a, {-8.0, 0.0, 3.0});
+  EXPECT_NEAR(x[0], -4.0, 1e-9);
+  EXPECT_NEAR(x[1], -5.0, 1e-9);
+  EXPECT_NEAR(x[2], 2.0, 1e-9);
+}
+
+TEST(Fft, RoundTripRecoversSignal) {
+  Rng rng(2);
+  std::vector<std::complex<double>> data(64);
+  std::vector<std::complex<double>> orig(64);
+  for (auto i = 0u; i < 64; ++i) {
+    data[i] = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+    orig[i] = data[i];
+  }
+  fft(data, false);
+  fft(data, true);
+  for (auto i = 0u; i < 64; ++i) {
+    EXPECT_NEAR(data[i].real(), orig[i].real(), 1e-10);
+    EXPECT_NEAR(data[i].imag(), orig[i].imag(), 1e-10);
+  }
+}
+
+TEST(Fft, DetectsSingleTone) {
+  const std::size_t n = 128;
+  std::vector<double> xs(n);
+  for (std::size_t i = 0; i < n; ++i)
+    xs[i] = std::cos(2.0 * std::numbers::pi * 8.0 * i / static_cast<double>(n));
+  const auto spec = fft_real(xs);
+  // Bin 8 dominates.
+  std::size_t argmax = 1;
+  for (std::size_t i = 1; i < n / 2; ++i)
+    if (std::abs(spec[i]) > std::abs(spec[argmax])) argmax = i;
+  EXPECT_EQ(argmax, 8u);
+}
+
+TEST(Fft, HarmonicExtrapolationContinuesPeriodicSignal) {
+  const std::size_t n = 64;
+  std::vector<double> xs(n);
+  for (std::size_t i = 0; i < n; ++i)
+    xs[i] = 3.0 + std::sin(2.0 * std::numbers::pi * 4.0 * i / static_cast<double>(n));
+  const auto ext = harmonic_extrapolate(xs, 2, n + 8);
+  for (std::size_t i = 0; i < 8; ++i) {
+    const double expected =
+        3.0 + std::sin(2.0 * std::numbers::pi * 4.0 * (n + i) / static_cast<double>(n));
+    EXPECT_NEAR(ext[n + i], expected, 0.05);
+  }
+}
+
+TEST(Fft, RejectsNonPowerOfTwo) {
+  std::vector<std::complex<double>> data(12);
+  EXPECT_THROW(fft(data, false), CheckError);
+}
+
+TEST(Bisection, FindsLargestTrue) {
+  // pred true for <= 37
+  const int b = bisect_max_true(1, 100, [](int x) { return x <= 37; });
+  EXPECT_EQ(b, 37);
+}
+
+TEST(Bisection, AllTrueReturnsHi) {
+  EXPECT_EQ(bisect_max_true(1, 10, [](int) { return true; }), 10);
+}
+
+TEST(Bisection, NoneTrueReturnsLoMinusOne) {
+  EXPECT_EQ(bisect_max_true(1, 10, [](int) { return false; }), 0);
+}
+
+TEST(Bisection, RootOfMonotoneFunction) {
+  const double r = bisect_root(0.0, 10.0, 1e-9, [](double x) { return x * x - 2.0; });
+  EXPECT_NEAR(r, std::sqrt(2.0), 1e-7);
+}
+
+TEST(LevenbergMarquardt, FitsExponentialDecay) {
+  Rng rng(3);
+  std::vector<double> ts, ys;
+  for (int i = 0; i < 40; ++i) {
+    const double t = 0.1 * i;
+    ts.push_back(t);
+    ys.push_back(2.5 * std::exp(-1.3 * t) + rng.normal(0.0, 0.002));
+  }
+  auto residuals = [&](const std::vector<double>& p) {
+    std::vector<double> r(ts.size());
+    for (std::size_t i = 0; i < ts.size(); ++i)
+      r[i] = p[0] * std::exp(-p[1] * ts[i]) - ys[i];
+    return r;
+  };
+  const auto res = levenberg_marquardt(residuals, {1.0, 1.0});
+  EXPECT_NEAR(res.params[0], 2.5, 0.05);
+  EXPECT_NEAR(res.params[1], 1.3, 0.05);
+}
+
+TEST(LevenbergMarquardt, LinearProblemConvergesFast) {
+  auto residuals = [](const std::vector<double>& p) {
+    return std::vector<double>{p[0] - 4.0, 2.0 * p[0] - 8.0};
+  };
+  const auto res = levenberg_marquardt(residuals, {0.0});
+  EXPECT_NEAR(res.params[0], 4.0, 1e-6);
+  EXPECT_LT(res.sse, 1e-10);
+}
+
+TEST(GaussianProcess, InterpolatesTrainingPoints) {
+  GaussianProcess gp(1.0, 1.0, 1e-6);
+  gp.fit({{0.0}, {1.0}, {2.0}}, {0.0, 1.0, 4.0});
+  EXPECT_NEAR(gp.predict({1.0}).mean, 1.0, 0.01);
+}
+
+TEST(GaussianProcess, UncertaintyGrowsAwayFromData) {
+  GaussianProcess gp(0.5, 1.0, 1e-6);
+  gp.fit({{0.0}, {1.0}}, {0.0, 1.0});
+  const double var_near = gp.predict({0.5}).variance;
+  const double var_far = gp.predict({5.0}).variance;
+  EXPECT_LT(var_near, var_far);
+}
+
+TEST(GaussianProcess, ExpectedImprovementPrefersPromisingRegion) {
+  // Minimisation: lower observed y near x=0.
+  GaussianProcess gp(0.7, 1.0, 1e-4);
+  gp.fit({{0.0}, {1.0}, {2.0}}, {0.1, 1.0, 2.0});
+  const double ei_near_min = gp.expected_improvement({0.2}, 0.1);
+  const double ei_near_max = gp.expected_improvement({2.0}, 0.1);
+  EXPECT_GT(ei_near_min, ei_near_max);
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(99), b(99);
+  for (int i = 0; i < 16; ++i) EXPECT_DOUBLE_EQ(a.uniform(0, 1), b.uniform(0, 1));
+}
+
+TEST(Rng, ForkDecorrelates) {
+  Rng a(99);
+  Rng c1 = a.fork(1);
+  Rng a2(99);
+  Rng c2 = a2.fork(2);
+  // Different salts give different streams.
+  bool any_diff = false;
+  for (int i = 0; i < 8; ++i)
+    if (c1.uniform(0, 1) != c2.uniform(0, 1)) any_diff = true;
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, TruncatedNormalRespectsFloor) {
+  Rng a(5);
+  for (int i = 0; i < 200; ++i) EXPECT_GE(a.truncated_normal(1.0, 5.0, 0.2), 0.2);
+}
+
+}  // namespace
+}  // namespace smiless::math

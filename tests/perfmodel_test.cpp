@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include "apps/catalog.hpp"
+#include "common/rng.hpp"
+#include "perfmodel/hardware.hpp"
+#include "perfmodel/latency_model.hpp"
+
+namespace smiless::perf {
+namespace {
+
+TEST(Hardware, DefaultSpaceHasFifteenOptions) {
+  const auto space = default_config_space();
+  EXPECT_EQ(space.size(), 15u);  // M = 15 in the complexity analysis
+  int cpu = 0, gpu = 0;
+  for (const auto& c : space) (c.backend == Backend::Cpu ? cpu : gpu)++;
+  EXPECT_EQ(cpu, 5);
+  EXPECT_EQ(gpu, 10);
+}
+
+TEST(Hardware, CpuOnlySpaceForHomoAblation) {
+  for (const auto& c : cpu_only_config_space()) EXPECT_EQ(c.backend, Backend::Cpu);
+}
+
+TEST(Hardware, PricingMatchesPaperAnchors) {
+  const Pricing p;
+  const HwConfig cpu16{Backend::Cpu, 16, 0};
+  const HwConfig gpu10{Backend::Gpu, 0, 10};
+  const HwConfig gpu100{Backend::Gpu, 0, 100};
+  // 16 cores at $0.034/core-hour.
+  EXPECT_NEAR(p.per_second(cpu16) * kSecondsPerHour, 16 * 0.034, 1e-9);
+  // A 10% MPS slice is 10% of the $3.06/hour p3.2xlarge.
+  EXPECT_NEAR(p.per_second(gpu10) * kSecondsPerHour, 0.306, 1e-9);
+  EXPECT_NEAR(p.per_second(gpu100) * kSecondsPerHour, 3.06, 1e-9);
+}
+
+TEST(Hardware, ResourceAmountSelectsBackendQuantity) {
+  EXPECT_DOUBLE_EQ((HwConfig{Backend::Cpu, 8, 0}).resource_amount(), 8.0);
+  EXPECT_DOUBLE_EQ((HwConfig{Backend::Gpu, 0, 30}).resource_amount(), 30.0);
+}
+
+TEST(LatencyModel, MoreResourceNeverSlower) {
+  const auto& fn = apps::model_by_name("IR");
+  double prev = 1e9;
+  for (int cores : {1, 2, 4, 8, 16}) {
+    const double t = fn.inference_time({Backend::Cpu, cores, 0}, 1);
+    EXPECT_LT(t, prev);
+    prev = t;
+  }
+  prev = 1e9;
+  for (int pct = 10; pct <= 100; pct += 10) {
+    const double t = fn.inference_time({Backend::Gpu, 0, pct}, 1);
+    EXPECT_LT(t, prev);
+    prev = t;
+  }
+}
+
+TEST(LatencyModel, LatencyGrowsLinearlyInBatch) {
+  const auto& fn = apps::model_by_name("TRS");
+  const HwConfig c{Backend::Gpu, 0, 50};
+  const double t1 = fn.inference_time(c, 1);
+  const double t2 = fn.inference_time(c, 2);
+  const double t4 = fn.inference_time(c, 4);
+  // Eq. (2) is affine in B, so increments are constant.
+  EXPECT_NEAR(t2 - t1, (t4 - t2) / 2.0, 1e-9);
+  EXPECT_GT(t2, t1);
+}
+
+TEST(LatencyModel, BatchingOnGpuAmortisesBetterThanCpu) {
+  // Per-item latency at batch 8 relative to batch 1 should fall more
+  // steeply on the full GPU than on 1 CPU core.
+  const auto& fn = apps::model_by_name("TG");
+  const HwConfig cpu{Backend::Cpu, 1, 0};
+  const HwConfig gpu{Backend::Gpu, 0, 100};
+  const double cpu_ratio = fn.inference_time(cpu, 8) / (8 * fn.inference_time(cpu, 1));
+  const double gpu_ratio = fn.inference_time(gpu, 8) / (8 * fn.inference_time(gpu, 1));
+  EXPECT_LT(gpu_ratio, cpu_ratio);
+}
+
+TEST(LatencyModel, GpuInitSlowerThanCpuInit) {
+  for (const auto& fn : apps::model_catalog()) {
+    EXPECT_GT(fn.init_gpu.mu, fn.init_cpu.mu) << fn.name;
+  }
+}
+
+TEST(LatencyModel, InitEstimateUsesNSigma) {
+  const auto& fn = apps::model_by_name("QA");
+  const HwConfig c{Backend::Cpu, 4, 0};
+  const double t0 = fn.init_time(c, 0.0);
+  const double t3 = fn.init_time(c, 3.0);
+  EXPECT_NEAR(t3 - t0, 3.0 * fn.init_cpu.sigma, 1e-12);
+}
+
+TEST(LatencyModel, WarmGpuSpeedupRoughlyTenX) {
+  // Fig. 2's anchor: full GPU vs 16-core CPU, warm inference.
+  for (const auto& name : {"HAP", "TG", "TRS"}) {
+    const auto& fn = apps::model_by_name(name);
+    const double cpu16 = fn.inference_time({Backend::Cpu, 16, 0}, 1);
+    const double gpu = fn.inference_time({Backend::Gpu, 0, 100}, 1);
+    EXPECT_GT(cpu16 / gpu, 6.0) << name;
+    EXPECT_LT(cpu16 / gpu, 16.0) << name;
+  }
+}
+
+TEST(LatencyModel, ColdGpuSlowerThanColdCpu) {
+  // Fig. 2's other anchor: with a cold start the GPU loses its advantage.
+  const auto& fn = apps::model_by_name("TRS");
+  const double cpu_cold =
+      fn.init_time({Backend::Cpu, 16, 0}, 0.0) + fn.inference_time({Backend::Cpu, 16, 0}, 1);
+  const double gpu_cold =
+      fn.init_time({Backend::Gpu, 0, 100}, 0.0) + fn.inference_time({Backend::Gpu, 0, 100}, 1);
+  EXPECT_GT(gpu_cold, cpu_cold);
+}
+
+TEST(LatencyModel, SamplesAreNoisyButUnbiasedish) {
+  const auto& fn = apps::model_by_name("DB");
+  const HwConfig c{Backend::Cpu, 4, 0};
+  Rng rng(11);
+  const double base = fn.inference_time(c, 1);
+  double sum = 0.0;
+  for (int i = 0; i < 500; ++i) sum += fn.sample_inference_time(c, 1, 0.05, rng);
+  EXPECT_NEAR(sum / 500.0, base, 0.05 * base);
+}
+
+TEST(LatencyModel, ExecutionCostFollowsEq3) {
+  const Pricing p;
+  const HwConfig c{Backend::Cpu, 2, 0};
+  EXPECT_NEAR(execution_cost(10.0, c, p), 10.0 * p.per_second(c), 1e-15);
+}
+
+TEST(Catalog, HasTwelveFunctions) {
+  EXPECT_EQ(apps::model_catalog().size(), 12u);
+}
+
+TEST(Catalog, UnknownNameThrows) {
+  EXPECT_THROW(apps::model_by_name("NOPE"), CheckError);
+}
+
+TEST(Catalog, AnchorsDeriveValidParams) {
+  // Derivations are checked internally; also spot-check the reconstruction.
+  const auto p = apps::cpu_params_from_anchors(1.2, 0.11);
+  EXPECT_NEAR(p.inference_time(1, 1), 1.2, 1e-9);
+  EXPECT_NEAR(p.inference_time(16, 1), 0.11, 1e-9);
+  const auto g = apps::gpu_params_from_anchors(0.1, 0.013);
+  EXPECT_NEAR(g.inference_time(10, 1), 0.1, 1e-9);
+  EXPECT_NEAR(g.inference_time(100, 1), 0.013, 1e-9);
+}
+
+TEST(Catalog, InvalidAnchorsThrow) {
+  EXPECT_THROW(apps::cpu_params_from_anchors(0.1, 0.2), CheckError);  // cpu1 < cpu16
+  EXPECT_THROW(apps::gpu_params_from_anchors(0.1, 0.0005), CheckError);  // gamma too big
+}
+
+}  // namespace
+}  // namespace smiless::perf

@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "apps/catalog.hpp"
+#include "apps/serialize.hpp"
+#include "common/rng.hpp"
+#include "dag/serialize.hpp"
+#include "workload/trace.hpp"
+#include "workload/trace_io.hpp"
+
+namespace smiless {
+namespace {
+
+// --- DAG text format ---------------------------------------------------------
+
+TEST(DagText, RoundTripPreservesStructure) {
+  const auto original = apps::make_amber_alert().dag;
+  const auto text = dag::to_text(original);
+  const auto parsed = dag::from_text(text);
+  ASSERT_EQ(parsed.size(), original.size());
+  for (std::size_t n = 0; n < original.size(); ++n) {
+    const auto id = static_cast<dag::NodeId>(n);
+    EXPECT_EQ(parsed.name(id), original.name(id));
+    EXPECT_EQ(std::vector<dag::NodeId>(parsed.successors(id).begin(),
+                                       parsed.successors(id).end()),
+              std::vector<dag::NodeId>(original.successors(id).begin(),
+                                       original.successors(id).end()));
+  }
+}
+
+TEST(DagText, ParsesCommentsAndBlankLines) {
+  const auto d = dag::from_text(
+      "# a tiny pipeline\n"
+      "node a\n"
+      "\n"
+      "node b  # the second stage\n"
+      "edge a b\n");
+  EXPECT_EQ(d.size(), 2u);
+  EXPECT_TRUE(d.is_reachable(d.find("a"), d.find("b")));
+}
+
+TEST(DagText, RejectsUnknownNodeInEdge) {
+  EXPECT_THROW(dag::from_text("node a\nedge a ghost\n"), CheckError);
+}
+
+TEST(DagText, RejectsUnknownDirective) {
+  EXPECT_THROW(dag::from_text("vertex a\n"), CheckError);
+}
+
+TEST(DagText, RejectsCycleAtParseTime) {
+  EXPECT_THROW(dag::from_text("node a\nnode b\nedge a b\nedge b a\n"), CheckError);
+}
+
+TEST(DagText, RejectsMissingEdgeOperand) {
+  EXPECT_THROW(dag::from_text("node a\nedge a\n"), CheckError);
+}
+
+// --- app manifests -------------------------------------------------------------
+
+TEST(AppManifest, ParsesCompleteManifest) {
+  const auto app = apps::parse_app(
+      "app my-assistant\n"
+      "sla 1.5\n"
+      "fn listen SR\n"
+      "fn understand DB\n"
+      "fn answer QA\n"
+      "edge listen understand\n"
+      "edge understand answer\n");
+  EXPECT_EQ(app.name, "my-assistant");
+  EXPECT_DOUBLE_EQ(app.sla, 1.5);
+  ASSERT_EQ(app.dag.size(), 3u);
+  EXPECT_EQ(app.truth[0].name, "SR");
+  EXPECT_EQ(app.dag.all_paths().size(), 1u);
+}
+
+TEST(AppManifest, RoundTripsThroughToManifest) {
+  const auto original = apps::make_voice_assistant(2.5);
+  const auto manifest = apps::to_manifest(original);
+  const auto parsed = apps::parse_app(manifest);
+  EXPECT_EQ(parsed.name, original.name);
+  EXPECT_DOUBLE_EQ(parsed.sla, original.sla);
+  ASSERT_EQ(parsed.dag.size(), original.dag.size());
+  for (std::size_t n = 0; n < parsed.truth.size(); ++n)
+    EXPECT_EQ(parsed.truth[n].name, original.truth[n].name);
+}
+
+TEST(AppManifest, RejectsUnknownModel) {
+  EXPECT_THROW(apps::parse_app("app x\nfn a NOPE\n"), CheckError);
+}
+
+TEST(AppManifest, RejectsMissingAppDirective) {
+  EXPECT_THROW(apps::parse_app("fn a SR\n"), CheckError);
+}
+
+TEST(AppManifest, RejectsEmptyFunctionList) {
+  EXPECT_THROW(apps::parse_app("app x\nsla 2\n"), CheckError);
+}
+
+TEST(AppManifest, RejectsNonPositiveSla) {
+  EXPECT_THROW(apps::parse_app("app x\nsla 0\nfn a SR\n"), CheckError);
+}
+
+// --- trace CSV -------------------------------------------------------------------
+
+TEST(TraceCsv, RoundTripPreservesArrivals) {
+  Rng rng(3);
+  workload::TraceOptions o;
+  o.duration = 120.0;
+  const auto original = workload::generate_trace(o, rng);
+
+  std::stringstream buffer;
+  workload::save_csv(original, buffer);
+  const auto loaded = workload::load_csv(buffer);
+  ASSERT_EQ(loaded.arrivals.size(), original.arrivals.size());
+  for (std::size_t i = 0; i < loaded.arrivals.size(); ++i)
+    EXPECT_NEAR(loaded.arrivals[i], original.arrivals[i], 1e-6);
+}
+
+TEST(TraceCsv, ReconstructsWindowCounts) {
+  std::stringstream buffer("arrival_s\n0.2\n0.7\n2.5\n2.9\n2.95\n");
+  const auto t = workload::load_csv(buffer, 1.0);
+  ASSERT_EQ(t.counts.size(), 3u);
+  EXPECT_EQ(t.counts[0], 2);
+  EXPECT_EQ(t.counts[1], 0);
+  EXPECT_EQ(t.counts[2], 3);
+}
+
+TEST(TraceCsv, SkipsCommentsAndBlankLines) {
+  std::stringstream buffer("# my trace\n\narrival_s\n1.0\n# gap\n2.0\n");
+  const auto t = workload::load_csv(buffer);
+  EXPECT_EQ(t.arrivals.size(), 2u);
+}
+
+TEST(TraceCsv, RejectsNonMonotonicTimestamps) {
+  std::stringstream buffer("1.0\n0.5\n");
+  EXPECT_THROW(workload::load_csv(buffer), CheckError);
+}
+
+TEST(TraceCsv, RejectsGarbage) {
+  std::stringstream buffer("hello world\n");
+  EXPECT_THROW(workload::load_csv(buffer), CheckError);
+}
+
+TEST(TraceCsv, RejectsNegativeTimestamps) {
+  std::stringstream buffer("-1.0\n");
+  EXPECT_THROW(workload::load_csv(buffer), CheckError);
+}
+
+TEST(TraceCsv, EmptyInputYieldsEmptyTrace) {
+  std::stringstream buffer("arrival_s\n");
+  const auto t = workload::load_csv(buffer);
+  EXPECT_TRUE(t.arrivals.empty());
+  EXPECT_TRUE(t.counts.empty());
+}
+
+TEST(TraceCsv, FileRoundTrip) {
+  Rng rng(4);
+  const auto original = workload::generate_regular_trace(5.0, 0.1, 60.0, rng);
+  const std::string path = "/tmp/smiless_trace_test.csv";
+  workload::save_csv_file(original, path);
+  const auto loaded = workload::load_csv_file(path);
+  EXPECT_EQ(loaded.arrivals.size(), original.arrivals.size());
+}
+
+TEST(TraceCsv, MissingFileThrows) {
+  EXPECT_THROW(workload::load_csv_file("/nonexistent/trace.csv"), CheckError);
+}
+
+}  // namespace
+}  // namespace smiless

@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sim/engine.hpp"
+
+namespace smiless::sim {
+namespace {
+
+TEST(Engine, RunsEventsInTimeOrder) {
+  Engine e;
+  std::vector<int> order;
+  e.schedule_at(3.0, [&] { order.push_back(3); });
+  e.schedule_at(1.0, [&] { order.push_back(1); });
+  e.schedule_at(2.0, [&] { order.push_back(2); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Engine, SimultaneousEventsFireInScheduleOrder) {
+  Engine e;
+  std::vector<int> order;
+  e.schedule_at(1.0, [&] { order.push_back(1); });
+  e.schedule_at(1.0, [&] { order.push_back(2); });
+  e.schedule_at(1.0, [&] { order.push_back(3); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Engine, NowAdvancesToEventTime) {
+  Engine e;
+  double seen = -1.0;
+  e.schedule_at(5.5, [&] { seen = e.now(); });
+  e.run_until(10.0);
+  EXPECT_DOUBLE_EQ(seen, 5.5);
+  EXPECT_DOUBLE_EQ(e.now(), 10.0);
+}
+
+TEST(Engine, RunUntilLeavesFutureEventsPending) {
+  Engine e;
+  bool fired = false;
+  e.schedule_at(5.0, [&] { fired = true; });
+  e.run_until(4.0);
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(e.pending(), 1u);
+  e.run_until(6.0);
+  EXPECT_TRUE(fired);
+}
+
+TEST(Engine, CancelPreventsExecution) {
+  Engine e;
+  bool fired = false;
+  const EventId id = e.schedule_at(1.0, [&] { fired = true; });
+  EXPECT_TRUE(e.cancel(id));
+  EXPECT_FALSE(e.cancel(id));  // second cancel is a no-op
+  e.run_until(2.0);
+  EXPECT_FALSE(fired);
+}
+
+TEST(Engine, ScheduleAfterIsRelative) {
+  Engine e;
+  double seen = -1.0;
+  e.schedule_at(2.0, [&] {
+    e.schedule_after(3.0, [&] { seen = e.now(); });
+  });
+  e.run_until(10.0);
+  EXPECT_DOUBLE_EQ(seen, 5.0);
+}
+
+TEST(Engine, EventsCanScheduleAtCurrentTime) {
+  Engine e;
+  int count = 0;
+  e.schedule_at(1.0, [&] {
+    ++count;
+    e.schedule_at(e.now(), [&] { ++count; });
+  });
+  e.run_until(2.0);
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Engine, RejectsSchedulingInThePast) {
+  Engine e;
+  e.schedule_at(5.0, [] {});
+  e.run_until(5.0);
+  EXPECT_THROW(e.schedule_at(4.0, [] {}), CheckError);
+}
+
+TEST(Engine, CascadedEventChains) {
+  Engine e;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 100) e.schedule_after(0.5, chain);
+  };
+  e.schedule_at(0.0, chain);
+  e.run_until(100.0);
+  EXPECT_EQ(depth, 100);
+}
+
+TEST(Engine, PendingCountTracksCancellations) {
+  Engine e;
+  const EventId a = e.schedule_at(1.0, [] {});
+  e.schedule_at(2.0, [] {});
+  EXPECT_EQ(e.pending(), 2u);
+  e.cancel(a);
+  EXPECT_EQ(e.pending(), 1u);
+}
+
+class RandomEventSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomEventSweep, EventsAlwaysFireInNonDecreasingTimeOrder) {
+  // Property: whatever the scheduling pattern (including events scheduled
+  // from inside events and random cancellations), observed firing times are
+  // non-decreasing and every non-cancelled event fires exactly once.
+  Rng rng(GetParam());
+  Engine e;
+  std::vector<double> fired;
+  std::vector<EventId> cancellable;
+  int scheduled = 0;
+  std::function<void(double)> spawn = [&](double t) {
+    fired.push_back(t);
+    if (scheduled < 200) {
+      const double next = t + rng.uniform(0.0, 3.0);
+      ++scheduled;
+      e.schedule_at(next, [&, next] { spawn(next); });
+      if (rng.bernoulli(0.3)) {
+        ++scheduled;
+        cancellable.push_back(e.schedule_at(t + rng.uniform(0.0, 5.0), [&] {
+          fired.push_back(e.now());
+        }));
+      }
+      if (!cancellable.empty() && rng.bernoulli(0.4)) {
+        e.cancel(cancellable.back());
+        cancellable.pop_back();
+      }
+    }
+  };
+  e.schedule_at(0.0, [&] { spawn(0.0); });
+  e.run_until(1e6);
+  ASSERT_GT(fired.size(), 100u);
+  for (std::size_t i = 1; i < fired.size(); ++i) EXPECT_LE(fired[i - 1], fired[i] + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomEventSweep,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+}  // namespace
+}  // namespace smiless::sim

@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "apps/catalog.hpp"
+#include "cluster/cluster.hpp"
+#include "serverless/platform.hpp"
+#include "serverless/tracing.hpp"
+#include "sim/engine.hpp"
+
+namespace smiless::serverless {
+namespace {
+
+class FixedPolicy : public Policy {
+ public:
+  explicit FixedPolicy(FunctionPlan plan) : plan_(plan) {}
+  std::string name() const override { return "fixed"; }
+  void on_deploy(AppId app, const apps::App& spec, Platform& p) override {
+    for (std::size_t n = 0; n < spec.dag.size(); ++n)
+      p.set_plan(app, static_cast<dag::NodeId>(n), plan_);
+  }
+
+ private:
+  FunctionPlan plan_;
+};
+
+struct Fixture {
+  sim::Engine engine;
+  cluster::Cluster cluster = cluster::Cluster::paper_testbed();
+  Rng rng{9};
+  std::unique_ptr<Platform> platform;
+
+  Fixture() {
+    PlatformOptions options;
+    options.inference_noise = 0.0;
+    options.record_traces = true;
+    platform = std::make_unique<Platform>(engine, cluster, perf::Pricing{}, rng, options);
+  }
+};
+
+FunctionPlan warm_plan() {
+  FunctionPlan p;
+  p.config = {perf::Backend::Cpu, 4, 0};
+  p.keepalive = FunctionPlan::forever();
+  return p;
+}
+
+TEST(Tracing, SpansCoverEveryStage) {
+  Fixture f;
+  const auto app = apps::make_voice_assistant();
+  const auto id = f.platform->deploy(app, std::make_shared<FixedPolicy>(warm_plan()));
+  f.platform->submit_request(id, 1.0);
+  f.engine.run_until(60.0);
+  f.platform->finalize(60.0);
+
+  const auto& traces = f.platform->metrics(id).traces;
+  ASSERT_EQ(traces.size(), 1u);
+  const auto& t = traces[0];
+  EXPECT_DOUBLE_EQ(t.arrival, 1.0);
+  ASSERT_EQ(t.spans.size(), app.dag.size());
+  // Spans are recorded in completion order, which for a pipeline is the
+  // topological order.
+  for (std::size_t i = 0; i < t.spans.size(); ++i)
+    EXPECT_EQ(t.spans[i].node, static_cast<dag::NodeId>(i));
+}
+
+TEST(Tracing, ColdStartShowsAsWaitOnFirstStage) {
+  Fixture f;
+  const auto app = apps::make_voice_assistant();
+  const auto id = f.platform->deploy(app, std::make_shared<FixedPolicy>(warm_plan()));
+  f.platform->submit_request(id, 1.0);
+  f.engine.run_until(60.0);
+  f.platform->finalize(60.0);
+
+  const auto& t = f.platform->metrics(id).traces[0];
+  // Every stage cold-started (no pre-warming): each span waits for its init.
+  for (const auto& span : t.spans) {
+    EXPECT_TRUE(span.cold);
+    EXPECT_GT(span.wait(), 0.5);
+  }
+  EXPECT_EQ(t.cold_stages(), static_cast<int>(app.dag.size()));
+}
+
+TEST(Tracing, WarmRequestHasNoWaits) {
+  Fixture f;
+  const auto app = apps::make_voice_assistant();
+  const auto id = f.platform->deploy(app, std::make_shared<FixedPolicy>(warm_plan()));
+  f.platform->submit_request(id, 1.0);    // warms everything
+  f.platform->submit_request(id, 100.0);  // fully warm path
+  f.engine.run_until(200.0);
+  f.platform->finalize(200.0);
+
+  const auto& traces = f.platform->metrics(id).traces;
+  ASSERT_EQ(traces.size(), 2u);
+  EXPECT_EQ(traces[1].cold_stages(), 0);
+  EXPECT_LT(traces[1].total_wait(), 1e-6);
+  // E2E of the warm request equals the sum of its inference spans.
+  double infer = 0.0;
+  for (const auto& s : traces[1].spans) infer += s.inference();
+  EXPECT_NEAR(traces[1].e2e(), infer, 1e-9);
+}
+
+TEST(Tracing, BatchSizeRecordedOnSpans) {
+  Fixture f;
+  const auto app = apps::make_voice_assistant();
+  FunctionPlan plan = warm_plan();
+  plan.max_batch = 4;
+  const auto id = f.platform->deploy(app, std::make_shared<FixedPolicy>(plan));
+  for (int i = 0; i < 3; ++i) f.platform->submit_request(id, 1.0 + i * 1e-3);
+  f.engine.run_until(120.0);
+  f.platform->finalize(120.0);
+
+  const auto& traces = f.platform->metrics(id).traces;
+  ASSERT_EQ(traces.size(), 3u);
+  // Downstream stages see the three requests batched together.
+  bool any_batched = false;
+  for (const auto& t : traces)
+    for (const auto& s : t.spans)
+      if (s.batch > 1) any_batched = true;
+  EXPECT_TRUE(any_batched);
+}
+
+TEST(Tracing, ParallelBranchSpansOverlapInTime) {
+  Fixture f;
+  const auto app = apps::make_amber_alert();
+  const auto id = f.platform->deploy(app, std::make_shared<FixedPolicy>(warm_plan()));
+  f.platform->submit_request(id, 1.0);
+  f.platform->submit_request(id, 100.0);  // measure the warm request
+  f.engine.run_until(200.0);
+  f.platform->finalize(200.0);
+
+  const auto& t = f.platform->metrics(id).traces[1];
+  // Find the IR and HAP spans; both start when OD completed.
+  const NodeSpan* ir = nullptr;
+  const NodeSpan* hap = nullptr;
+  for (const auto& s : t.spans) {
+    if (app.dag.name(s.node) == "IR") ir = &s;
+    if (app.dag.name(s.node) == "HAP") hap = &s;
+  }
+  ASSERT_TRUE(ir != nullptr && hap != nullptr);
+  EXPECT_NEAR(ir->start, hap->start, 1e-9);
+  EXPECT_LT(ir->start, hap->end);  // concurrent execution
+}
+
+TEST(Tracing, DisabledByDefault) {
+  sim::Engine engine;
+  cluster::Cluster cl = cluster::Cluster::paper_testbed();
+  Rng rng(10);
+  Platform platform(engine, cl, perf::Pricing{}, rng);  // default options
+  const auto id = platform.deploy(apps::make_voice_assistant(),
+                                  std::make_shared<FixedPolicy>(warm_plan()));
+  platform.submit_request(id, 1.0);
+  engine.run_until(60.0);
+  platform.finalize(60.0);
+  EXPECT_EQ(platform.metrics(id).completed.size(), 1u);
+  EXPECT_TRUE(platform.metrics(id).traces.empty());
+}
+
+TEST(Tracing, FormatTraceMentionsColdStages) {
+  Fixture f;
+  const auto app = apps::make_voice_assistant();
+  const auto id = f.platform->deploy(app, std::make_shared<FixedPolicy>(warm_plan()));
+  f.platform->submit_request(id, 1.0);
+  f.engine.run_until(60.0);
+  f.platform->finalize(60.0);
+
+  const auto text = format_trace(f.platform->metrics(id).traces[0], app.dag);
+  EXPECT_NE(text.find("SR"), std::string::npos);
+  EXPECT_NE(text.find("COLD"), std::string::npos);
+  EXPECT_NE(text.find("e2e="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace smiless::serverless

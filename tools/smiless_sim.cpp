@@ -1,0 +1,186 @@
+// smiless_sim — command-line driver for the SMIless serving simulator.
+//
+//   smiless_sim [options]
+//     --app <wl1|wl2|wl3|ipa|path.manifest>   application (default wl3)
+//     --policy <name|all>   smiless, smiless-homo, smiless-no-dag, opt,
+//                           orion, icebreaker, grandslam, aquatope, all
+//                           (default smiless)
+//     --duration <seconds>  synthetic trace length (default 600)
+//     --trace <file.csv>    replay a CSV trace instead of generating one
+//     --sla <seconds>       end-to-end SLA target (default 2.0)
+//     --seed <n>            RNG seed for trace + simulation (default 42)
+//     --no-lstm             use lightweight statistical predictors
+//     --dump-trace <file>   write the (generated) trace as CSV and exit
+//     --slow <n>            print the n slowest request traces (default 0)
+//
+// Examples:
+//   smiless_sim --app wl1 --policy all --duration 900
+//   smiless_sim --app my_app.manifest --trace prod.csv --policy smiless
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "apps/catalog.hpp"
+#include "apps/serialize.hpp"
+#include "baselines/experiment.hpp"
+#include "common/table.hpp"
+#include "core/smiless_policy.hpp"
+#include "math/stats.hpp"
+#include "serverless/tracing.hpp"
+#include "workload/trace_io.hpp"
+
+using namespace smiless;
+
+namespace {
+
+struct CliOptions {
+  std::string app = "wl3";
+  std::string policy = "smiless";
+  std::string trace_file;
+  std::string dump_trace;
+  double duration = 600.0;
+  double sla = 2.0;
+  std::uint64_t seed = 42;
+  bool use_lstm = true;
+  int slow = 0;
+};
+
+[[noreturn]] void usage(const char* argv0, const std::string& error = "") {
+  if (!error.empty()) std::cerr << "error: " << error << "\n\n";
+  std::cerr << "usage: " << argv0
+            << " [--app wl1|wl2|wl3|ipa|file.manifest] [--policy NAME|all]\n"
+               "       [--duration S] [--trace file.csv] [--sla S] [--seed N]\n"
+               "       [--no-lstm] [--dump-trace file.csv] [--slow N]\n";
+  std::exit(error.empty() ? 0 : 2);
+}
+
+CliOptions parse_cli(int argc, char** argv) {
+  CliOptions o;
+  auto need_value = [&](int& i) -> const char* {
+    if (i + 1 >= argc) usage(argv[0], std::string("missing value for ") + argv[i]);
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (!std::strcmp(arg, "--app")) o.app = need_value(i);
+    else if (!std::strcmp(arg, "--policy")) o.policy = need_value(i);
+    else if (!std::strcmp(arg, "--trace")) o.trace_file = need_value(i);
+    else if (!std::strcmp(arg, "--dump-trace")) o.dump_trace = need_value(i);
+    else if (!std::strcmp(arg, "--duration")) o.duration = std::atof(need_value(i));
+    else if (!std::strcmp(arg, "--sla")) o.sla = std::atof(need_value(i));
+    else if (!std::strcmp(arg, "--seed")) o.seed = std::strtoull(need_value(i), nullptr, 10);
+    else if (!std::strcmp(arg, "--no-lstm")) o.use_lstm = false;
+    else if (!std::strcmp(arg, "--slow")) o.slow = std::atoi(need_value(i));
+    else if (!std::strcmp(arg, "--help") || !std::strcmp(arg, "-h")) usage(argv[0]);
+    else usage(argv[0], std::string("unknown option ") + arg);
+  }
+  if (o.duration <= 0.0) usage(argv[0], "--duration must be positive");
+  if (o.sla <= 0.0) usage(argv[0], "--sla must be positive");
+  return o;
+}
+
+apps::App resolve_app(const CliOptions& o) {
+  if (o.app == "wl1") return apps::make_amber_alert(o.sla);
+  if (o.app == "wl2") return apps::make_image_query(o.sla);
+  if (o.app == "wl3") return apps::make_voice_assistant(o.sla);
+  if (o.app == "ipa") return apps::make_ipa(o.sla);
+  std::ifstream is(o.app);
+  if (!is.good()) {
+    std::cerr << "error: unknown app '" << o.app << "' (not a preset or readable file)\n";
+    std::exit(2);
+  }
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  apps::App app = apps::parse_app(buf.str());
+  app.sla = o.sla;
+  return app;
+}
+
+std::vector<baselines::PolicyKind> resolve_policies(const std::string& name) {
+  using K = baselines::PolicyKind;
+  if (name == "all")
+    return {K::Smiless, K::GrandSlam, K::IceBreaker, K::Orion, K::Aquatope, K::Opt};
+  if (name == "smiless") return {K::Smiless};
+  if (name == "smiless-homo") return {K::SmilessHomo};
+  if (name == "smiless-no-dag") return {K::SmilessNoDag};
+  if (name == "opt") return {K::Opt};
+  if (name == "orion") return {K::Orion};
+  if (name == "icebreaker") return {K::IceBreaker};
+  if (name == "grandslam") return {K::GrandSlam};
+  if (name == "aquatope") return {K::Aquatope};
+  std::cerr << "error: unknown policy '" << name << "'\n";
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliOptions cli = parse_cli(argc, argv);
+  const apps::App app = resolve_app(cli);
+
+  workload::Trace trace;
+  if (!cli.trace_file.empty()) {
+    trace = workload::load_csv_file(cli.trace_file);
+  } else {
+    Rng rng(cli.seed);
+    auto trace_options = workload::preset_for_workload(app.name, cli.duration);
+    trace = workload::generate_trace(trace_options, rng);
+  }
+  if (!cli.dump_trace.empty()) {
+    workload::save_csv_file(trace, cli.dump_trace);
+    std::cout << "Wrote " << trace.total_invocations() << " arrivals to " << cli.dump_trace
+              << "\n";
+    return 0;
+  }
+
+  std::cout << "app: " << app.name << " (" << app.dag.size() << " functions, SLA " << app.sla
+            << " s), trace: " << trace.total_invocations() << " requests over "
+            << trace.counts.size() << " s\n\n";
+
+  Rng profile_rng(cli.seed + 1);
+  baselines::ProfileStore store{profiler::OfflineProfiler{}, profile_rng};
+  baselines::PolicySettings settings;
+  settings.use_lstm = cli.use_lstm;
+  settings.oracle_trace = &trace;
+  baselines::ExperimentOptions run_options;
+  run_options.seed = cli.seed;
+  run_options.platform.record_traces = cli.slow > 0;
+
+  TextTable table({"policy", "cost ($)", "p50 E2E (s)", "p99 E2E (s)", "violations",
+                   "inits", "cpu core-s", "gpu pct-s"});
+  for (const auto kind : resolve_policies(cli.policy)) {
+    const auto r = baselines::run_experiment(
+        app, trace, baselines::make_policy(kind, app, store, settings), run_options);
+    table.add_row({r.policy, TextTable::num(r.cost, 4),
+                   TextTable::num(r.e2e.empty() ? 0.0 : math::percentile(r.e2e, 50), 2),
+                   TextTable::num(r.e2e.empty() ? 0.0 : math::percentile(r.e2e, 99), 2),
+                   TextTable::num(100 * r.violation_ratio, 1) + "%",
+                   std::to_string(r.initializations), TextTable::num(r.cpu_core_seconds, 0),
+                   TextTable::num(r.gpu_pct_seconds, 0)});
+  }
+  table.print();
+
+  if (cli.slow > 0) {
+    // Re-run the first policy with tracing to show the slowest requests.
+    sim::Engine engine;
+    cluster::Cluster cluster = cluster::Cluster::paper_testbed();
+    Rng rng(cli.seed);
+    serverless::PlatformOptions popt;
+    popt.record_traces = true;
+    serverless::Platform platform(engine, cluster, perf::Pricing{}, rng, popt);
+    const auto id = platform.deploy(
+        app, baselines::make_policy(resolve_policies(cli.policy)[0], app, store, settings));
+    for (SimTime t : trace.arrivals) platform.submit_request(id, t);
+    const double end = static_cast<double>(trace.counts.size()) + 120.0;
+    engine.run_until(end);
+    platform.finalize(end);
+    auto traces = platform.metrics(id).traces;
+    std::sort(traces.begin(), traces.end(),
+              [](const auto& a, const auto& b) { return a.e2e() > b.e2e(); });
+    std::cout << "\n=== " << cli.slow << " slowest requests ===\n";
+    for (int i = 0; i < cli.slow && i < static_cast<int>(traces.size()); ++i)
+      std::cout << serverless::format_trace(traces[i], app.dag);
+  }
+  return 0;
+}
