@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serve_manifest.dir/serve_manifest.cpp.o"
+  "CMakeFiles/serve_manifest.dir/serve_manifest.cpp.o.d"
+  "serve_manifest"
+  "serve_manifest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serve_manifest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

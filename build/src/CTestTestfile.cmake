@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("math")
+subdirs("concurrency")
+subdirs("dag")
+subdirs("perfmodel")
+subdirs("sim")
+subdirs("cluster")
+subdirs("serverless")
+subdirs("workload")
+subdirs("profiler")
+subdirs("predictor")
+subdirs("apps")
+subdirs("core")
+subdirs("baselines")

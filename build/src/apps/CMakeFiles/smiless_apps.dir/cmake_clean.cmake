@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smiless_apps.dir/catalog.cpp.o"
+  "CMakeFiles/smiless_apps.dir/catalog.cpp.o.d"
+  "CMakeFiles/smiless_apps.dir/serialize.cpp.o"
+  "CMakeFiles/smiless_apps.dir/serialize.cpp.o.d"
+  "libsmiless_apps.a"
+  "libsmiless_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smiless_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smiless_baselines.dir/aquatope.cpp.o"
+  "CMakeFiles/smiless_baselines.dir/aquatope.cpp.o.d"
+  "CMakeFiles/smiless_baselines.dir/experiment.cpp.o"
+  "CMakeFiles/smiless_baselines.dir/experiment.cpp.o.d"
+  "CMakeFiles/smiless_baselines.dir/grandslam.cpp.o"
+  "CMakeFiles/smiless_baselines.dir/grandslam.cpp.o.d"
+  "CMakeFiles/smiless_baselines.dir/icebreaker.cpp.o"
+  "CMakeFiles/smiless_baselines.dir/icebreaker.cpp.o.d"
+  "CMakeFiles/smiless_baselines.dir/orion.cpp.o"
+  "CMakeFiles/smiless_baselines.dir/orion.cpp.o.d"
+  "libsmiless_baselines.a"
+  "libsmiless_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smiless_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

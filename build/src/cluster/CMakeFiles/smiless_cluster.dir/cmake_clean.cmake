@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smiless_cluster.dir/cluster.cpp.o"
+  "CMakeFiles/smiless_cluster.dir/cluster.cpp.o.d"
+  "libsmiless_cluster.a"
+  "libsmiless_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smiless_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smiless_concurrency.dir/thread_pool.cpp.o"
+  "CMakeFiles/smiless_concurrency.dir/thread_pool.cpp.o.d"
+  "libsmiless_concurrency.a"
+  "libsmiless_concurrency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smiless_concurrency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smiless_core.dir/autoscaler.cpp.o"
+  "CMakeFiles/smiless_core.dir/autoscaler.cpp.o.d"
+  "CMakeFiles/smiless_core.dir/prewarm.cpp.o"
+  "CMakeFiles/smiless_core.dir/prewarm.cpp.o.d"
+  "CMakeFiles/smiless_core.dir/smiless_policy.cpp.o"
+  "CMakeFiles/smiless_core.dir/smiless_policy.cpp.o.d"
+  "CMakeFiles/smiless_core.dir/strategy_optimizer.cpp.o"
+  "CMakeFiles/smiless_core.dir/strategy_optimizer.cpp.o.d"
+  "CMakeFiles/smiless_core.dir/workflow_manager.cpp.o"
+  "CMakeFiles/smiless_core.dir/workflow_manager.cpp.o.d"
+  "libsmiless_core.a"
+  "libsmiless_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smiless_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

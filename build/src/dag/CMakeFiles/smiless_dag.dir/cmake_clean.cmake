@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smiless_dag.dir/dag.cpp.o"
+  "CMakeFiles/smiless_dag.dir/dag.cpp.o.d"
+  "CMakeFiles/smiless_dag.dir/serialize.cpp.o"
+  "CMakeFiles/smiless_dag.dir/serialize.cpp.o.d"
+  "libsmiless_dag.a"
+  "libsmiless_dag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smiless_dag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/math/bisection.cpp" "src/math/CMakeFiles/smiless_math.dir/bisection.cpp.o" "gcc" "src/math/CMakeFiles/smiless_math.dir/bisection.cpp.o.d"
+  "/root/repo/src/math/fft.cpp" "src/math/CMakeFiles/smiless_math.dir/fft.cpp.o" "gcc" "src/math/CMakeFiles/smiless_math.dir/fft.cpp.o.d"
+  "/root/repo/src/math/gaussian_process.cpp" "src/math/CMakeFiles/smiless_math.dir/gaussian_process.cpp.o" "gcc" "src/math/CMakeFiles/smiless_math.dir/gaussian_process.cpp.o.d"
+  "/root/repo/src/math/levenberg_marquardt.cpp" "src/math/CMakeFiles/smiless_math.dir/levenberg_marquardt.cpp.o" "gcc" "src/math/CMakeFiles/smiless_math.dir/levenberg_marquardt.cpp.o.d"
+  "/root/repo/src/math/matrix.cpp" "src/math/CMakeFiles/smiless_math.dir/matrix.cpp.o" "gcc" "src/math/CMakeFiles/smiless_math.dir/matrix.cpp.o.d"
+  "/root/repo/src/math/stats.cpp" "src/math/CMakeFiles/smiless_math.dir/stats.cpp.o" "gcc" "src/math/CMakeFiles/smiless_math.dir/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

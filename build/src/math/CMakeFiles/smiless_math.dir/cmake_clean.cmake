@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smiless_math.dir/bisection.cpp.o"
+  "CMakeFiles/smiless_math.dir/bisection.cpp.o.d"
+  "CMakeFiles/smiless_math.dir/fft.cpp.o"
+  "CMakeFiles/smiless_math.dir/fft.cpp.o.d"
+  "CMakeFiles/smiless_math.dir/gaussian_process.cpp.o"
+  "CMakeFiles/smiless_math.dir/gaussian_process.cpp.o.d"
+  "CMakeFiles/smiless_math.dir/levenberg_marquardt.cpp.o"
+  "CMakeFiles/smiless_math.dir/levenberg_marquardt.cpp.o.d"
+  "CMakeFiles/smiless_math.dir/matrix.cpp.o"
+  "CMakeFiles/smiless_math.dir/matrix.cpp.o.d"
+  "CMakeFiles/smiless_math.dir/stats.cpp.o"
+  "CMakeFiles/smiless_math.dir/stats.cpp.o.d"
+  "libsmiless_math.a"
+  "libsmiless_math.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smiless_math.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smiless_perfmodel.dir/hardware.cpp.o"
+  "CMakeFiles/smiless_perfmodel.dir/hardware.cpp.o.d"
+  "libsmiless_perfmodel.a"
+  "libsmiless_perfmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smiless_perfmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

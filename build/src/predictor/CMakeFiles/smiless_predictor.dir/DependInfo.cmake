@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/predictor/classic.cpp" "src/predictor/CMakeFiles/smiless_predictor.dir/classic.cpp.o" "gcc" "src/predictor/CMakeFiles/smiless_predictor.dir/classic.cpp.o.d"
+  "/root/repo/src/predictor/gbt.cpp" "src/predictor/CMakeFiles/smiless_predictor.dir/gbt.cpp.o" "gcc" "src/predictor/CMakeFiles/smiless_predictor.dir/gbt.cpp.o.d"
+  "/root/repo/src/predictor/invocation_classifier.cpp" "src/predictor/CMakeFiles/smiless_predictor.dir/invocation_classifier.cpp.o" "gcc" "src/predictor/CMakeFiles/smiless_predictor.dir/invocation_classifier.cpp.o.d"
+  "/root/repo/src/predictor/lstm.cpp" "src/predictor/CMakeFiles/smiless_predictor.dir/lstm.cpp.o" "gcc" "src/predictor/CMakeFiles/smiless_predictor.dir/lstm.cpp.o.d"
+  "/root/repo/src/predictor/lstm_regressor.cpp" "src/predictor/CMakeFiles/smiless_predictor.dir/lstm_regressor.cpp.o" "gcc" "src/predictor/CMakeFiles/smiless_predictor.dir/lstm_regressor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/math/CMakeFiles/smiless_math.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smiless_predictor.dir/classic.cpp.o"
+  "CMakeFiles/smiless_predictor.dir/classic.cpp.o.d"
+  "CMakeFiles/smiless_predictor.dir/gbt.cpp.o"
+  "CMakeFiles/smiless_predictor.dir/gbt.cpp.o.d"
+  "CMakeFiles/smiless_predictor.dir/invocation_classifier.cpp.o"
+  "CMakeFiles/smiless_predictor.dir/invocation_classifier.cpp.o.d"
+  "CMakeFiles/smiless_predictor.dir/lstm.cpp.o"
+  "CMakeFiles/smiless_predictor.dir/lstm.cpp.o.d"
+  "CMakeFiles/smiless_predictor.dir/lstm_regressor.cpp.o"
+  "CMakeFiles/smiless_predictor.dir/lstm_regressor.cpp.o.d"
+  "libsmiless_predictor.a"
+  "libsmiless_predictor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smiless_predictor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

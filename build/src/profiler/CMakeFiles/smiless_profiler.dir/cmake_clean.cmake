@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smiless_profiler.dir/offline_profiler.cpp.o"
+  "CMakeFiles/smiless_profiler.dir/offline_profiler.cpp.o.d"
+  "libsmiless_profiler.a"
+  "libsmiless_profiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smiless_profiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

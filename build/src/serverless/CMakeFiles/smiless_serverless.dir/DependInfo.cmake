@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/serverless/platform.cpp" "src/serverless/CMakeFiles/smiless_serverless.dir/platform.cpp.o" "gcc" "src/serverless/CMakeFiles/smiless_serverless.dir/platform.cpp.o.d"
+  "/root/repo/src/serverless/tracing.cpp" "src/serverless/CMakeFiles/smiless_serverless.dir/tracing.cpp.o" "gcc" "src/serverless/CMakeFiles/smiless_serverless.dir/tracing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/smiless_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/smiless_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/perfmodel/CMakeFiles/smiless_perfmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/dag/CMakeFiles/smiless_dag.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/smiless_apps.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

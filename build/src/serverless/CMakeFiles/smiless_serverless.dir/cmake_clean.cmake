@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smiless_serverless.dir/platform.cpp.o"
+  "CMakeFiles/smiless_serverless.dir/platform.cpp.o.d"
+  "CMakeFiles/smiless_serverless.dir/tracing.cpp.o"
+  "CMakeFiles/smiless_serverless.dir/tracing.cpp.o.d"
+  "libsmiless_serverless.a"
+  "libsmiless_serverless.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smiless_serverless.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

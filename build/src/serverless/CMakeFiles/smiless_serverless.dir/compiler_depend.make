@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for smiless_serverless.
+# This may be replaced when dependencies are built.

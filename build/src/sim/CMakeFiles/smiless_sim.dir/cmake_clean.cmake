@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smiless_sim.dir/engine.cpp.o"
+  "CMakeFiles/smiless_sim.dir/engine.cpp.o.d"
+  "libsmiless_sim.a"
+  "libsmiless_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smiless_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smiless_workload.dir/trace.cpp.o"
+  "CMakeFiles/smiless_workload.dir/trace.cpp.o.d"
+  "CMakeFiles/smiless_workload.dir/trace_io.cpp.o"
+  "CMakeFiles/smiless_workload.dir/trace_io.cpp.o.d"
+  "libsmiless_workload.a"
+  "libsmiless_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smiless_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for smiless_workload.
+# This may be replaced when dependencies are built.

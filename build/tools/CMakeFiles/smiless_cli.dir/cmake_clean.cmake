@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smiless_cli.dir/smiless_sim.cpp.o"
+  "CMakeFiles/smiless_cli.dir/smiless_sim.cpp.o.d"
+  "smiless"
+  "smiless.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smiless_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
