@@ -26,6 +26,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/perfmodel/CMakeFiles/smiless_perfmodel.dir/DependInfo.cmake"
   "/root/repo/build/src/math/CMakeFiles/smiless_math.dir/DependInfo.cmake"
   "/root/repo/build/src/concurrency/CMakeFiles/smiless_concurrency.dir/DependInfo.cmake"
+  "/root/repo/build/src/faults/CMakeFiles/smiless_faults.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

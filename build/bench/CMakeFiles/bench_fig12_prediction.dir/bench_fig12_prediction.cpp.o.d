@@ -257,13 +257,16 @@ bench/CMakeFiles/bench_fig12_prediction.dir/bench_fig12_prediction.cpp.o: \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h /usr/include/c++/12/future \
  /usr/include/c++/12/mutex /usr/include/c++/12/bits/atomic_futex.h \
- /usr/include/c++/12/thread /root/repo/src/profiler/offline_profiler.hpp \
+ /usr/include/c++/12/thread /root/repo/src/faults/fault_injector.hpp \
+ /usr/include/c++/12/optional /root/repo/src/cluster/cluster.hpp \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/sim/engine.hpp /usr/include/c++/12/queue \
+ /usr/include/c++/12/bits/stl_queue.h \
+ /root/repo/src/profiler/offline_profiler.hpp \
  /root/repo/src/serverless/metrics.hpp \
  /root/repo/src/serverless/tracing.hpp \
- /root/repo/src/serverless/platform.hpp /usr/include/c++/12/optional \
- /root/repo/src/cluster/cluster.hpp /root/repo/src/serverless/plan.hpp \
- /root/repo/src/serverless/policy.hpp /root/repo/src/sim/engine.hpp \
- /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
+ /root/repo/src/serverless/platform.hpp \
+ /root/repo/src/serverless/plan.hpp /root/repo/src/serverless/policy.hpp \
  /root/repo/src/workload/trace.hpp /root/repo/src/common/table.hpp \
  /usr/include/c++/12/iomanip /usr/include/c++/12/locale \
  /usr/include/c++/12/bits/locale_facets_nonio.h \

@@ -11,6 +11,7 @@ subdirs("dag")
 subdirs("perfmodel")
 subdirs("sim")
 subdirs("cluster")
+subdirs("faults")
 subdirs("serverless")
 subdirs("workload")
 subdirs("profiler")

@@ -261,6 +261,7 @@ src/baselines/CMakeFiles/smiless_baselines.dir/icebreaker.cpp.o: \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h /usr/include/c++/12/optional \
  /root/repo/src/apps/app.hpp /root/repo/src/cluster/cluster.hpp \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/serverless/metrics.hpp \
  /root/repo/src/serverless/tracing.hpp /root/repo/src/serverless/plan.hpp \
  /root/repo/src/serverless/policy.hpp /root/repo/src/sim/engine.hpp \

@@ -24,6 +24,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/serverless/CMakeFiles/smiless_serverless.dir/DependInfo.cmake"
   "/root/repo/build/src/predictor/CMakeFiles/smiless_predictor.dir/DependInfo.cmake"
   "/root/repo/build/src/apps/CMakeFiles/smiless_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/faults/CMakeFiles/smiless_faults.dir/DependInfo.cmake"
   "/root/repo/build/src/sim/CMakeFiles/smiless_sim.dir/DependInfo.cmake"
   "/root/repo/build/src/cluster/CMakeFiles/smiless_cluster.dir/DependInfo.cmake"
   )

@@ -265,6 +265,7 @@ src/core/CMakeFiles/smiless_core.dir/smiless_policy.cpp.o: \
  /root/repo/src/predictor/series_predictor.hpp \
  /root/repo/src/serverless/platform.hpp /usr/include/c++/12/optional \
  /root/repo/src/apps/app.hpp /root/repo/src/cluster/cluster.hpp \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/serverless/metrics.hpp \
  /root/repo/src/serverless/tracing.hpp /root/repo/src/serverless/plan.hpp \
  /root/repo/src/serverless/policy.hpp /root/repo/src/sim/engine.hpp \

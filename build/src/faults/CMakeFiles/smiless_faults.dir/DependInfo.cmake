@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/faults/fault_injector.cpp" "src/faults/CMakeFiles/smiless_faults.dir/fault_injector.cpp.o" "gcc" "src/faults/CMakeFiles/smiless_faults.dir/fault_injector.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/smiless_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/smiless_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/perfmodel/CMakeFiles/smiless_perfmodel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smiless_faults.dir/fault_injector.cpp.o"
+  "CMakeFiles/smiless_faults.dir/fault_injector.cpp.o.d"
+  "libsmiless_faults.a"
+  "libsmiless_faults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smiless_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

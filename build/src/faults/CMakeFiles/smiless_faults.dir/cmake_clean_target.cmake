@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsmiless_faults.a"
+)

@@ -16,6 +16,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/sim/CMakeFiles/smiless_sim.dir/DependInfo.cmake"
   "/root/repo/build/src/cluster/CMakeFiles/smiless_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/faults/CMakeFiles/smiless_faults.dir/DependInfo.cmake"
   "/root/repo/build/src/perfmodel/CMakeFiles/smiless_perfmodel.dir/DependInfo.cmake"
   "/root/repo/build/src/dag/CMakeFiles/smiless_dag.dir/DependInfo.cmake"
   "/root/repo/build/src/apps/CMakeFiles/smiless_apps.dir/DependInfo.cmake"

@@ -46,8 +46,8 @@ src/serverless/CMakeFiles/smiless_serverless.dir/platform.cpp.o: \
  /usr/include/c++/12/bits/stl_function.h \
  /usr/include/c++/12/backward/binders.h \
  /usr/include/c++/12/bits/range_access.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/memory \
- /usr/include/c++/12/bits/stl_tempbuf.h \
+ /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/limits \
+ /usr/include/c++/12/memory /usr/include/c++/12/bits/stl_tempbuf.h \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
  /usr/lib/gcc/x86_64-linux-gnu/12/include/stdint.h /usr/include/stdint.h \
@@ -213,8 +213,7 @@ src/serverless/CMakeFiles/smiless_serverless.dir/platform.cpp.o: \
  /usr/include/x86_64-linux-gnu/bits/mathcalls.h \
  /usr/include/x86_64-linux-gnu/bits/mathcalls-narrow.h \
  /usr/include/x86_64-linux-gnu/bits/iscanonical.h \
- /usr/include/c++/12/bits/specfun.h /usr/include/c++/12/limits \
- /usr/include/c++/12/tr1/gamma.tcc \
+ /usr/include/c++/12/bits/specfun.h /usr/include/c++/12/tr1/gamma.tcc \
  /usr/include/c++/12/tr1/special_function_util.h \
  /usr/include/c++/12/tr1/bessel_function.tcc \
  /usr/include/c++/12/tr1/beta_function.tcc \
@@ -236,9 +235,6 @@ src/serverless/CMakeFiles/smiless_serverless.dir/platform.cpp.o: \
  /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc /root/repo/src/common/units.hpp \
  /root/repo/src/perfmodel/hardware.hpp /root/repo/src/cluster/cluster.hpp \
- /root/repo/src/serverless/metrics.hpp \
- /root/repo/src/serverless/tracing.hpp /root/repo/src/serverless/plan.hpp \
- /root/repo/src/serverless/policy.hpp /root/repo/src/sim/engine.hpp \
  /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
@@ -246,8 +242,13 @@ src/serverless/CMakeFiles/smiless_serverless.dir/platform.cpp.o: \
  /usr/include/c++/12/bits/unordered_map.h \
  /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
- /usr/include/c++/12/bits/stl_heap.h /usr/include/c++/12/queue \
- /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/algorithm \
- /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/stl_heap.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/serverless/metrics.hpp \
+ /root/repo/src/serverless/tracing.hpp /root/repo/src/serverless/plan.hpp \
+ /root/repo/src/serverless/policy.hpp /root/repo/src/sim/engine.hpp \
+ /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
- /usr/include/c++/12/pstl/glue_algorithm_defs.h
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /root/repo/src/faults/fault_injector.hpp

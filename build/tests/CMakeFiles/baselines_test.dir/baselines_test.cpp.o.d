@@ -347,6 +347,7 @@ tests/CMakeFiles/baselines_test.dir/baselines_test.cpp.o: \
  /root/repo/src/serverless/policy.hpp /root/repo/src/sim/engine.hpp \
  /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
  /root/repo/src/baselines/experiment.hpp \
+ /root/repo/src/faults/fault_injector.hpp \
  /root/repo/src/profiler/offline_profiler.hpp \
  /root/repo/src/workload/trace.hpp /root/repo/src/baselines/grandslam.hpp \
  /root/repo/src/baselines/icebreaker.hpp \

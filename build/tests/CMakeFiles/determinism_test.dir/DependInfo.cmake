@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/determinism_test.cpp" "tests/CMakeFiles/determinism_test.dir/determinism_test.cpp.o" "gcc" "tests/CMakeFiles/determinism_test.dir/determinism_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baselines/CMakeFiles/smiless_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/smiless_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/serverless/CMakeFiles/smiless_serverless.dir/DependInfo.cmake"
+  "/root/repo/build/src/predictor/CMakeFiles/smiless_predictor.dir/DependInfo.cmake"
+  "/root/repo/build/src/profiler/CMakeFiles/smiless_profiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/smiless_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/smiless_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/smiless_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/smiless_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/dag/CMakeFiles/smiless_dag.dir/DependInfo.cmake"
+  "/root/repo/build/src/perfmodel/CMakeFiles/smiless_perfmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/smiless_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/concurrency/CMakeFiles/smiless_concurrency.dir/DependInfo.cmake"
+  "/root/repo/build/src/faults/CMakeFiles/smiless_faults.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -338,13 +338,14 @@ tests/CMakeFiles/policy_test.dir/policy_test.cpp.o: \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /usr/include/c++/12/future /usr/include/c++/12/mutex \
  /usr/include/c++/12/bits/atomic_futex.h /usr/include/c++/12/thread \
+ /root/repo/src/faults/fault_injector.hpp \
+ /root/repo/src/cluster/cluster.hpp /root/repo/src/sim/engine.hpp \
+ /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
  /root/repo/src/profiler/offline_profiler.hpp \
  /root/repo/src/serverless/metrics.hpp \
  /root/repo/src/serverless/tracing.hpp \
  /root/repo/src/serverless/platform.hpp \
- /root/repo/src/cluster/cluster.hpp /root/repo/src/serverless/plan.hpp \
- /root/repo/src/serverless/policy.hpp /root/repo/src/sim/engine.hpp \
- /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
+ /root/repo/src/serverless/plan.hpp /root/repo/src/serverless/policy.hpp \
  /root/repo/src/workload/trace.hpp /root/repo/src/core/smiless_policy.hpp \
  /root/repo/src/core/autoscaler.hpp /root/repo/src/core/prewarm.hpp \
  /root/repo/src/core/workflow_manager.hpp \

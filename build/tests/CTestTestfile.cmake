@@ -13,6 +13,8 @@ include("/root/repo/build/tests/workload_test[1]_include.cmake")
 include("/root/repo/build/tests/profiler_test[1]_include.cmake")
 include("/root/repo/build/tests/predictor_test[1]_include.cmake")
 include("/root/repo/build/tests/platform_test[1]_include.cmake")
+include("/root/repo/build/tests/faults_test[1]_include.cmake")
+include("/root/repo/build/tests/determinism_test[1]_include.cmake")
 include("/root/repo/build/tests/core_test[1]_include.cmake")
 include("/root/repo/build/tests/baselines_test[1]_include.cmake")
 include("/root/repo/build/tests/integration_test[1]_include.cmake")

@@ -34,13 +34,47 @@ std::vector<perf::FunctionPerf> ProfileStore::for_app(const apps::App& app) cons
   return out;
 }
 
+namespace {
+
+/// Copy one app's books into a RunResult and derive the violation ratio.
+void fill_result(RunResult& r, const serverless::AppMetrics& m, double sla) {
+  r.cost = m.total_cost();
+  r.submitted = m.submitted;
+  r.completed = static_cast<long>(m.completed.size());
+  r.failed = m.failed;
+  r.invocations = m.total_invocations();
+  r.initializations = m.total_initializations();
+  r.init_failures = m.total_init_failures();
+  r.evictions = m.total_evictions();
+  r.retries = m.total_retries();
+  r.timeouts = m.total_timeouts();
+  r.cpu_core_seconds = m.total_cpu_seconds();
+  r.gpu_pct_seconds = m.total_gpu_seconds();
+  r.windows = m.windows;
+  r.e2e.reserve(m.completed.size());
+  for (const auto& rec : m.completed) r.e2e.push_back(rec.e2e());
+  long violations = 0;
+  for (const auto& rec : m.completed)
+    if (rec.e2e() > sla) ++violations;
+  violations += std::max<long>(0, r.submitted - r.completed);  // undelivered or failed
+  r.violation_ratio = r.submitted == 0 ? 0.0
+                                       : static_cast<double>(violations) /
+                                             static_cast<double>(r.submitted);
+}
+
+}  // namespace
+
 RunResult run_experiment(const apps::App& app, const workload::Trace& trace,
                          std::shared_ptr<serverless::Policy> policy,
                          const ExperimentOptions& options) {
   sim::Engine engine;
   cluster::Cluster cluster = cluster::Cluster::paper_testbed();
   Rng rng(options.seed);
-  serverless::Platform platform(engine, cluster, perf::Pricing{}, rng, options.platform);
+  faults::FaultInjector injector(options.faults, rng);
+  serverless::PlatformOptions popt = options.platform;
+  if (injector.enabled()) popt.faults = &injector;
+  serverless::Platform platform(engine, cluster, perf::Pricing{}, rng, popt);
+  injector.arm(engine, cluster);
 
   RunResult out;
   out.policy = policy->name();
@@ -54,25 +88,7 @@ RunResult run_experiment(const apps::App& app, const workload::Trace& trace,
   engine.run_until(end);
   platform.finalize(end);
 
-  const auto& m = platform.metrics(id);
-  out.cost = m.total_cost();
-  out.submitted = m.submitted;
-  out.completed = static_cast<long>(m.completed.size());
-  out.invocations = m.total_invocations();
-  out.initializations = m.total_initializations();
-  out.cpu_core_seconds = m.total_cpu_seconds();
-  out.gpu_pct_seconds = m.total_gpu_seconds();
-  out.windows = m.windows;
-  out.e2e.reserve(m.completed.size());
-  for (const auto& r : m.completed) out.e2e.push_back(r.e2e());
-
-  long violations = 0;
-  for (const auto& r : m.completed)
-    if (r.e2e() > app.sla) ++violations;
-  violations += std::max<long>(0, out.submitted - out.completed);  // undelivered
-  out.violation_ratio =
-      out.submitted == 0 ? 0.0
-                         : static_cast<double>(violations) / static_cast<double>(out.submitted);
+  fill_result(out, platform.metrics(id), app.sla);
   return out;
 }
 
@@ -82,7 +98,11 @@ std::vector<RunResult> run_colocated(std::vector<ColocatedApp> apps,
   sim::Engine engine;
   cluster::Cluster cluster = cluster::Cluster::paper_testbed();
   Rng rng(options.seed);
-  serverless::Platform platform(engine, cluster, perf::Pricing{}, rng, options.platform);
+  faults::FaultInjector injector(options.faults, rng);
+  serverless::PlatformOptions popt = options.platform;
+  if (injector.enabled()) popt.faults = &injector;
+  serverless::Platform platform(engine, cluster, perf::Pricing{}, rng, popt);
+  injector.arm(engine, cluster);
 
   std::vector<RunResult> out(apps.size());
   std::vector<serverless::AppId> ids(apps.size());
@@ -101,27 +121,8 @@ std::vector<RunResult> run_colocated(std::vector<ColocatedApp> apps,
   engine.run_until(end);
   platform.finalize(end);
 
-  for (std::size_t i = 0; i < apps.size(); ++i) {
-    const auto& m = platform.metrics(ids[i]);
-    auto& r = out[i];
-    r.cost = m.total_cost();
-    r.submitted = m.submitted;
-    r.completed = static_cast<long>(m.completed.size());
-    r.invocations = m.total_invocations();
-    r.initializations = m.total_initializations();
-    r.cpu_core_seconds = m.total_cpu_seconds();
-    r.gpu_pct_seconds = m.total_gpu_seconds();
-    r.windows = m.windows;
-    r.e2e.reserve(m.completed.size());
-    for (const auto& rec : m.completed) r.e2e.push_back(rec.e2e());
-    long violations = 0;
-    for (const auto& rec : m.completed)
-      if (rec.e2e() > apps[i].app.sla) ++violations;
-    violations += std::max<long>(0, r.submitted - r.completed);
-    r.violation_ratio = r.submitted == 0 ? 0.0
-                                         : static_cast<double>(violations) /
-                                               static_cast<double>(r.submitted);
-  }
+  for (std::size_t i = 0; i < apps.size(); ++i)
+    fill_result(out[i], platform.metrics(ids[i]), apps[i].app.sla);
   return out;
 }
 

@@ -6,6 +6,7 @@
 
 #include "apps/app.hpp"
 #include "concurrency/thread_pool.hpp"
+#include "faults/fault_injector.hpp"
 #include "profiler/offline_profiler.hpp"
 #include "serverless/metrics.hpp"
 #include "serverless/platform.hpp"
@@ -37,6 +38,9 @@ struct ExperimentOptions {
   std::uint64_t seed = 42;
   double drain_slack = 120.0;  ///< extra sim time to drain in-flight requests
   serverless::PlatformOptions platform;
+  /// Fault injection for the run; the default (all zero) is fault-free and
+  /// reproduces the exact fault-less trajectory for a given seed.
+  faults::FaultSpec faults;
 };
 
 /// Outcome of serving one trace with one policy.
@@ -48,11 +52,21 @@ struct RunResult {
   std::vector<double> e2e;       ///< per completed request
   long submitted = 0;
   long completed = 0;
+  long failed = 0;  ///< terminal Failed requests (timeout / retries exhausted)
   long invocations = 0;
   long initializations = 0;
+  long init_failures = 0;
+  long evictions = 0;
+  long retries = 0;
+  long timeouts = 0;
   double cpu_core_seconds = 0.0;
   double gpu_pct_seconds = 0.0;
   std::vector<serverless::WindowSample> windows;
+
+  /// Fraction of submitted requests that completed.
+  double goodput() const {
+    return submitted == 0 ? 1.0 : static_cast<double>(completed) / static_cast<double>(submitted);
+  }
 };
 
 /// Serve `trace` against `app` under `policy` on the paper's 8-machine

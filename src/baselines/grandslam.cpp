@@ -71,4 +71,14 @@ void GrandSlamPolicy::on_deploy(serverless::AppId app, const apps::App& spec,
   }
 }
 
+void GrandSlamPolicy::on_instance_failed(serverless::AppId app, const apps::App& spec,
+                                         serverless::Platform& platform, dag::NodeId node,
+                                         serverless::InstanceFailure kind) {
+  (void)spec;
+  (void)kind;
+  const auto& plan = platform.plan(app, node);
+  while (platform.instances_total(app, node) < plan.min_instances)
+    if (!platform.spawn_instance(app, node)) break;  // cluster full; retry path takes over
+}
+
 }  // namespace smiless::baselines

@@ -32,6 +32,11 @@ class GrandSlamPolicy : public serverless::Policy {
   std::string name() const override { return "GrandSLAm"; }
   void on_deploy(serverless::AppId app, const apps::App& spec,
                  serverless::Platform& platform) override;
+  /// The fleet is provisioned once and kept warm forever, so any
+  /// involuntary death is immediately replaced up to the floor.
+  void on_instance_failed(serverless::AppId app, const apps::App& spec,
+                          serverless::Platform& platform, dag::NodeId node,
+                          serverless::InstanceFailure kind) override;
 
   const std::vector<double>& sub_slas() const { return sub_slas_; }
 

@@ -173,6 +173,23 @@ void SmilessPolicy::on_arrival(serverless::AppId app, const apps::App& spec,
   }
 }
 
+void SmilessPolicy::on_instance_failed(serverless::AppId app, const apps::App& spec,
+                                       serverless::Platform& platform, dag::NodeId node,
+                                       serverless::InstanceFailure kind) {
+  (void)spec;
+  (void)kind;
+  SMILESS_CHECK(app == app_id_);
+  // Re-provision up to the plan's floor. An always-warm function (Case-II
+  // KeepAlive with infinite keep-alive) restores its single warm instance
+  // too; everything else relies on the platform's cold-start retry path,
+  // which re-creates an instance as soon as queued work needs one.
+  const auto& plan = platform.plan(app, node);
+  int want = plan.min_instances;
+  if (plan.keepalive == serverless::FunctionPlan::forever()) want = std::max(want, 1);
+  while (platform.instances_total(app, node) < want)
+    if (!platform.spawn_instance(app, node)) break;  // no capacity; retry path takes over
+}
+
 void SmilessPolicy::update_gap_discount() {
   if (!options_.variability_aware) {
     gap_discount_ = 0.0;

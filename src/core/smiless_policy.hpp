@@ -87,6 +87,11 @@ class SmilessPolicy : public serverless::Policy {
                  serverless::Platform& platform, const serverless::WindowStats& stats) override;
   void on_arrival(serverless::AppId app, const apps::App& spec,
                   serverless::Platform& platform, SimTime now) override;
+  /// Restore the scale-out floor (and the warm pool of always-warm
+  /// functions) after a failed init or a machine-down eviction.
+  void on_instance_failed(serverless::AppId app, const apps::App& spec,
+                          serverless::Platform& platform, dag::NodeId node,
+                          serverless::InstanceFailure kind) override;
 
   /// The currently deployed solution (for tests and benches).
   const AppSolution& solution() const { return solution_; }

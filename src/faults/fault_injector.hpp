@@ -1,0 +1,104 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "sim/engine.hpp"
+
+namespace smiless::faults {
+
+/// One deterministic machine outage: `machine` goes down at sim time `at`
+/// and recovers `duration` seconds later (infinity = never recovers).
+struct ScheduledCrash {
+  int machine = 0;
+  double at = 0.0;
+  double duration = 30.0;
+};
+
+/// Knob set for the failure model. Everything defaults to *off*, so a
+/// default-constructed spec reproduces the fault-free simulator exactly
+/// (no RNG draws, no scheduled events, no behavioural change).
+struct FaultSpec {
+  /// Probability that a container initialization fails at the end of its
+  /// init period (the container is billed for the attempt and torn down).
+  double init_failure_prob = 0.0;
+
+  /// Probability that one inference call is a straggler, and the latency
+  /// inflation applied when it is.
+  double straggler_prob = 0.0;
+  double straggler_factor = 4.0;
+
+  /// Random whole-machine crashes: per-machine crash rate (crashes per
+  /// sim-second while up) and mean time to repair (exponential). With
+  /// `crash_horizon` > 0 no random crash is scheduled past that time, so
+  /// drain periods stay failure-free.
+  double crash_rate = 0.0;
+  double mttr = 30.0;
+  double crash_horizon = 0.0;
+
+  /// Deterministic outages, applied in addition to random crashes.
+  std::vector<ScheduledCrash> crashes;
+
+  /// Decorrelates the fault stream from its parent Rng.
+  std::uint64_t salt = 0xFA017;
+
+  /// True when any fault path can trigger.
+  bool any() const {
+    return init_failure_prob > 0.0 || straggler_prob > 0.0 || crash_rate > 0.0 ||
+           !crashes.empty();
+  }
+};
+
+/// Counters of what the injector actually did (distinct from the platform's
+/// view of the consequences — see FunctionMetrics).
+struct FaultStats {
+  long init_failures = 0;  ///< init attempts the injector failed
+  long stragglers = 0;     ///< inference calls inflated
+  long crashes = 0;        ///< machine-down transitions
+  long recoveries = 0;     ///< machine-up transitions
+};
+
+/// Deterministic fault source for the whole simulation. All randomness is
+/// drawn from a child stream forked off the shared experiment Rng, so a run
+/// with faults enabled is exactly as replayable as one without; with every
+/// knob at its default the injector consumes no randomness at all and the
+/// parent stream is left untouched.
+class FaultInjector {
+ public:
+  /// Forks a child stream from `parent` iff `spec.any()`.
+  FaultInjector(FaultSpec spec, Rng& parent);
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  bool enabled() const { return spec_.any(); }
+  const FaultSpec& spec() const { return spec_; }
+
+  /// Should this container initialization fail? Draws only when the
+  /// probability is non-zero.
+  bool sample_init_failure();
+
+  /// Apply straggler inflation to a sampled inference latency.
+  double inflate_inference(double latency);
+
+  /// Schedule the machine crash/recovery process on the engine. A no-op
+  /// when no crash knob is set. Call once, before the simulation runs.
+  void arm(sim::Engine& engine, cluster::Cluster& cluster);
+
+  const FaultStats& stats() const { return stats_; }
+
+ private:
+  void crash_machine(sim::Engine& engine, cluster::Cluster& cluster, int machine,
+                     double duration);
+  void schedule_next_random_crash(sim::Engine& engine, cluster::Cluster& cluster, int machine);
+
+  FaultSpec spec_;
+  std::optional<Rng> rng_;  ///< engaged iff spec_.any()
+  FaultStats stats_;
+};
+
+}  // namespace smiless::faults

@@ -12,6 +12,10 @@ struct FunctionMetrics {
   long invocations = 0;     ///< function executions (batch items)
   long batches = 0;         ///< inference calls (>= invocations / max_batch)
   long initializations = 0; ///< container (re)inits — Fig. 9b numerator
+  long init_failures = 0;   ///< container inits that failed (fault injection)
+  long evictions = 0;       ///< instances killed by a machine going down
+  long retries = 0;         ///< re-dispatches: backoff retries + evicted invocations
+  long timeouts = 0;        ///< invocations that hit the per-invocation timeout
   double billed_seconds = 0.0;
   double billed_cpu_seconds = 0.0;   ///< core-seconds billed on CPU configs
   double billed_gpu_seconds = 0.0;   ///< GPU-percent-seconds billed
@@ -41,6 +45,9 @@ struct AppMetrics {
   /// PlatformOptions::record_traces is set.
   std::vector<RequestTrace> traces;
   long submitted = 0;
+  /// Requests that reached the terminal Failed state (timeout or retry
+  /// budget exhausted). completed.size() + failed <= submitted.
+  long failed = 0;
   std::vector<FunctionMetrics> per_function;  // by DAG node id
   std::vector<WindowSample> windows;
 
@@ -68,6 +75,32 @@ struct AppMetrics {
     double s = 0.0;
     for (const auto& f : per_function) s += f.billed_gpu_seconds;
     return s;
+  }
+  long total_init_failures() const {
+    long n = 0;
+    for (const auto& f : per_function) n += f.init_failures;
+    return n;
+  }
+  long total_evictions() const {
+    long n = 0;
+    for (const auto& f : per_function) n += f.evictions;
+    return n;
+  }
+  long total_retries() const {
+    long n = 0;
+    for (const auto& f : per_function) n += f.retries;
+    return n;
+  }
+  long total_timeouts() const {
+    long n = 0;
+    for (const auto& f : per_function) n += f.timeouts;
+    return n;
+  }
+  /// Fraction of submitted requests that completed (1.0 when nothing was
+  /// submitted) — the goodput the fault benches report.
+  double goodput() const {
+    if (submitted == 0) return 1.0;
+    return static_cast<double>(completed.size()) / static_cast<double>(submitted);
   }
   /// Fraction of completed requests whose E2E latency exceeded `sla`.
   double sla_violation_ratio(double sla) const {

@@ -1,7 +1,10 @@
 #include "serverless/platform.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
+
+#include "faults/fault_injector.hpp"
 
 namespace smiless::serverless {
 
@@ -19,6 +22,8 @@ struct Platform::Instance {
   SimTime kill_at = std::numeric_limits<SimTime>::infinity();  // armed reap time
   bool served = false;          // has executed at least one batch
   sim::EventId kill_timer = 0;  // pending keep-alive reap, 0 if none
+  sim::EventId pending = 0;     // in-flight init or batch-completion event
+  std::vector<int> inflight;    // requests executing in the current batch
 };
 
 struct Platform::FnState {
@@ -28,6 +33,7 @@ struct Platform::FnState {
   std::vector<sim::EventId> prewarms;
   int next_instance_id = 0;
   bool retry_scheduled = false;
+  int retry_attempts = 0;  // consecutive failed cold starts (alloc or init)
 };
 
 struct Platform::RequestState {
@@ -35,8 +41,11 @@ struct Platform::RequestState {
   std::vector<int> pending_preds;  // per node
   std::vector<SimTime> ready_at;   // when each node's invocation became ready
   std::vector<NodeSpan> spans;     // recorded when tracing is enabled
+  std::vector<sim::EventId> timeout_ev;  // per node; non-empty iff timeout armed
   int sinks_remaining = 0;
+  int retries = 0;  // times any invocation of this request was re-dispatched
   bool done = false;
+  bool failed = false;  // terminal Failed state (timeout / retries exhausted)
 };
 
 struct Platform::AppState {
@@ -54,9 +63,16 @@ Platform::Platform(sim::Engine& engine, cluster::Cluster& cluster, perf::Pricing
                    Rng& rng, PlatformOptions options)
     : engine_(engine), cluster_(cluster), pricing_(pricing), rng_(rng), options_(options) {
   SMILESS_CHECK(options_.window > 0.0);
+  SMILESS_CHECK(options_.retry_delay > 0.0);
+  SMILESS_CHECK(options_.retry_backoff >= 1.0);
+  SMILESS_CHECK(options_.retry_max_delay >= options_.retry_delay);
+  SMILESS_CHECK(options_.request_timeout > 0.0);
+  cluster_listener_ = cluster_.add_listener([this](int machine, bool up) {
+    if (!up) on_machine_down(machine);
+  });
 }
 
-Platform::~Platform() = default;
+Platform::~Platform() { cluster_.remove_listener(cluster_listener_); }
 
 Platform::AppState& Platform::state(AppId app) {
   SMILESS_CHECK(app >= 0 && static_cast<std::size_t>(app) < apps_.size());
@@ -147,11 +163,66 @@ void Platform::enqueue_invocation(AppId app, dag::NodeId node, int request) {
   auto& a = state(app);
   auto& f = fn_state(app, node);
   if (options_.record_traces) a.requests[request].ready_at[node] = engine_.now();
+  arm_timeout(app, node, request);
   f.queue.push_back(request);
   dispatch(app, node);
 }
 
+void Platform::arm_timeout(AppId app, dag::NodeId node, int request) {
+  if (!std::isfinite(options_.request_timeout)) return;
+  auto& a = state(app);
+  auto& req = a.requests[request];
+  if (req.timeout_ev.empty()) req.timeout_ev.assign(a.spec.dag.size(), 0);
+  if (req.timeout_ev[node] != 0) return;  // deadline set at first readiness
+  req.timeout_ev[node] =
+      engine_.schedule_after(options_.request_timeout, [this, app, node, request] {
+        if (finalized_) return;
+        auto& st = state(app);
+        auto& r = st.requests[request];
+        r.timeout_ev[node] = 0;
+        if (r.done || r.failed) return;
+        ++st.metrics.per_function[node].timeouts;
+        fail_request(app, request);
+      });
+}
+
+void Platform::fail_request(AppId app, int request) {
+  auto& a = state(app);
+  auto& req = a.requests[request];
+  if (req.done || req.failed) return;
+  req.failed = true;
+  ++a.metrics.failed;
+  for (auto& ev : req.timeout_ev) {
+    if (ev != 0) {
+      engine_.cancel(ev);
+      ev = 0;
+    }
+  }
+  // Strip every queued (not yet executing) invocation of this request; a
+  // batch already in flight finishes and is ignored by complete_node.
+  for (auto& f : a.fns) {
+    for (auto it = f.queue.begin(); it != f.queue.end();)
+      it = (*it == request) ? f.queue.erase(it) : std::next(it);
+  }
+}
+
+void Platform::fail_queued(AppId app, dag::NodeId node) {
+  auto& f = fn_state(app, node);
+  while (!f.queue.empty()) {
+    const int r = f.queue.front();
+    fail_request(app, r);
+    if (!f.queue.empty() && f.queue.front() == r) f.queue.pop_front();  // defensive
+  }
+}
+
+double Platform::backoff_delay(int attempt) const {
+  double d = options_.retry_delay;
+  for (int i = 1; i < attempt && d < options_.retry_max_delay; ++i) d *= options_.retry_backoff;
+  return std::min(d, options_.retry_max_delay);
+}
+
 void Platform::dispatch(AppId app, dag::NodeId node) {
+  if (finalized_) return;
   auto& a = state(app);
   auto& f = fn_state(app, node);
 
@@ -190,11 +261,13 @@ void Platform::dispatch(AppId app, dag::NodeId node) {
     fm.invocations += batch_n;
     fm.batches += 1;
 
-    const double latency = a.spec.perf_of(node).sample_inference_time(
+    double latency = a.spec.perf_of(node).sample_inference_time(
         chosen->config, batch_n, options_.inference_noise, rng_);
+    if (options_.faults != nullptr) latency = options_.faults->inflate_inference(latency);
     const int inst_id = chosen->id;
     const SimTime exec_start = engine_.now();
-    engine_.schedule_after(
+    chosen->inflight = batch;
+    chosen->pending = engine_.schedule_after(
         latency, [this, app, node, inst_id, exec_start, batch = std::move(batch)]() mutable {
           if (options_.record_traces) {
             auto& st = state(app);
@@ -206,6 +279,7 @@ void Platform::dispatch(AppId app, dag::NodeId node) {
               span.end = engine_.now();
               span.batch = static_cast<int>(batch.size());
               span.cold = span.wait() > 1e-6;
+              span.attempt = st.requests[r].retries;
               st.requests[r].spans.push_back(span);
             }
           }
@@ -216,15 +290,24 @@ void Platform::dispatch(AppId app, dag::NodeId node) {
   if (f.queue.empty()) return;
 
   // Queue still non-empty: cold-start on demand iff the function has no
-  // instance at all (scale-out beyond that is the policy's decision).
+  // instance at all (scale-out beyond that is the policy's decision). A
+  // failed allocation enters the bounded exponential-backoff retry loop;
+  // when the budget is exhausted, everything queued here fails.
   if (f.instances.empty()) {
-    if (create_instance(app, node, f.plan.config) == nullptr && !f.retry_scheduled) {
-      f.retry_scheduled = true;
-      engine_.schedule_after(options_.retry_delay, [this, app, node] {
-        fn_state(app, node).retry_scheduled = false;
-        dispatch(app, node);
-      });
+    if (create_instance(app, node, f.plan.config) != nullptr) return;
+    if (f.retry_scheduled) return;
+    if (options_.max_retries >= 0 && f.retry_attempts >= options_.max_retries) {
+      f.retry_attempts = 0;
+      fail_queued(app, node);
+      return;
     }
+    ++f.retry_attempts;
+    ++a.metrics.per_function[node].retries;
+    f.retry_scheduled = true;
+    engine_.schedule_after(backoff_delay(f.retry_attempts), [this, app, node] {
+      fn_state(app, node).retry_scheduled = false;
+      dispatch(app, node);
+    });
   }
 }
 
@@ -247,7 +330,15 @@ Platform::Instance* Platform::create_instance(AppId app, dag::NodeId node,
   const double init = a.spec.perf_of(node).sample_init_time(config, rng_);
   f.instances.back().ready_at = engine_.now() + init;
   const int inst_id = inst.id;
-  engine_.schedule_after(init, [this, app, node, inst_id] { on_init_done(app, node, inst_id); });
+  const bool init_fails =
+      options_.faults != nullptr && options_.faults->sample_init_failure();
+  f.instances.back().pending =
+      engine_.schedule_after(init, [this, app, node, inst_id, init_fails] {
+        if (init_fails)
+          on_init_failed(app, node, inst_id);
+        else
+          on_init_done(app, node, inst_id);
+      });
   return &f.instances.back();
 }
 
@@ -256,8 +347,37 @@ void Platform::on_init_done(AppId app, dag::NodeId node, int instance_id) {
   auto it = std::find_if(f.instances.begin(), f.instances.end(),
                          [&](const Instance& i) { return i.id == instance_id; });
   if (it == f.instances.end()) return;  // terminated during init (finalize)
+  it->pending = 0;
   it->st = InstState::Idle;
+  f.retry_attempts = 0;  // a live instance ends the cold-start failure streak
   on_instance_idle(app, node, instance_id);
+}
+
+void Platform::on_init_failed(AppId app, dag::NodeId node, int instance_id) {
+  auto& a = state(app);
+  auto& f = fn_state(app, node);
+  auto it = std::find_if(f.instances.begin(), f.instances.end(),
+                         [&](const Instance& i) { return i.id == instance_id; });
+  if (it == f.instances.end()) return;  // evicted or finalized meanwhile
+  it->pending = 0;
+  ++a.metrics.per_function[node].init_failures;
+  // The failed attempt is billed (the provider ran the container) and its
+  // grant released.
+  retire_accounting(a, node, *it);
+  f.instances.erase(it);
+  ++f.retry_attempts;
+  a.policy->on_instance_failed(app, a.spec, *this, node, InstanceFailure::InitFailure);
+  if (f.queue.empty()) return;
+  // The counter includes the just-failed attempt, so `>` grants the same
+  // budget as the allocation path: the initial attempt plus max_retries
+  // retries before giving up.
+  if (options_.max_retries >= 0 && f.retry_attempts > options_.max_retries) {
+    f.retry_attempts = 0;
+    fail_queued(app, node);
+    return;
+  }
+  ++a.metrics.per_function[node].retries;
+  dispatch(app, node);
 }
 
 void Platform::on_batch_done(AppId app, dag::NodeId node, int instance_id,
@@ -266,6 +386,8 @@ void Platform::on_batch_done(AppId app, dag::NodeId node, int instance_id,
   auto it = std::find_if(f.instances.begin(), f.instances.end(),
                          [&](const Instance& i) { return i.id == instance_id; });
   SMILESS_CHECK_MSG(it != f.instances.end(), "busy instance vanished");
+  it->pending = 0;
+  it->inflight.clear();
   it->st = InstState::Idle;
 
   for (int r : requests) complete_node(app, node, r);
@@ -312,6 +434,18 @@ void Platform::on_instance_idle(AppId app, dag::NodeId node, int instance_id) {
   }
 }
 
+void Platform::retire_accounting(AppState& a, dag::NodeId node, const Instance& inst) {
+  const double billed = std::max(0.0, engine_.now() - inst.created);
+  auto& fm = a.metrics.per_function[node];
+  fm.billed_seconds += billed;
+  if (inst.config.backend == perf::Backend::Cpu)
+    fm.billed_cpu_seconds += billed * inst.config.cpu_cores;
+  else
+    fm.billed_gpu_seconds += billed * inst.config.gpu_pct;
+  fm.cost += billed * pricing_.per_second(inst.config);
+  cluster_.release(inst.alloc);
+}
+
 void Platform::terminate_instance(AppId app, dag::NodeId node, int instance_id) {
   auto& a = state(app);
   auto& f = fn_state(app, node);
@@ -321,22 +455,64 @@ void Platform::terminate_instance(AppId app, dag::NodeId node, int instance_id) 
   SMILESS_CHECK_MSG(it->st != InstState::Busy, "cannot terminate a busy instance");
 
   if (it->kill_timer != 0) engine_.cancel(it->kill_timer);
-  const double billed = engine_.now() - it->created;
-  auto& fm = a.metrics.per_function[node];
-  fm.billed_seconds += billed;
-  if (it->config.backend == perf::Backend::Cpu)
-    fm.billed_cpu_seconds += billed * it->config.cpu_cores;
-  else
-    fm.billed_gpu_seconds += billed * it->config.gpu_pct;
-  fm.cost += billed * pricing_.per_second(it->config);
-  cluster_.release(it->alloc);
+  if (it->pending != 0) engine_.cancel(it->pending);
+  retire_accounting(a, node, *it);
   f.instances.erase(it);
+}
+
+void Platform::on_machine_down(int machine) {
+  if (finalized_) return;
+  for (std::size_t ai = 0; ai < apps_.size(); ++ai) {
+    const AppId app = static_cast<AppId>(ai);
+    auto& a = *apps_[ai];
+    for (std::size_t n = 0; n < a.fns.size(); ++n) {
+      const auto node = static_cast<dag::NodeId>(n);
+      auto& f = a.fns[n];
+      auto& fm = a.metrics.per_function[n];
+      bool evicted = false;
+      for (std::size_t i = 0; i < f.instances.size();) {
+        Instance& inst = f.instances[i];
+        if (inst.alloc.machine != machine) {
+          ++i;
+          continue;
+        }
+        evicted = true;
+        if (inst.kill_timer != 0) engine_.cancel(inst.kill_timer);
+        if (inst.pending != 0) engine_.cancel(inst.pending);
+        ++fm.evictions;
+        // Re-dispatch in-flight work at the head of the queue, preserving
+        // the original order; each re-dispatch spends one retry.
+        for (auto rit = inst.inflight.rbegin(); rit != inst.inflight.rend(); ++rit) {
+          auto& req = a.requests[*rit];
+          if (req.done || req.failed) continue;
+          ++req.retries;
+          ++fm.retries;
+          if (options_.max_retries >= 0 && req.retries > options_.max_retries) {
+            fail_request(app, *rit);
+            continue;
+          }
+          f.queue.push_front(*rit);
+        }
+        retire_accounting(a, node, inst);
+        f.instances.erase(f.instances.begin() + static_cast<long>(i));
+      }
+      if (evicted) {
+        a.policy->on_instance_failed(app, a.spec, *this, node, InstanceFailure::Eviction);
+        dispatch(app, node);
+      }
+    }
+  }
 }
 
 void Platform::complete_node(AppId app, dag::NodeId node, int request) {
   auto& a = state(app);
   auto& req = a.requests[request];
+  if (req.failed) return;  // late completion of a batch holding a failed request
   SMILESS_CHECK(!req.done);
+  if (!req.timeout_ev.empty() && req.timeout_ev[node] != 0) {
+    engine_.cancel(req.timeout_ev[node]);
+    req.timeout_ev[node] = 0;
+  }
 
   for (dag::NodeId s : a.spec.dag.successors(node)) {
     if (--req.pending_preds[s] == 0) enqueue_invocation(app, s, request);
@@ -361,6 +537,7 @@ void Platform::finalize(SimTime end) {
       auto& fm = a.metrics.per_function[n];
       for (auto& inst : f.instances) {
         if (inst.kill_timer != 0) engine_.cancel(inst.kill_timer);
+        if (inst.pending != 0) engine_.cancel(inst.pending);
         const double billed = std::max(0.0, end - inst.created);
         fm.billed_seconds += billed;
         if (inst.config.backend == perf::Backend::Cpu)
@@ -374,6 +551,13 @@ void Platform::finalize(SimTime end) {
       for (sim::EventId ev : f.prewarms) engine_.cancel(ev);
       f.prewarms.clear();
     }
+    // Outstanding per-invocation timeout timers die with the run.
+    for (auto& req : a.requests)
+      for (auto& ev : req.timeout_ev)
+        if (ev != 0) {
+          engine_.cancel(ev);
+          ev = 0;
+        }
   }
 }
 
@@ -501,7 +685,8 @@ const AppMetrics& Platform::metrics(AppId app) const { return state(app).metrics
 
 long Platform::in_flight(AppId app) const {
   const auto& a = state(app);
-  return a.metrics.submitted - static_cast<long>(a.metrics.completed.size());
+  return a.metrics.submitted - static_cast<long>(a.metrics.completed.size()) -
+         a.metrics.failed;
 }
 
 const std::vector<int>& Platform::arrival_counts(AppId app) const {

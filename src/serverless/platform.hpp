@@ -1,6 +1,7 @@
 #pragma once
 
 #include <deque>
+#include <limits>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -15,14 +16,44 @@
 #include "serverless/policy.hpp"
 #include "sim/engine.hpp"
 
+namespace smiless::faults {
+class FaultInjector;
+}  // namespace smiless::faults
+
 namespace smiless::serverless {
 
 /// Platform tuning knobs.
 struct PlatformOptions {
   double window = 1.0;          ///< Gateway counting window (s), §IV-B
   double inference_noise = 0.06; ///< multiplicative jitter on sampled latencies
-  double retry_delay = 0.1;     ///< re-dispatch delay after a failed allocation
+
+  /// Cold-start retry with exponential backoff. When a function has queued
+  /// work but cannot obtain a working instance (the allocation failed, or
+  /// the container's init failed under fault injection), the platform
+  /// retries after `retry_delay * retry_backoff^(attempt-1)` seconds,
+  /// capped at `retry_max_delay`. The attempt counter is per function and
+  /// resets on the first successful init. After `max_retries` consecutive
+  /// failed attempts every request queued at the function transitions to
+  /// the terminal Failed state (counted in AppMetrics::failed); a negative
+  /// `max_retries` retries forever (the pre-fault one-shot semantics, just
+  /// with backoff instead of a fixed delay).
+  double retry_delay = 0.1;     ///< initial backoff delay (s)
+  double retry_backoff = 2.0;   ///< multiplier per consecutive failed attempt
+  double retry_max_delay = 5.0; ///< backoff ceiling (s)
+  int max_retries = 12;         ///< consecutive failures before Failed; < 0 = unbounded
+
+  /// Per-invocation timeout, measured from the moment the invocation
+  /// became ready (all predecessors done). When it expires before the
+  /// node completed, the whole request transitions to Failed (counted in
+  /// FunctionMetrics::timeouts at the stuck node). Infinity disables it.
+  double request_timeout = std::numeric_limits<double>::infinity();
+
   bool record_traces = false;   ///< keep per-request NodeSpan traces (§IV-A events)
+
+  /// Optional fault source (non-owning; must outlive the platform). When
+  /// null or disabled the platform behaves exactly like the fault-free
+  /// simulator. See faults::FaultSpec.
+  faults::FaultInjector* faults = nullptr;
 };
 
 /// The serverless serving platform (OpenFaaS substitute) running inside the
@@ -42,6 +73,19 @@ struct PlatformOptions {
 ///    policies of §V-B.
 ///  - Billing accrues per instance from creation to termination at the
 ///    configuration's unit price (Eq. 3).
+///
+/// Failure semantics (all off by default; see PlatformOptions and
+/// faults::FaultSpec):
+///  - A failed container init bills the attempt, releases the grant and
+///    re-enters the cold-start path under the bounded backoff retry.
+///  - When a machine goes down every instance on it is evicted: billed to
+///    the eviction instant, released, and its in-flight invocations are
+///    re-queued at the head of their function queue (one retry each).
+///  - A request whose invocation times out, or whose function exhausted
+///    the retry budget, reaches the terminal Failed state: it is removed
+///    from every queue and never completes.
+///  - Policies observe involuntary instance deaths via
+///    Policy::on_instance_failed and may re-provision.
 class Platform {
  public:
   Platform(sim::Engine& engine, cluster::Cluster& cluster, perf::Pricing pricing, Rng& rng,
@@ -92,7 +136,7 @@ class Platform {
   std::size_t queue_length(AppId app, dag::NodeId node) const;
 
   const AppMetrics& metrics(AppId app) const;
-  /// Completed-request count still pending (submitted - completed).
+  /// Requests still pending (submitted - completed - failed).
   long in_flight(AppId app) const;
 
   /// Per-window arrival counts observed by the Gateway so far (the series
@@ -113,11 +157,26 @@ class Platform {
   void dispatch(AppId app, dag::NodeId node);
   Instance* create_instance(AppId app, dag::NodeId node, const perf::HwConfig& config);
   void on_init_done(AppId app, dag::NodeId node, int instance_id);
+  void on_init_failed(AppId app, dag::NodeId node, int instance_id);
   void on_batch_done(AppId app, dag::NodeId node, int instance_id, std::vector<int> requests);
   void on_instance_idle(AppId app, dag::NodeId node, int instance_id);
   void terminate_instance(AppId app, dag::NodeId node, int instance_id);
   void complete_node(AppId app, dag::NodeId node, int request);
   void window_tick(AppId app);
+
+  /// Bill an instance up to now and return its grant to the cluster.
+  void retire_accounting(AppState& a, dag::NodeId node, const Instance& inst);
+  /// Backoff delay for the attempt-th consecutive failed cold start.
+  double backoff_delay(int attempt) const;
+  /// Terminal Failed transition: strip the request from every queue,
+  /// cancel its timers, count it. Callers attribute the cause in the
+  /// per-function metrics before calling.
+  void fail_request(AppId app, int request);
+  /// Fail every request queued at `node` (retry budget exhausted).
+  void fail_queued(AppId app, dag::NodeId node);
+  /// Evict all instances hosted on a machine that went down.
+  void on_machine_down(int machine);
+  void arm_timeout(AppId app, dag::NodeId node, int request);
 
   sim::Engine& engine_;
   cluster::Cluster& cluster_;
@@ -126,6 +185,7 @@ class Platform {
   PlatformOptions options_;
   std::vector<std::unique_ptr<AppState>> apps_;
   bool finalized_ = false;
+  int cluster_listener_ = 0;  ///< token of the machine-down listener
 };
 
 }  // namespace smiless::serverless

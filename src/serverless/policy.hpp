@@ -10,6 +10,12 @@ namespace smiless::serverless {
 class Platform;
 using AppId = int;
 
+/// Why a container instance disappeared without the policy asking for it.
+enum class InstanceFailure {
+  InitFailure,  ///< cold init failed (fault injection)
+  Eviction,     ///< the machine hosting it went down
+};
+
 /// Arrival statistics for the window that just closed, delivered by the
 /// Gateway to the policy each second (§IV-B: "a specified time window,
 /// which is set to one second").
@@ -48,6 +54,20 @@ class Policy {
     (void)spec;
     (void)platform;
     (void)now;
+  }
+
+  /// Called after an instance of `node` died involuntarily — a failed cold
+  /// init or a machine-down eviction. The platform has already released the
+  /// instance and re-queued any in-flight invocations; policies may react
+  /// (re-prewarm, restore a scale-out floor). Default: do nothing and let
+  /// the platform's cold-start retry path handle queued work.
+  virtual void on_instance_failed(AppId app, const apps::App& spec, Platform& platform,
+                                  dag::NodeId node, InstanceFailure kind) {
+    (void)app;
+    (void)spec;
+    (void)platform;
+    (void)node;
+    (void)kind;
   }
 };
 

@@ -12,7 +12,9 @@ std::string format_trace(const RequestTrace& trace, const dag::Dag& dag) {
   for (const auto& s : trace.spans) {
     os << "  " << dag.name(s.node) << ": ready+" << (s.ready - trace.arrival) << " wait="
        << s.wait() << " infer=" << s.inference() << " batch=" << s.batch
-       << (s.cold ? " COLD" : "") << "\n";
+       << (s.cold ? " COLD" : "");
+    if (s.attempt > 0) os << " RETRY#" << s.attempt;
+    os << "\n";
   }
   return os.str();
 }

@@ -20,6 +20,8 @@ struct NodeSpan {
   SimTime end = 0.0;
   int batch = 0;       ///< batch size of the inference call that served it
   bool cold = false;   ///< true when the wait exceeded the scheduling epsilon
+  int attempt = 0;     ///< re-dispatch count of the request when this span ran
+                       ///< (> 0 after an eviction or backoff retry)
 
   double wait() const { return start - ready; }
   double inference() const { return end - start; }

@@ -210,5 +210,44 @@ TEST(Integration, ColocatedMatchesIsolatedWhenUncontended) {
   EXPECT_NEAR(co[0].cost, isolated.cost, 0.05 * isolated.cost);
 }
 
+TEST(Integration, GoldenSeedScenarioPinned) {
+  // Golden regression: the headline numbers of one pinned (seed, app,
+  // policy) scenario. Any change to dispatch order, RNG consumption,
+  // billing or retry timing moves these; update them only for intentional
+  // semantic changes. Counts are exact; continuous metrics get a 0.5%
+  // tolerance for toolchain-dependent libstdc++ distribution details.
+  const auto app = apps::make_voice_assistant();
+  const auto trace = trace_for(app, 42, 180.0);
+  const auto r = run_experiment(app, trace,
+                                make_policy(PolicyKind::Smiless, app, store(), no_lstm()),
+                                fast_options());
+  // Values measured at the commit introducing this test; identical to the
+  // pre-fault-layer seed build, confirming the disabled fault path changes
+  // nothing.
+  EXPECT_EQ(r.submitted, 92);
+  EXPECT_EQ(r.completed, 92);
+  EXPECT_EQ(r.failed, 0);
+  EXPECT_EQ(r.initializations, 45);
+  EXPECT_NEAR(r.cost, 0.0439123, 0.005 * 0.0439123);
+  EXPECT_NEAR(math::percentile(r.e2e, 99), 3.53968, 0.005 * 3.53968);
+}
+
+TEST(Integration, SmilessSurvivesFaultsWithHighGoodput) {
+  // Acceptance scenario for the failure model: 5% init failures plus one
+  // 45 s machine outage mid-run must not cost SMIless more than 1% of its
+  // requests.
+  const auto app = apps::make_voice_assistant();
+  const auto trace = trace_for(app, 43, 240.0);
+  auto options = fast_options();
+  options.faults.init_failure_prob = 0.05;
+  options.faults.crashes.push_back({/*machine=*/0, /*at=*/80.0, /*duration=*/45.0});
+  options.platform.request_timeout = 90.0;
+  const auto r = run_experiment(app, trace,
+                                make_policy(PolicyKind::Smiless, app, store(), no_lstm()),
+                                options);
+  EXPECT_GE(r.goodput(), 0.99) << "failed=" << r.failed << " submitted=" << r.submitted;
+  EXPECT_GT(r.init_failures, 0);  // the faults actually fired
+}
+
 }  // namespace
 }  // namespace smiless

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Build and test every supported flavor: the default build plus the two
+# sanitizer builds wired through -DSMILESS_SANITIZE (see top-level
+# CMakeLists.txt). Any test failure or sanitizer report fails the script.
+#
+# Usage: tools/ci.sh [build-dir-prefix]
+#   tools/ci.sh            # builds into build-ci, build-ci-asan, build-ci-ubsan
+#   tools/ci.sh /tmp/ci    # builds into /tmp/ci, /tmp/ci-asan, /tmp/ci-ubsan
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+prefix="${1:-${repo}/build-ci}"
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+run_flavor() {
+  local name="$1" dir="$2"
+  shift 2
+  echo "==== [${name}] configure + build + test ===="
+  cmake -B "${dir}" -S "${repo}" -DCMAKE_BUILD_TYPE=RelWithDebInfo "$@"
+  cmake --build "${dir}" -j "${jobs}"
+  ctest --test-dir "${dir}" --output-on-failure -j "${jobs}"
+}
+
+# Make sanitizers fail loudly instead of continuing past the first report.
+export ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1:detect_leaks=1}"
+export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}"
+
+run_flavor default "${prefix}"
+run_flavor asan "${prefix}-asan" -DSMILESS_SANITIZE=address
+run_flavor ubsan "${prefix}-ubsan" -DSMILESS_SANITIZE=undefined
+
+echo "==== all flavors green ===="

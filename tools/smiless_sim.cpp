@@ -13,13 +13,28 @@
 //     --dump-trace <file>   write the (generated) trace as CSV and exit
 //     --slow <n>            print the n slowest request traces (default 0)
 //
+//   Fault injection (all off by default; see DESIGN.md "Failure model"):
+//     --fault-init-p <p>        container init failure probability
+//     --fault-straggler-p <p>   straggler probability per inference
+//     --fault-straggler-x <f>   straggler latency multiplier (default 4)
+//     --fault-crash M@T:D       crash machine M at time T for D seconds
+//                               (repeatable)
+//     --fault-crash-rate <r>    random crashes per machine per second
+//     --fault-mttr <s>          mean time to repair for random crashes
+//     --timeout <s>             per-invocation timeout (default: none)
+//     --max-retries <n>         retry budget before a request fails
+//
 // Examples:
 //   smiless_sim --app wl1 --policy all --duration 900
 //   smiless_sim --app my_app.manifest --trace prod.csv --policy smiless
+//   smiless_sim --policy all --fault-init-p 0.05 --fault-crash 2@120:60
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <limits>
 #include <sstream>
+
+#include "faults/fault_injector.hpp"
 
 #include "apps/catalog.hpp"
 #include "apps/serialize.hpp"
@@ -44,6 +59,9 @@ struct CliOptions {
   std::uint64_t seed = 42;
   bool use_lstm = true;
   int slow = 0;
+  faults::FaultSpec faults;
+  double timeout = std::numeric_limits<double>::infinity();
+  int max_retries = 12;
 };
 
 [[noreturn]] void usage(const char* argv0, const std::string& error = "") {
@@ -51,8 +69,24 @@ struct CliOptions {
   std::cerr << "usage: " << argv0
             << " [--app wl1|wl2|wl3|ipa|file.manifest] [--policy NAME|all]\n"
                "       [--duration S] [--trace file.csv] [--sla S] [--seed N]\n"
-               "       [--no-lstm] [--dump-trace file.csv] [--slow N]\n";
+               "       [--no-lstm] [--dump-trace file.csv] [--slow N]\n"
+               "       [--fault-init-p P] [--fault-straggler-p P] [--fault-straggler-x F]\n"
+               "       [--fault-crash M@T:D]... [--fault-crash-rate R] [--fault-mttr S]\n"
+               "       [--timeout S] [--max-retries N]\n";
   std::exit(error.empty() ? 0 : 2);
+}
+
+/// Parse a "--fault-crash M@T:D" operand (duration optional, default 60 s).
+faults::ScheduledCrash parse_crash(const char* argv0, const std::string& s) {
+  faults::ScheduledCrash c;
+  c.duration = 60.0;
+  const auto at = s.find('@');
+  if (at == std::string::npos) usage(argv0, "--fault-crash wants M@T[:D], got " + s);
+  c.machine = std::atoi(s.substr(0, at).c_str());
+  const auto colon = s.find(':', at);
+  c.at = std::atof(s.substr(at + 1, colon - at - 1).c_str());
+  if (colon != std::string::npos) c.duration = std::atof(s.substr(colon + 1).c_str());
+  return c;
 }
 
 CliOptions parse_cli(int argc, char** argv) {
@@ -72,11 +106,25 @@ CliOptions parse_cli(int argc, char** argv) {
     else if (!std::strcmp(arg, "--seed")) o.seed = std::strtoull(need_value(i), nullptr, 10);
     else if (!std::strcmp(arg, "--no-lstm")) o.use_lstm = false;
     else if (!std::strcmp(arg, "--slow")) o.slow = std::atoi(need_value(i));
+    else if (!std::strcmp(arg, "--fault-init-p"))
+      o.faults.init_failure_prob = std::atof(need_value(i));
+    else if (!std::strcmp(arg, "--fault-straggler-p"))
+      o.faults.straggler_prob = std::atof(need_value(i));
+    else if (!std::strcmp(arg, "--fault-straggler-x"))
+      o.faults.straggler_factor = std::atof(need_value(i));
+    else if (!std::strcmp(arg, "--fault-crash"))
+      o.faults.crashes.push_back(parse_crash(argv[0], need_value(i)));
+    else if (!std::strcmp(arg, "--fault-crash-rate"))
+      o.faults.crash_rate = std::atof(need_value(i));
+    else if (!std::strcmp(arg, "--fault-mttr")) o.faults.mttr = std::atof(need_value(i));
+    else if (!std::strcmp(arg, "--timeout")) o.timeout = std::atof(need_value(i));
+    else if (!std::strcmp(arg, "--max-retries")) o.max_retries = std::atoi(need_value(i));
     else if (!std::strcmp(arg, "--help") || !std::strcmp(arg, "-h")) usage(argv[0]);
     else usage(argv[0], std::string("unknown option ") + arg);
   }
   if (o.duration <= 0.0) usage(argv[0], "--duration must be positive");
   if (o.sla <= 0.0) usage(argv[0], "--sla must be positive");
+  if (o.timeout <= 0.0) usage(argv[0], "--timeout must be positive");
   return o;
 }
 
@@ -146,18 +194,34 @@ int main(int argc, char** argv) {
   baselines::ExperimentOptions run_options;
   run_options.seed = cli.seed;
   run_options.platform.record_traces = cli.slow > 0;
+  run_options.platform.request_timeout = cli.timeout;
+  run_options.platform.max_retries = cli.max_retries;
+  run_options.faults = cli.faults;
+  const bool with_faults = cli.faults.any();
 
-  TextTable table({"policy", "cost ($)", "p50 E2E (s)", "p99 E2E (s)", "violations",
-                   "inits", "cpu core-s", "gpu pct-s"});
+  std::vector<std::string> headers = {"policy",     "cost ($)",  "p50 E2E (s)",
+                                      "p99 E2E (s)", "violations", "inits",
+                                      "cpu core-s", "gpu pct-s"};
+  if (with_faults) {
+    headers.insert(headers.end(), {"goodput", "failed", "retries", "evictions", "timeouts"});
+  }
+  TextTable table(headers);
   for (const auto kind : resolve_policies(cli.policy)) {
     const auto r = baselines::run_experiment(
         app, trace, baselines::make_policy(kind, app, store, settings), run_options);
-    table.add_row({r.policy, TextTable::num(r.cost, 4),
-                   TextTable::num(r.e2e.empty() ? 0.0 : math::percentile(r.e2e, 50), 2),
-                   TextTable::num(r.e2e.empty() ? 0.0 : math::percentile(r.e2e, 99), 2),
-                   TextTable::num(100 * r.violation_ratio, 1) + "%",
-                   std::to_string(r.initializations), TextTable::num(r.cpu_core_seconds, 0),
-                   TextTable::num(r.gpu_pct_seconds, 0)});
+    std::vector<std::string> row = {
+        r.policy, TextTable::num(r.cost, 4),
+        TextTable::num(r.e2e.empty() ? 0.0 : math::percentile(r.e2e, 50), 2),
+        TextTable::num(r.e2e.empty() ? 0.0 : math::percentile(r.e2e, 99), 2),
+        TextTable::num(100 * r.violation_ratio, 1) + "%", std::to_string(r.initializations),
+        TextTable::num(r.cpu_core_seconds, 0), TextTable::num(r.gpu_pct_seconds, 0)};
+    if (with_faults) {
+      row.insert(row.end(),
+                 {TextTable::num(100 * r.goodput(), 1) + "%", std::to_string(r.failed),
+                  std::to_string(r.retries), std::to_string(r.evictions),
+                  std::to_string(r.timeouts)});
+    }
+    table.add_row(row);
   }
   table.print();
 
