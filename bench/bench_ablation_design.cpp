@@ -48,45 +48,69 @@ std::vector<Variant> variants() {
   return out;
 }
 
+/// A cell that runs the SMIless runtime with this variant's options.
+exp::ExperimentConfig variant_cell(const Variant& variant, exp::ExperimentConfig cfg) {
+  const core::SmilessOptions options = variant.options;
+  cfg.label = variant.name;
+  cfg.use_lstm = false;
+  cfg.policy_override = [options](const exp::CellContext& ctx) {
+    return std::make_shared<core::SmilessPolicy>("SMIless", ctx.profiles.for_app(ctx.app),
+                                                 options, ctx.pool);
+  };
+  return cfg;
+}
+
 }  // namespace
 
 int main() {
   const double duration = bench_duration(400.0);
+  const auto all = variants();
+
+  // Per variant: three steady preset cells (WL1-3), one burst cell and one
+  // sparse near-periodic cell — the regimes where the hold, the variability
+  // awareness and the mode margin actually engage. One flat list, one
+  // parallel sweep.
+  std::vector<exp::ExperimentConfig> cells_cfg;
+  for (const auto& variant : all) {
+    for (const auto& app : workload_names()) {
+      auto cfg = base_config(2.0, duration);
+      cfg.app = app;
+      cells_cfg.push_back(variant_cell(variant, cfg));
+    }
+    auto burst = base_config(2.0, 60.0);
+    burst.app = "wl3";
+    burst.trace.kind = "burst";
+    burst.trace.quiet_rate = 0.5;
+    burst.trace.peak_rate = 12.0;
+    burst.trace.seed = 37;
+    cells_cfg.push_back(variant_cell(variant, burst));
+
+    auto sparse = base_config(2.0, duration);
+    sparse.app = "wl3";
+    sparse.trace.kind = "regular";
+    sparse.trace.interval = 10.0;
+    sparse.trace.jitter = 0.05;
+    sparse.trace.seed = 91;
+    cells_cfg.push_back(variant_cell(variant, sparse));
+  }
+  const auto cells = shared_runner().run(cells_cfg);
+
   std::cout << "=== Design-choice ablation: cost & violations per disabled extension ===\n";
   TextTable table({"Variant", "steady cost ($)", "steady viol.", "burst cost ($)",
                    "burst viol.", "sparse cost ($)", "sparse viol."});
-
-  for (const auto& variant : variants()) {
+  const std::size_t per_variant = workload_names().size() + 2;
+  for (std::size_t v = 0; v < all.size(); ++v) {
     double steady_cost = 0.0;
     long steady_violated = 0, steady_submitted = 0;
-    for (const auto& app : apps::make_all_workloads(2.0)) {
-      const auto trace = trace_for(app, duration);
-      auto policy = std::make_shared<core::SmilessPolicy>(
-          "SMIless", shared_profiles().for_app(app), variant.options, shared_pool());
-      baselines::ExperimentOptions eo;
-      const auto r = baselines::run_experiment(app, trace, policy, eo);
+    for (std::size_t j = 0; j < workload_names().size(); ++j) {
+      const auto& r = cells[v * per_variant + j].result;
       steady_cost += r.cost;
       steady_violated += static_cast<long>(r.violation_ratio * r.submitted + 0.5);
       steady_submitted += r.submitted;
     }
-
-    const auto app = apps::make_voice_assistant(2.0);
-    Rng rng(37);
-    const auto burst = workload::generate_burst_window(0.5, 12.0, rng);
-    auto policy = std::make_shared<core::SmilessPolicy>(
-        "SMIless", shared_profiles().for_app(app), variant.options, shared_pool());
-    baselines::ExperimentOptions eo;
-    const auto rb = baselines::run_experiment(app, burst, policy, eo);
-
-    // Near-periodic sparse arrivals: the pre-warm-mode regime where the
-    // hold, the variability awareness and the mode margin actually engage.
-    Rng srng(91);
-    const auto sparse = workload::generate_regular_trace(10.0, 0.05, duration, srng);
-    auto sparse_policy = std::make_shared<core::SmilessPolicy>(
-        "SMIless", shared_profiles().for_app(app), variant.options, shared_pool());
-    const auto rs = baselines::run_experiment(app, sparse, sparse_policy, eo);
-
-    table.add_row({variant.name, TextTable::num(steady_cost, 4),
+    const auto& rb = cells[v * per_variant + workload_names().size()].result;
+    const auto& rs = cells[v * per_variant + workload_names().size() + 1].result;
+    table.add_row({all[v].name, TextTable::num(steady_cost, 4),
                    pct(static_cast<double>(steady_violated) / steady_submitted),
                    TextTable::num(rb.cost, 4), pct(rb.violation_ratio),
                    TextTable::num(rs.cost, 4), pct(rs.violation_ratio)});

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <algorithm>
 #include <cstdlib>
 #include <iostream>
 #include <memory>
@@ -7,10 +8,10 @@
 #include <vector>
 
 #include "apps/catalog.hpp"
-#include "baselines/experiment.hpp"
 #include "common/table.hpp"
-#include "concurrency/thread_pool.hpp"
-#include "workload/trace.hpp"
+#include "exp/aggregate.hpp"
+#include "exp/config.hpp"
+#include "exp/runner.hpp"
 
 namespace smiless::bench {
 
@@ -25,36 +26,55 @@ inline double bench_duration(double fallback = 600.0) {
   return fallback;
 }
 
-/// Shared fitted-profile store (profiling the Table-I catalog once).
-inline const baselines::ProfileStore& shared_profiles() {
-  static Rng rng(2024);
-  static baselines::ProfileStore store{profiler::OfflineProfiler{}, rng};
-  return store;
+/// The one sweep runner every bench binary drives its grid through. Cells
+/// run concurrently (SMILESS_BENCH_THREADS overrides the worker count, 1
+/// forces serial; results are bit-identical either way), and
+/// SMILESS_BENCH_PROGRESS=1 prints per-cell completion lines to stderr.
+inline exp::Runner& shared_runner() {
+  static exp::Runner runner = [] {
+    exp::RunnerOptions options;
+    if (const char* env = std::getenv("SMILESS_BENCH_THREADS")) {
+      const long v = std::atol(env);
+      if (v > 0) options.threads = static_cast<std::size_t>(v);
+    }
+    options.progress = std::getenv("SMILESS_BENCH_PROGRESS") != nullptr;
+    return exp::Runner(options);
+  }();
+  return runner;
 }
 
-inline std::shared_ptr<ThreadPool> shared_pool() {
-  static auto pool = std::make_shared<ThreadPool>();
-  return pool;
+/// Base cell config of the evaluation section: preset Azure-like traces,
+/// statistical predictors opt-in per bench.
+inline exp::ExperimentConfig base_config(double sla = 2.0, double duration = 600.0) {
+  exp::ExperimentConfig c;
+  c.sla = sla;
+  c.trace.duration = duration;
+  return c;
 }
 
-/// Azure-like trace for one workload, deterministic per (app, seed).
-inline workload::Trace trace_for(const apps::App& app, double duration,
-                                 std::uint64_t seed = 42) {
-  Rng rng(seed ^ std::hash<std::string>{}(app.name));
-  auto options = workload::preset_for_workload(app.name, duration);
-  return workload::generate_trace(options, rng);
+/// Config-file spellings of the headline policy zoo (Fig. 8-10 order).
+inline std::vector<std::string> headline_policies(bool with_opt = false) {
+  std::vector<std::string> out = {"smiless", "grandslam", "icebreaker", "orion", "aquatope"};
+  if (with_opt) out.push_back("opt");
+  return out;
 }
 
-/// Run one (policy, app, trace) cell.
-inline baselines::RunResult run_cell(baselines::PolicyKind kind, const apps::App& app,
-                                     const workload::Trace& trace, bool use_lstm = true) {
-  baselines::PolicySettings settings;
-  settings.use_lstm = use_lstm;
-  settings.pool = shared_pool();
-  settings.oracle_trace = &trace;  // only OPT reads it
-  baselines::ExperimentOptions options;
-  return baselines::run_experiment(
-      app, trace, baselines::make_policy(kind, app, shared_profiles(), settings), options);
+inline std::vector<std::string> workload_names() { return {"wl1", "wl2", "wl3"}; }
+
+/// Display name ("SMIless") for a config spelling ("smiless").
+inline std::string policy_display(const std::string& config_name) {
+  const auto kind = baselines::parse_policy_kind(config_name);
+  return kind ? baselines::policy_kind_name(*kind) : config_name;
+}
+
+/// The cell for (policy, app) — benches print fixed policy x app matrices
+/// out of one flat sweep result. Aborts if the sweep didn't contain it.
+inline const exp::CellResult& cell_for(const std::vector<exp::CellResult>& cells,
+                                       const std::string& policy, const std::string& app) {
+  for (const auto& c : cells)
+    if (c.config.policy == policy && c.config.app == app) return c;
+  std::cerr << "bench: no cell for policy=" << policy << " app=" << app << "\n";
+  std::abort();
 }
 
 inline std::string pct(double v) { return TextTable::num(100.0 * v, 1) + "%"; }

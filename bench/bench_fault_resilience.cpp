@@ -13,57 +13,40 @@
 using namespace smiless;
 using namespace smiless::bench;
 
-namespace {
-
-baselines::RunResult run_faulty(baselines::PolicyKind kind, const apps::App& app,
-                                const workload::Trace& trace,
-                                const faults::FaultSpec& spec) {
-  baselines::PolicySettings settings;
-  settings.use_lstm = false;  // fast statistical predictors; same for all cells
-  settings.pool = shared_pool();
-  settings.oracle_trace = &trace;
-  baselines::ExperimentOptions options;
-  options.faults = spec;
-  options.platform.request_timeout = 60.0;  // a stuck request fails, not hangs
-  return baselines::run_experiment(
-      app, trace, baselines::make_policy(kind, app, shared_profiles(), settings), options);
-}
-
-}  // namespace
-
 int main() {
-  const auto app = apps::make_voice_assistant();
   const double duration = bench_duration(300.0);
-  const auto trace = trace_for(app, duration);
 
-  const std::vector<baselines::PolicyKind> kinds = {
-      baselines::PolicyKind::Smiless,
-      baselines::PolicyKind::GrandSlam,
-      baselines::PolicyKind::IceBreaker,
-      baselines::PolicyKind::Orion,
-  };
-  const std::vector<double> init_ps = {0.0, 0.02, 0.05, 0.10};
+  exp::ExperimentGrid grid;
+  grid.base = base_config(2.0, duration);
+  grid.base.app = "wl3";
+  grid.base.use_lstm = false;  // fast statistical predictors; same for all cells
+  grid.base.platform.request_timeout = 60.0;  // a stuck request fails, not hangs
+  grid.policies = {"smiless", "grandslam", "icebreaker", "orion"};
+  grid.init_failure_probs = {0.0, 0.02, 0.05, 0.10};
+
+  // The crash rider is conditional on faults being on, so the p = 0 column
+  // stays bit-identical to the fault-free benches: expand the grid, then
+  // attach the outage to the faulty cells.
+  auto cells_cfg = grid.expand();
+  for (auto& cfg : cells_cfg)
+    if (cfg.faults.init_failure_prob > 0.0)
+      cfg.faults.crashes.push_back({/*machine=*/1, /*at=*/duration / 3, /*duration=*/45.0});
+
+  const auto cells = shared_runner().run(cells_cfg);
 
   std::cout << "=== Fault resilience: init-failure sweep + one machine crash ===\n";
-  std::cout << "app " << app.name << ", " << trace.total_invocations() << " requests over "
-            << trace.counts.size() << " s; crash: machine 1 down at t=" << duration / 3
-            << " for 45 s (except the p=0 row, which is fault-free)\n\n";
+  std::cout << "app wl3, trace " << duration << " s; crash: machine 1 down at t="
+            << duration / 3 << " for 45 s (except the p=0 rows, which are fault-free)\n\n";
 
   TextTable table({"policy", "init p", "goodput", "failed", "cost ($)", "p99 E2E (s)",
                    "retries", "evictions", "timeouts", "init fails"});
-  for (const auto kind : kinds) {
-    for (const double p : init_ps) {
-      faults::FaultSpec spec;
-      spec.init_failure_prob = p;
-      if (p > 0.0) spec.crashes.push_back({/*machine=*/1, /*at=*/duration / 3,
-                                           /*duration=*/45.0});
-      const auto r = run_faulty(kind, app, trace, spec);
-      table.add_row({r.policy, TextTable::num(p, 2), pct(r.goodput()),
-                     std::to_string(r.failed), TextTable::num(r.cost, 4),
-                     TextTable::num(r.e2e.empty() ? 0.0 : math::percentile(r.e2e, 99), 2),
-                     std::to_string(r.retries), std::to_string(r.evictions),
-                     std::to_string(r.timeouts), std::to_string(r.init_failures)});
-    }
+  for (const auto& cell : cells) {
+    const auto& r = cell.result;
+    table.add_row({r.policy, TextTable::num(cell.config.faults.init_failure_prob, 2),
+                   pct(r.goodput()), std::to_string(r.failed), TextTable::num(r.cost, 4),
+                   TextTable::num(r.e2e.empty() ? 0.0 : math::percentile(r.e2e, 99), 2),
+                   std::to_string(r.retries), std::to_string(r.evictions),
+                   std::to_string(r.timeouts), std::to_string(r.init_failures)});
   }
   table.print();
   std::cout << "\nShape check: p=0 rows match the fault-free benches bit-for-bit; goodput\n"

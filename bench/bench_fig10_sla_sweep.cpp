@@ -10,27 +10,31 @@ using namespace smiless::bench;
 
 int main() {
   const double duration = bench_duration(400.0);
-  const std::vector<baselines::PolicyKind> kinds = {
-      baselines::PolicyKind::Smiless,   baselines::PolicyKind::GrandSlam,
-      baselines::PolicyKind::IceBreaker, baselines::PolicyKind::Orion,
-      baselines::PolicyKind::Aquatope,
-  };
+
+  exp::ExperimentGrid grid;
+  grid.base = base_config(2.0, duration);
+  grid.policies = headline_policies();
+  grid.apps = workload_names();
+  grid.slas = {1.0, 2.0, 3.0, 4.0, 5.0, 6.0};
+
+  std::cout << "=== Fig. 10: " << grid.cell_count() << "-cell sweep (trace " << duration
+            << " s/app) ===\n";
+  const auto cells = shared_runner().run(grid);
 
   TextTable cost({"SLA (s)", "SMIless", "GrandSLAm", "IceBreaker", "Orion", "Aquatope"});
   TextTable viol({"SLA (s)", "SMIless", "GrandSLAm", "IceBreaker", "Orion", "Aquatope"});
-
-  for (double sla : {1.0, 2.0, 3.0, 4.0, 5.0, 6.0}) {
+  for (const double sla : grid.slas) {
     std::vector<std::string> cost_row{TextTable::num(sla, 0)};
     std::vector<std::string> viol_row{TextTable::num(sla, 0)};
-    for (const auto kind : kinds) {
+    for (const auto& policy : grid.policies) {
       double total_cost = 0.0;
       long violated = 0, submitted = 0;
-      for (const auto& app : apps::make_all_workloads(sla)) {
-        const auto trace = trace_for(app, duration);
-        const auto r = run_cell(kind, app, trace);
-        total_cost += r.cost;
-        violated += static_cast<long>(r.violation_ratio * r.submitted + 0.5);
-        submitted += r.submitted;
+      for (const auto& cell : cells) {
+        if (cell.config.policy != policy || cell.config.sla != sla) continue;
+        total_cost += cell.result.cost;
+        violated +=
+            static_cast<long>(cell.result.violation_ratio * cell.result.submitted + 0.5);
+        submitted += cell.result.submitted;
       }
       cost_row.push_back(TextTable::num(total_cost, 4));
       viol_row.push_back(pct(static_cast<double>(violated) / submitted));
@@ -39,8 +43,7 @@ int main() {
     viol.add_row(viol_row);
   }
 
-  std::cout << "=== Fig. 10a: total execution cost ($) vs SLA (trace " << duration
-            << " s/app) ===\n";
+  std::cout << "\n=== Fig. 10a: total execution cost ($) vs SLA ===\n";
   cost.print();
   std::cout << "\n=== Fig. 10b: SLA violation ratio vs SLA ===\n";
   viol.print();

@@ -5,46 +5,65 @@
 // < 8%, GPU fits tighter than CPU).
 #include "bench/bench_common.hpp"
 #include "core/smiless_policy.hpp"
-#include "profiler/offline_profiler.hpp"
 
 using namespace smiless;
 using namespace smiless::bench;
 
 int main() {
   const double duration = bench_duration(400.0);
+  const std::vector<double> sigmas = {0.0, 1.0, 2.0, 3.0};
+
+  // Each n is a policy-override cell: same SMIless runtime, hand-tuned
+  // estimator options. The override keeps the whole sweep on the one
+  // parallel runner even though these variants have no config-file name.
+  std::vector<exp::ExperimentConfig> cells_cfg;
+  for (const double n : sigmas) {
+    for (const auto& app : workload_names()) {
+      auto cfg = base_config(2.0, duration);
+      cfg.app = app;
+      cfg.use_lstm = false;
+      cfg.trace.kind = "regular";
+      cfg.trace.interval = 10.0;
+      cfg.trace.jitter = 0.03;
+      cfg.trace.seed = 91;
+      cfg.label = "n=" + TextTable::num(n, 0) + "/app=" + app;
+      cfg.policy_override = [n](const exp::CellContext& ctx) {
+        core::SmilessOptions options;
+        options.use_lstm = false;
+        options.optimizer.n_sigma = n;
+        options.prewarm_safety = 0.0;  // isolate the estimator's effect
+        return std::make_shared<core::SmilessPolicy>(
+            "SMIless(n=" + TextTable::num(n, 0) + ")",
+            ctx.profiles.for_app(ctx.app), options, ctx.pool);
+      };
+      cells_cfg.push_back(std::move(cfg));
+    }
+  }
+  const auto cells = shared_runner().run(cells_cfg);
 
   std::cout << "=== Fig. 11a: SLA violations vs init-estimate robustness (n in mu+n*sigma) ===\n"
             << "(near-periodic sparse trace: every function runs in pre-warm mode, so the\n"
             << " init estimate directly times the overlap window, as in the paper)\n";
   TextTable fig_a({"n", "violation ratio", "total cost ($)"});
-  for (double n : {0.0, 1.0, 2.0, 3.0}) {
+  const std::size_t napps = workload_names().size();
+  for (std::size_t i = 0; i < sigmas.size(); ++i) {
     long violated = 0, submitted = 0;
     double cost = 0.0;
-    for (const auto& app : apps::make_all_workloads(2.0)) {
-      Rng trng(91 ^ std::hash<std::string>{}(app.name));
-      const auto trace = workload::generate_regular_trace(10.0, 0.03, duration, trng);
-      core::SmilessOptions options;
-      options.use_lstm = false;
-      options.optimizer.n_sigma = n;
-      options.prewarm_safety = 0.0;  // isolate the estimator's effect
-      auto policy = std::make_shared<core::SmilessPolicy>(
-          "SMIless(n=" + TextTable::num(n, 0) + ")", shared_profiles().for_app(app), options,
-          shared_pool());
-      baselines::ExperimentOptions eo;
-      const auto r = baselines::run_experiment(app, trace, policy, eo);
+    for (std::size_t j = 0; j < napps; ++j) {
+      const auto& r = cells[i * napps + j].result;
       violated += static_cast<long>(r.violation_ratio * r.submitted + 0.5);
       submitted += r.submitted;
       cost += r.cost;
     }
-    fig_a.add_row({TextTable::num(n, 0), pct(static_cast<double>(violated) / submitted),
-                   TextTable::num(cost, 4)});
+    fig_a.add_row({TextTable::num(sigmas[i], 0),
+                   pct(static_cast<double>(violated) / submitted), TextTable::num(cost, 4)});
   }
   fig_a.print();
 
   std::cout << "\n=== Fig. 11b: inference-time fit accuracy (SMAPE, 25 CPU + 50 GPU samples) ===\n";
   TextTable fig_b({"Function", "SMAPE CPU (%)", "SMAPE GPU (%)"});
   double cpu_sum = 0.0, gpu_sum = 0.0;
-  const auto& results = shared_profiles().results();
+  const auto& results = shared_runner().profiles(2024).results();
   for (const auto& r : results) {
     fig_b.add_row({r.fitted.name, TextTable::num(r.smape_cpu, 2), TextTable::num(r.smape_gpu, 2)});
     cpu_sum += r.smape_cpu;

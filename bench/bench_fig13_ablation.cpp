@@ -12,36 +12,38 @@
 using namespace smiless;
 using namespace smiless::bench;
 
-namespace {
-
-workload::Trace sparse_trace(const apps::App& app, double duration) {
-  // Near-periodic 10 s gaps: the regime where just-in-time pre-warming is
-  // both active (T+I fits well inside the gap) and predictable.
-  Rng rng(77 ^ std::hash<std::string>{}(app.name));
-  return workload::generate_regular_trace(10.0, 0.05, duration, rng);
-}
-
-}  // namespace
-
 int main() {
   const double duration = bench_duration();
+
+  // Fig. 13a grid: near-periodic 10 s gaps — the regime where just-in-time
+  // pre-warming is both active (T+I fits inside the gap) and predictable.
+  exp::ExperimentGrid sparse;
+  sparse.base = base_config(2.0, duration);
+  sparse.base.use_lstm = false;
+  sparse.base.trace.kind = "regular";
+  sparse.base.trace.interval = 10.0;
+  sparse.base.trace.jitter = 0.05;
+  sparse.base.trace.seed = 77;
+  sparse.policies = {"smiless", "smiless-no-dag"};
+  sparse.apps = workload_names();
+  const auto sparse_cells = shared_runner().run(sparse);
 
   std::cout << "=== Fig. 13a: DAG-aware pre-warming (sparse trace, mean IT ~10 s) ===\n";
   TextTable fig_a({"Variant", "WL1 ($)", "WL2 ($)", "WL3 ($)", "total ($)", "vs SMIless",
                    "violations"});
   double base_total = 0.0;
-  for (const auto kind : {baselines::PolicyKind::Smiless, baselines::PolicyKind::SmilessNoDag}) {
+  for (const auto& policy : sparse.policies) {
     double total = 0.0;
     long violated = 0, submitted = 0;
-    std::vector<std::string> row{baselines::policy_kind_name(kind)};
-    for (const auto& app : apps::make_all_workloads(2.0)) {
-      const auto r = run_cell(kind, app, sparse_trace(app, duration), /*use_lstm=*/false);
+    std::vector<std::string> row{policy_display(policy)};
+    for (const auto& app : sparse.apps) {
+      const auto& r = cell_for(sparse_cells, policy, app).result;
       row.push_back(TextTable::num(r.cost, 4));
       total += r.cost;
       violated += static_cast<long>(r.violation_ratio * r.submitted + 0.5);
       submitted += r.submitted;
     }
-    if (kind == baselines::PolicyKind::Smiless) base_total = total;
+    if (policy == "smiless") base_total = total;
     row.push_back(TextTable::num(total, 4));
     row.push_back(TextTable::num(total / base_total, 2) + "x");
     row.push_back(pct(static_cast<double>(violated) / std::max<long>(submitted, 1)));
@@ -49,22 +51,29 @@ int main() {
   }
   fig_a.print();
 
+  // Fig. 13b grid: standard traces, SLA axis.
+  exp::ExperimentGrid homo;
+  homo.base = base_config(2.0, duration);
+  homo.base.use_lstm = false;
+  homo.policies = {"smiless", "smiless-homo"};
+  homo.apps = workload_names();
+  homo.slas = {0.5, 1.0, 2.0};
+  const auto homo_cells = shared_runner().run(homo);
+
   std::cout << "\n=== Fig. 13b: heterogeneous backends (SLA sweep, standard traces) ===\n";
   TextTable fig_b({"SLA (s)", "SMIless cost ($)", "SMIless viol.", "Homo cost ($)",
                    "Homo viol."});
-  for (double sla : {0.5, 1.0, 2.0}) {
+  for (const double sla : homo.slas) {
     double cost[2] = {0.0, 0.0};
     long violated[2] = {0, 0}, submitted[2] = {0, 0};
-    int idx = 0;
-    for (const auto kind :
-         {baselines::PolicyKind::Smiless, baselines::PolicyKind::SmilessHomo}) {
-      for (const auto& app : apps::make_all_workloads(sla)) {
-        const auto r = run_cell(kind, app, trace_for(app, duration), /*use_lstm=*/false);
-        cost[idx] += r.cost;
-        violated[idx] += static_cast<long>(r.violation_ratio * r.submitted + 0.5);
-        submitted[idx] += r.submitted;
+    for (std::size_t idx = 0; idx < homo.policies.size(); ++idx) {
+      for (const auto& cell : homo_cells) {
+        if (cell.config.policy != homo.policies[idx] || cell.config.sla != sla) continue;
+        cost[idx] += cell.result.cost;
+        violated[idx] +=
+            static_cast<long>(cell.result.violation_ratio * cell.result.submitted + 0.5);
+        submitted[idx] += cell.result.submitted;
       }
-      ++idx;
     }
     fig_b.add_row({TextTable::num(sla, 1), TextTable::num(cost[0], 4),
                    pct(static_cast<double>(violated[0]) / submitted[0]),

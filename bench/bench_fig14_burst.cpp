@@ -8,10 +8,16 @@ using namespace smiless;
 using namespace smiless::bench;
 
 int main() {
-  const auto app = apps::make_voice_assistant();
-  Rng rng(37);
-  const auto trace = workload::generate_burst_window(0.5, 12.0, rng);
-  const auto r = run_cell(baselines::PolicyKind::Smiless, app, trace, /*use_lstm=*/false);
+  auto cfg = base_config(2.0, 60.0);
+  cfg.app = "wl3";
+  cfg.policy = "smiless";
+  cfg.use_lstm = false;
+  cfg.trace.kind = "burst";
+  cfg.trace.quiet_rate = 0.5;
+  cfg.trace.peak_rate = 12.0;
+  cfg.trace.seed = 37;
+  const auto r =
+      shared_runner().run(std::vector<exp::ExperimentConfig>{cfg}).front().result;
 
   std::cout << "=== Fig. 14: burst window (quiet 0.5 rps -> peak 12 rps -> decay) ===\n";
   TextTable table({"t (s)", "invocations", "pods", "CPU pods", "GPU pods", "CPU:GPU"});

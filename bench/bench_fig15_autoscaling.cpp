@@ -8,28 +8,25 @@ using namespace smiless;
 using namespace smiless::bench;
 
 int main() {
-  const auto app = apps::make_voice_assistant();
-  const std::vector<baselines::PolicyKind> kinds = {
-      baselines::PolicyKind::Smiless,   baselines::PolicyKind::GrandSlam,
-      baselines::PolicyKind::IceBreaker, baselines::PolicyKind::Orion,
-      baselines::PolicyKind::Aquatope,
-  };
+  exp::ExperimentGrid grid;
+  grid.base = base_config(2.0, 60.0);
+  grid.base.app = "wl3";
+  grid.base.use_lstm = false;
+  grid.base.trace.kind = "burst";
+  grid.base.trace.quiet_rate = 0.5;
+  grid.base.trace.peak_rate = 12.0;
+  grid.base.trace.seed = 37;
+  grid.policies = headline_policies();
+  const auto cells = shared_runner().run(grid);
 
   std::cout << "=== Fig. 15: auto-scaling during the burst window ===\n";
   TextTable table({"Policy", "cost ($)", "vs SMIless", "violations", "peak pods"});
-  double base_cost = 0.0;
-  std::vector<baselines::RunResult> results;
-  for (const auto kind : kinds) {
-    Rng rng(37);
-    const auto trace = workload::generate_burst_window(0.5, 12.0, rng);
-    results.push_back(run_cell(kind, app, trace, /*use_lstm=*/false));
-    if (kind == baselines::PolicyKind::Smiless) base_cost = results.back().cost;
-  }
-  for (std::size_t k = 0; k < kinds.size(); ++k) {
-    const auto& r = results[k];
+  const double base_cost = cell_for(cells, "smiless", "wl3").result.cost;
+  for (const auto& cell : cells) {
+    const auto& r = cell.result;
     int peak = 0;
     for (const auto& w : r.windows) peak = std::max(peak, w.instances_total);
-    table.add_row({baselines::policy_kind_name(kinds[k]), TextTable::num(r.cost, 4),
+    table.add_row({r.policy, TextTable::num(r.cost, 4),
                    TextTable::num(r.cost / base_cost, 2) + "x", pct(r.violation_ratio),
                    std::to_string(peak)});
   }

@@ -12,34 +12,29 @@ using namespace smiless::bench;
 
 int main() {
   const double duration = bench_duration();
-  const auto workloads = apps::make_all_workloads(2.0);
-  const std::vector<baselines::PolicyKind> kinds = {
-      baselines::PolicyKind::Smiless,   baselines::PolicyKind::GrandSlam,
-      baselines::PolicyKind::IceBreaker, baselines::PolicyKind::Orion,
-      baselines::PolicyKind::Aquatope,  baselines::PolicyKind::Opt,
-  };
 
-  std::cout << "=== Fig. 8a: overall execution cost (trace " << duration << " s/app) ===\n";
+  exp::ExperimentGrid grid;
+  grid.base = base_config(2.0, duration);
+  grid.policies = headline_policies(/*with_opt=*/true);
+  grid.apps = workload_names();
+
+  std::cout << "=== Fig. 8: " << grid.cell_count() << "-cell sweep (trace " << duration
+            << " s/app) ===\n";
+  const auto cells = shared_runner().run(grid);
+
+  std::cout << "\n=== Fig. 8a: overall execution cost ===\n";
   TextTable cost_table({"Policy", "WL1 ($)", "WL2 ($)", "WL3 ($)", "total ($)", "vs SMIless"});
-  std::cout << "=== collecting runs (this also feeds Fig. 8b) ===\n";
-
-  std::vector<std::vector<baselines::RunResult>> results(kinds.size());
   double smiless_total = 0.0;
-  for (std::size_t k = 0; k < kinds.size(); ++k) {
-    for (const auto& app : workloads) {
-      const auto trace = trace_for(app, duration);
-      results[k].push_back(run_cell(kinds[k], app, trace));
-    }
-  }
-  for (std::size_t k = 0; k < kinds.size(); ++k) {
+  for (const auto& policy : grid.policies) {
     double total = 0.0;
-    for (const auto& r : results[k]) total += r.cost;
-    if (kinds[k] == baselines::PolicyKind::Smiless) smiless_total = total;
+    for (const auto& app : grid.apps) total += cell_for(cells, policy, app).result.cost;
+    if (policy == "smiless") smiless_total = total;
   }
-  for (std::size_t k = 0; k < kinds.size(); ++k) {
+  for (const auto& policy : grid.policies) {
     double total = 0.0;
-    std::vector<std::string> row{baselines::policy_kind_name(kinds[k])};
-    for (const auto& r : results[k]) {
+    std::vector<std::string> row{policy_display(policy)};
+    for (const auto& app : grid.apps) {
+      const auto& r = cell_for(cells, policy, app).result;
       row.push_back(TextTable::num(r.cost, 4));
       total += r.cost;
     }
@@ -52,16 +47,16 @@ int main() {
   std::cout << "\n=== Fig. 8b: E2E latency distribution across all workloads ===\n";
   TextTable lat_table({"Policy", "p50 (s)", "p90 (s)", "p99 (s)", "max (s)",
                        "SLA violations"});
-  for (std::size_t k = 0; k < kinds.size(); ++k) {
+  for (const auto& policy : grid.policies) {
     std::vector<double> e2e;
     long submitted = 0, violated = 0;
-    for (const auto& r : results[k]) {
+    for (const auto& app : grid.apps) {
+      const auto& r = cell_for(cells, policy, app).result;
       e2e.insert(e2e.end(), r.e2e.begin(), r.e2e.end());
       submitted += r.submitted;
       violated += static_cast<long>(r.violation_ratio * r.submitted + 0.5);
     }
-    lat_table.add_row({baselines::policy_kind_name(kinds[k]),
-                       TextTable::num(math::percentile(e2e, 50), 2),
+    lat_table.add_row({policy_display(policy), TextTable::num(math::percentile(e2e, 50), 2),
                        TextTable::num(math::percentile(e2e, 90), 2),
                        TextTable::num(math::percentile(e2e, 99), 2),
                        TextTable::num(math::percentile(e2e, 100), 2),
@@ -71,22 +66,30 @@ int main() {
 
   // The paper's actual deployment: all three applications share the one
   // 8-machine cluster simultaneously (dedicated load generator each), so a
-  // policy's fleets contend for cores and GPU slices.
+  // policy's fleets contend for cores and GPU slices. Co-location couples
+  // the apps inside one engine, so it runs through run_colocated directly;
+  // the sweep layer supplies the profiles, traces and solver pool.
   std::cout << "\n=== Fig. 8 (co-located): all workloads on one cluster per policy ===\n";
   TextTable co_table({"Policy", "total ($)", "vs SMIless", "violations"});
   double co_base = 0.0;
-  for (const auto kind : kinds) {
+  for (const auto& policy : grid.policies) {
+    const auto kind = *baselines::parse_policy_kind(policy);
+    std::vector<apps::App> workloads;
     std::vector<workload::Trace> traces;
-    traces.reserve(workloads.size());
-    for (const auto& app : workloads) traces.push_back(trace_for(app, duration));
+    for (const auto& name : grid.apps) {
+      auto cfg = grid.base;
+      cfg.app = name;
+      workloads.push_back(exp::resolve_app(cfg));
+      traces.push_back(exp::build_trace(cfg, workloads.back()));
+    }
     std::vector<baselines::ColocatedApp> deployment;
     for (std::size_t i = 0; i < workloads.size(); ++i) {
       baselines::PolicySettings settings;
-      settings.pool = shared_pool();
+      settings.pool = shared_runner().policy_pool();
       settings.oracle_trace = &traces[i];
       deployment.push_back({workloads[i], &traces[i],
-                            baselines::make_policy(kind, workloads[i], shared_profiles(),
-                                                   settings)});
+                            baselines::make_policy(kind, workloads[i],
+                                                   shared_runner().profiles(2024), settings)});
     }
     baselines::ExperimentOptions options;
     const auto results_co = baselines::run_colocated(std::move(deployment), options);
@@ -97,8 +100,8 @@ int main() {
       violated += static_cast<long>(r.violation_ratio * r.submitted + 0.5);
       submitted += r.submitted;
     }
-    if (kind == baselines::PolicyKind::Smiless) co_base = total;
-    co_table.add_row({baselines::policy_kind_name(kind), TextTable::num(total, 4),
+    if (policy == "smiless") co_base = total;
+    co_table.add_row({policy_display(policy), TextTable::num(total, 4),
                       TextTable::num(total / co_base, 2) + "x",
                       pct(static_cast<double>(violated) / submitted)});
   }

@@ -1,6 +1,7 @@
 #include "baselines/experiment.hpp"
 
 #include <algorithm>
+#include <cctype>
 
 #include "apps/catalog.hpp"
 #include "baselines/aquatope.hpp"
@@ -67,29 +68,11 @@ void fill_result(RunResult& r, const serverless::AppMetrics& m, double sla) {
 RunResult run_experiment(const apps::App& app, const workload::Trace& trace,
                          std::shared_ptr<serverless::Policy> policy,
                          const ExperimentOptions& options) {
-  sim::Engine engine;
-  cluster::Cluster cluster = cluster::Cluster::paper_testbed();
-  Rng rng(options.seed);
-  faults::FaultInjector injector(options.faults, rng);
-  serverless::PlatformOptions popt = options.platform;
-  if (injector.enabled()) popt.faults = &injector;
-  serverless::Platform platform(engine, cluster, perf::Pricing{}, rng, popt);
-  injector.arm(engine, cluster);
-
-  RunResult out;
-  out.policy = policy->name();
-  out.app = app.name;
-
-  const serverless::AppId id = platform.deploy(app, std::move(policy));
-  for (SimTime t : trace.arrivals) platform.submit_request(id, t);
-
-  const double end =
-      static_cast<double>(trace.counts.size()) * trace.window + options.drain_slack;
-  engine.run_until(end);
-  platform.finalize(end);
-
-  fill_result(out, platform.metrics(id), app.sla);
-  return out;
+  // A single-app run is the one-element co-located deployment: same engine,
+  // RNG and injector construction order, so the trajectories are identical.
+  std::vector<ColocatedApp> deployment;
+  deployment.push_back({app, &trace, std::move(policy)});
+  return run_colocated(std::move(deployment), options).front();
 }
 
 std::vector<RunResult> run_colocated(std::vector<ColocatedApp> apps,
@@ -138,6 +121,30 @@ std::string policy_kind_name(PolicyKind kind) {
     case PolicyKind::Aquatope: return "Aquatope";
   }
   return "?";
+}
+
+std::optional<PolicyKind> parse_policy_kind(const std::string& name) {
+  std::string lower;
+  for (const char c : name)
+    if (c != '-' && c != '_') lower += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  if (lower == "smiless") return PolicyKind::Smiless;
+  if (lower == "smilesshomo") return PolicyKind::SmilessHomo;
+  if (lower == "smilessnodag") return PolicyKind::SmilessNoDag;
+  if (lower == "opt") return PolicyKind::Opt;
+  if (lower == "orion") return PolicyKind::Orion;
+  if (lower == "icebreaker") return PolicyKind::IceBreaker;
+  if (lower == "grandslam") return PolicyKind::GrandSlam;
+  if (lower == "aquatope") return PolicyKind::Aquatope;
+  return std::nullopt;
+}
+
+const std::vector<PolicyKind>& all_policy_kinds() {
+  static const std::vector<PolicyKind> kinds = {
+      PolicyKind::Smiless, PolicyKind::SmilessHomo, PolicyKind::SmilessNoDag,
+      PolicyKind::GrandSlam, PolicyKind::IceBreaker, PolicyKind::Orion,
+      PolicyKind::Aquatope, PolicyKind::Opt,
+  };
+  return kinds;
 }
 
 std::shared_ptr<serverless::Policy> make_policy(PolicyKind kind, const apps::App& app,

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -102,6 +103,14 @@ enum class PolicyKind {
 };
 
 std::string policy_kind_name(PolicyKind kind);
+
+/// Inverse of policy_kind_name, also accepting the CLI/config spellings
+/// ("smiless", "smiless-homo", "grandslam", ...). Returns nullopt for an
+/// unknown name.
+std::optional<PolicyKind> parse_policy_kind(const std::string& name);
+
+/// Every kind, in evaluation-section order (SMIless first, OPT last).
+const std::vector<PolicyKind>& all_policy_kinds();
 
 struct PolicySettings {
   bool use_lstm = true;

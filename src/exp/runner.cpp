@@ -1,0 +1,95 @@
+#include "exp/runner.hpp"
+
+#include <chrono>
+#include <iostream>
+#include <mutex>
+#include <set>
+
+#include "common/table.hpp"
+#include "profiler/offline_profiler.hpp"
+
+namespace smiless::exp {
+
+Runner::Runner(RunnerOptions options) : options_(options) {
+  policy_pool_ = std::make_shared<ThreadPool>(options_.policy_threads);
+}
+
+const baselines::ProfileStore& Runner::profiles(std::uint64_t profile_seed) {
+  auto it = stores_.find(profile_seed);
+  if (it == stores_.end()) {
+    Rng rng(profile_seed);
+    it = stores_
+             .emplace(profile_seed, std::make_unique<baselines::ProfileStore>(
+                                        profiler::OfflineProfiler{}, rng))
+             .first;
+  }
+  return *it->second;
+}
+
+CellResult Runner::run_cell(const ExperimentConfig& config,
+                            const baselines::ProfileStore& store,
+                            std::shared_ptr<ThreadPool> policy_pool) {
+  const auto t0 = std::chrono::steady_clock::now();
+
+  const apps::App app = resolve_app(config);
+  const workload::Trace trace = build_trace(config, app);
+
+  std::shared_ptr<serverless::Policy> policy;
+  if (config.policy_override) {
+    const CellContext ctx{config, app, trace, store, policy_pool};
+    policy = config.policy_override(ctx);
+  } else {
+    const auto kind = baselines::parse_policy_kind(config.policy);
+    if (!kind) throw std::runtime_error("unknown policy '" + config.policy + "'");
+    baselines::PolicySettings settings;
+    settings.use_lstm = config.use_lstm;
+    settings.pool = policy_pool;
+    settings.oracle_trace = &trace;  // only OPT reads it
+    policy = baselines::make_policy(*kind, app, store, settings);
+  }
+
+  baselines::ExperimentOptions options;
+  options.seed = config.seed;
+  options.drain_slack = config.drain_slack;
+  options.platform = config.platform;
+  options.faults = config.faults;
+
+  CellResult out;
+  out.config = config;
+  out.result = baselines::run_experiment(app, trace, std::move(policy), options);
+  out.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  return out;
+}
+
+std::vector<CellResult> Runner::run(const std::vector<ExperimentConfig>& cells) {
+  // Front-load every distinct profile store serially: cells then only read
+  // immutable fitted models, whatever order they execute in.
+  std::set<std::uint64_t> profile_seeds;
+  for (const auto& c : cells) profile_seeds.insert(c.profile_seed);
+  for (const std::uint64_t s : profile_seeds) profiles(s);
+
+  std::vector<CellResult> out(cells.size());
+  std::mutex progress_mu;
+  std::size_t done = 0;
+  const auto one = [&](std::size_t i) {
+    out[i] = run_cell(cells[i], profiles(cells[i].profile_seed), policy_pool_);
+    if (options_.progress) {
+      std::lock_guard lock(progress_mu);
+      ++done;
+      std::cerr << "[exp] " << done << "/" << cells.size() << " "
+                << cells[i].display_name() << " seed=" << cells[i].seed << " ("
+                << TextTable::num(out[i].wall_seconds, 2) << " s)\n";
+    }
+  };
+
+  if (options_.threads == 1 || cells.size() <= 1) {
+    for (std::size_t i = 0; i < cells.size(); ++i) one(i);
+  } else {
+    ThreadPool sweep_pool(options_.threads);
+    parallel_for(sweep_pool, cells.size(), one);
+  }
+  return out;
+}
+
+}  // namespace smiless::exp

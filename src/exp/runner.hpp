@@ -1,0 +1,76 @@
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "baselines/experiment.hpp"
+#include "exp/config.hpp"
+
+namespace smiless::exp {
+
+/// One executed cell: its config, the simulator's books, and how long the
+/// cell took on the wall. `wall_seconds` is diagnostic only — no emitter
+/// includes it in comparable output, so a sweep's JSON/CSV is a pure
+/// function of the grid regardless of thread count or machine load.
+struct CellResult {
+  ExperimentConfig config;
+  baselines::RunResult result;
+  double wall_seconds = 0.0;
+};
+
+struct RunnerOptions {
+  /// Sweep-level parallelism: how many cells run concurrently. 0 means
+  /// hardware_concurrency. Results are bit-identical for every value.
+  std::size_t threads = 0;
+
+  /// Worker count of the *inner* pool handed to every policy for its
+  /// solver fan-out (Strategy Optimizer / Auto-scaler). This pool is
+  /// distinct from the sweep pool — a cell blocking on policy futures can
+  /// never starve another cell's sub-tasks, so no nesting deadlock exists.
+  /// 0 means hardware_concurrency.
+  std::size_t policy_threads = 0;
+
+  /// Print one line per finished cell to stderr.
+  bool progress = false;
+};
+
+/// Executes a list of experiment cells, concurrently, with a determinism
+/// contract: the returned vector (and everything derived from it by ordered
+/// reduction) is bit-identical for any `threads` value. Each cell is a pure
+/// function of its ExperimentConfig — it builds its own app, trace, engine
+/// and RNG (forked from the cell's own seeds), and shares only immutable
+/// state (the profile store) and the inner thread pool (whose parallel_map
+/// collects in index order) with its siblings.
+class Runner {
+ public:
+  explicit Runner(RunnerOptions options = {});
+
+  /// Run every cell; results arrive in input order.
+  std::vector<CellResult> run(const std::vector<ExperimentConfig>& cells);
+
+  /// Convenience: expand + run.
+  std::vector<CellResult> run(const ExperimentGrid& grid) { return run(grid.expand()); }
+
+  /// Fitted profiles for one profiler seed (built lazily, cached, shared by
+  /// every cell; safe to call before run() to front-load the work).
+  const baselines::ProfileStore& profiles(std::uint64_t profile_seed);
+
+  /// The inner pool given to every policy; callers running cells outside
+  /// the sweep (e.g. a co-located deployment) may share it.
+  std::shared_ptr<ThreadPool> policy_pool() const { return policy_pool_; }
+
+  /// Execute a single cell against a given profile store. Exposed so tests
+  /// and the CLI single-run path go through exactly the sweep code path.
+  static CellResult run_cell(const ExperimentConfig& config,
+                             const baselines::ProfileStore& store,
+                             std::shared_ptr<ThreadPool> policy_pool);
+
+ private:
+  RunnerOptions options_;
+  std::shared_ptr<ThreadPool> policy_pool_;
+  std::map<std::uint64_t, std::unique_ptr<baselines::ProfileStore>> stores_;
+};
+
+}  // namespace smiless::exp

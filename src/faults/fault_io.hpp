@@ -1,0 +1,16 @@
+#pragma once
+
+#include "common/json.hpp"
+#include "faults/fault_injector.hpp"
+
+namespace smiless::faults {
+
+/// Serialize a FaultSpec. A default spec (all knobs off) serializes to an
+/// object whose round-trip reproduces `FaultSpec{}` exactly, preserving the
+/// "defaults replay the fault-free trajectory" contract.
+json::Value to_json(const FaultSpec& spec);
+
+/// Inverse of to_json; missing keys keep their defaults.
+FaultSpec fault_spec_from_json(const json::Value& v);
+
+}  // namespace smiless::faults

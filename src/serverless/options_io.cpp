@@ -1,0 +1,31 @@
+#include "serverless/options_io.hpp"
+
+namespace smiless::serverless {
+
+json::Value to_json(const PlatformOptions& o) {
+  json::Value v = json::Value::object();
+  v["window"] = o.window;
+  v["inference_noise"] = o.inference_noise;
+  v["retry_delay"] = o.retry_delay;
+  v["retry_backoff"] = o.retry_backoff;
+  v["retry_max_delay"] = o.retry_max_delay;
+  v["max_retries"] = o.max_retries;
+  v["request_timeout"] = o.request_timeout;
+  v["record_traces"] = o.record_traces;
+  return v;
+}
+
+PlatformOptions platform_options_from_json(const json::Value& v) {
+  PlatformOptions o;
+  o.window = v.get("window", o.window);
+  o.inference_noise = v.get("inference_noise", o.inference_noise);
+  o.retry_delay = v.get("retry_delay", o.retry_delay);
+  o.retry_backoff = v.get("retry_backoff", o.retry_backoff);
+  o.retry_max_delay = v.get("retry_max_delay", o.retry_max_delay);
+  o.max_retries = v.get("max_retries", o.max_retries);
+  o.request_timeout = v.get("request_timeout", o.request_timeout);
+  o.record_traces = v.get("record_traces", o.record_traces);
+  return o;
+}
+
+}  // namespace smiless::serverless

@@ -1,0 +1,18 @@
+#pragma once
+
+#include "common/json.hpp"
+#include "serverless/platform.hpp"
+
+namespace smiless::serverless {
+
+/// Serialize every scalar knob of PlatformOptions (the `faults` pointer is
+/// runtime wiring, not configuration — the fault *spec* serializes through
+/// faults::to_json and is attached by the experiment layer). Keys are
+/// emitted in declaration order so the output is byte-stable.
+json::Value to_json(const PlatformOptions& o);
+
+/// Inverse of to_json. Missing keys keep their defaults, so configs written
+/// by older builds keep loading.
+PlatformOptions platform_options_from_json(const json::Value& v);
+
+}  // namespace smiless::serverless

@@ -1,0 +1,252 @@
+// Tests for the experiment subsystem (src/exp): grid expansion, config
+// serialization, and — the load-bearing contract — that a parallel sweep is
+// bit-identical to the serial run of the same grid, fault injection included.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "baselines/experiment.hpp"
+#include "exp/aggregate.hpp"
+#include "exp/config.hpp"
+#include "exp/runner.hpp"
+#include "math/stats.hpp"
+
+using namespace smiless;
+
+namespace {
+
+/// A small but non-trivial grid: 2 policies x 2 seed replicates, faults on.
+/// Short regular trace keeps each cell cheap while still exercising the
+/// retry/timeout machinery.
+exp::ExperimentGrid faulty_grid() {
+  exp::ExperimentGrid grid;
+  grid.base.app = "wl1";
+  grid.base.sla = 2.0;
+  grid.base.use_lstm = false;
+  grid.base.trace.kind = "regular";
+  grid.base.trace.interval = 4.0;
+  grid.base.trace.jitter = 0.1;
+  grid.base.trace.duration = 90.0;
+  grid.base.faults.init_failure_prob = 0.05;
+  grid.base.faults.straggler_prob = 0.02;
+  grid.base.faults.straggler_factor = 3.0;
+  grid.base.platform.request_timeout = 30.0;
+  grid.base.platform.max_retries = 2;
+  grid.policies = {"smiless", "grandslam"};
+  grid.seeds = {7, 8};
+  return grid;
+}
+
+}  // namespace
+
+TEST(ExpGrid, CellCountAndExpansionOrder) {
+  exp::ExperimentGrid grid;
+  grid.apps = {"wl1", "wl2"};
+  grid.policies = {"smiless", "orion", "grandslam"};
+  grid.seeds = {1, 2};
+  EXPECT_EQ(grid.cell_count(), 12u);
+  const auto cells = grid.expand();
+  ASSERT_EQ(cells.size(), 12u);
+  // Fixed nesting order: app outermost, then policy, seed innermost.
+  EXPECT_EQ(cells[0].app, "wl1");
+  EXPECT_EQ(cells[0].policy, "smiless");
+  EXPECT_EQ(cells[0].seed, 1u);
+  EXPECT_EQ(cells[1].seed, 2u);
+  EXPECT_EQ(cells[2].policy, "orion");
+  EXPECT_EQ(cells[6].app, "wl2");
+  // The seeds axis re-rolls the trace too, so replicates differ end-to-end.
+  EXPECT_EQ(cells[0].trace.seed, 1u);
+  EXPECT_EQ(cells[1].trace.seed, 2u);
+  // Labels name every active non-seed axis and are shared by replicates.
+  EXPECT_EQ(cells[0].label, "app=wl1/policy=smiless");
+  EXPECT_EQ(cells[0].label, cells[1].label);
+}
+
+TEST(ExpGrid, ExpansionIsDeterministic) {
+  const auto grid = faulty_grid();
+  const auto a = grid.expand();
+  const auto b = grid.expand();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i)
+    EXPECT_EQ(a[i].to_json().dump(), b[i].to_json().dump());
+}
+
+TEST(ExpConfig, JsonRoundTripIsByteStable) {
+  auto cells = faulty_grid().expand();
+  for (const auto& c : cells) {
+    const std::string once = c.to_json().dump(2);
+    const auto back = exp::ExperimentConfig::from_json(json::Value::parse(once));
+    EXPECT_EQ(back.to_json().dump(2), once);
+  }
+}
+
+TEST(ExpConfig, InfiniteTimeoutRoundTrips) {
+  exp::ExperimentConfig c;  // default request_timeout is infinite
+  ASSERT_TRUE(std::isinf(c.platform.request_timeout));
+  const auto back = exp::ExperimentConfig::from_json(json::Value::parse(c.to_json().dump()));
+  EXPECT_TRUE(std::isinf(back.platform.request_timeout));
+  EXPECT_EQ(back.to_json().dump(), c.to_json().dump());
+}
+
+TEST(ExpConfig, GroupKeyIgnoresSeedsAndLabel) {
+  exp::ExperimentConfig a;
+  a.label = "app=wl1";
+  a.seed = 7;
+  a.trace.seed = 7;
+  exp::ExperimentConfig b = a;
+  b.label = "";  // label and both seeds differ; identity does not
+  b.seed = 8;
+  b.trace.seed = 8;
+  EXPECT_EQ(a.group_key(), b.group_key());
+  b.sla = 4.0;
+  EXPECT_NE(a.group_key(), b.group_key());
+}
+
+TEST(ExpGrid, GridFileRoundTrips) {
+  const auto grid = faulty_grid();
+  const std::string path = testing::TempDir() + "/exp_grid_roundtrip.json";
+  grid.save(path);
+  const auto back = exp::ExperimentGrid::load(path);
+  EXPECT_EQ(back.to_json().dump(2), grid.to_json().dump(2));
+  // The reloaded grid expands to the same cells, byte for byte.
+  const auto a = grid.expand();
+  const auto b = back.expand();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i)
+    EXPECT_EQ(a[i].to_json().dump(), b[i].to_json().dump());
+  std::remove(path.c_str());
+}
+
+TEST(ExpRunner, RunCellMatchesDirectExperiment) {
+  exp::ExperimentConfig config;
+  config.app = "wl1";
+  config.policy = "grandslam";
+  config.use_lstm = false;
+  config.trace.kind = "regular";
+  config.trace.interval = 5.0;
+  config.trace.duration = 60.0;
+
+  exp::Runner runner({/*threads=*/1, /*policy_threads=*/2});
+  const auto& store = runner.profiles(config.profile_seed);
+  const auto cell = exp::Runner::run_cell(config, store, runner.policy_pool());
+
+  // The hand-rolled equivalent of what run_cell does.
+  const apps::App app = exp::resolve_app(config);
+  const workload::Trace trace = exp::build_trace(config, app);
+  baselines::PolicySettings settings;
+  settings.use_lstm = false;
+  settings.pool = runner.policy_pool();
+  settings.oracle_trace = &trace;
+  const auto kind = baselines::parse_policy_kind(config.policy);
+  ASSERT_TRUE(kind.has_value());
+  baselines::ExperimentOptions options;
+  options.seed = config.seed;
+  options.drain_slack = config.drain_slack;
+  options.platform = config.platform;
+  options.faults = config.faults;
+  const auto direct = baselines::run_experiment(
+      app, trace, baselines::make_policy(*kind, app, store, settings), options);
+
+  EXPECT_EQ(cell.result.cost, direct.cost);
+  EXPECT_EQ(cell.result.submitted, direct.submitted);
+  EXPECT_EQ(cell.result.completed, direct.completed);
+  EXPECT_EQ(cell.result.initializations, direct.initializations);
+  EXPECT_EQ(cell.result.e2e, direct.e2e);
+}
+
+TEST(ExpRunner, ParallelSweepBitIdenticalToSerial) {
+  const auto grid = faulty_grid();
+
+  exp::Runner serial({/*threads=*/1, /*policy_threads=*/2});
+  exp::Runner parallel({/*threads=*/4, /*policy_threads=*/2});
+  const auto serial_cells = serial.run(grid);
+  const auto parallel_cells = parallel.run(grid);
+  ASSERT_EQ(serial_cells.size(), grid.cell_count());
+  ASSERT_EQ(parallel_cells.size(), serial_cells.size());
+
+  // Fault knobs actually engaged: some cell saw a retry or an init failure.
+  long retries = 0, init_failures = 0;
+  for (const auto& cell : serial_cells) {
+    retries += cell.result.retries;
+    init_failures += cell.result.init_failures;
+  }
+  EXPECT_GT(retries + init_failures, 0) << "grid too tame to exercise fault paths";
+
+  // The whole emitted document — aggregates and per-cell rows — is
+  // bit-identical, which subsumes every per-field comparison.
+  const std::string a =
+      exp::summary_json(serial_cells, exp::aggregate(serial_cells)).dump(2);
+  const std::string b =
+      exp::summary_json(parallel_cells, exp::aggregate(parallel_cells)).dump(2);
+  EXPECT_EQ(a, b);
+
+  // Sanity on the aggregation itself: 2 policy groups x 2 seed replicates.
+  const auto aggregates = exp::aggregate(serial_cells);
+  ASSERT_EQ(aggregates.size(), 2u);
+  for (const auto& agg : aggregates) {
+    EXPECT_EQ(agg.replicates, 2);
+    EXPECT_GT(agg.submitted, 0);
+  }
+}
+
+TEST(ExpAggregate, MeanAndConfidenceInterval) {
+  // Two replicates with known costs: mean and 1.96*s/sqrt(n) check out.
+  exp::ExperimentConfig base;
+  base.policy = "smiless";
+  std::vector<exp::CellResult> cells(2);
+  for (int i = 0; i < 2; ++i) {
+    cells[i].config = base;
+    cells[i].config.seed = static_cast<std::uint64_t>(i + 1);
+    cells[i].config.trace.seed = cells[i].config.seed;
+    cells[i].result.policy = "SMIless";
+    cells[i].result.app = "wl1";
+    cells[i].result.cost = i == 0 ? 1.0 : 3.0;
+    cells[i].result.submitted = 10;
+    cells[i].result.completed = 10;
+    cells[i].result.e2e = {0.5, 1.0};
+  }
+  const auto aggregates = exp::aggregate(cells);
+  ASSERT_EQ(aggregates.size(), 1u);
+  const auto& a = aggregates[0];
+  EXPECT_EQ(a.replicates, 2);
+  EXPECT_DOUBLE_EQ(a.cost.mean, 2.0);
+  EXPECT_DOUBLE_EQ(a.cost_total, 4.0);
+  const std::vector<double> costs = {1.0, 3.0};
+  EXPECT_DOUBLE_EQ(a.cost.ci95, 1.96 * math::stddev(costs) / std::sqrt(2.0));
+  EXPECT_EQ(a.submitted, 20);
+  // e2e percentiles pool all four samples.
+  const std::vector<double> pooled = {0.5, 1.0, 0.5, 1.0};
+  EXPECT_DOUBLE_EQ(a.e2e_p50, math::percentile(pooled, 50));
+}
+
+TEST(ExpAggregate, CsvEmitterShape) {
+  exp::ExperimentConfig base;
+  std::vector<exp::CellResult> cells(1);
+  cells[0].config = base;
+  cells[0].result.policy = "SMIless";
+  cells[0].result.app = "wl1";
+  cells[0].result.cost = 0.25;
+  const auto aggregates = exp::aggregate(cells);
+  const std::string csv = exp::summary_csv(aggregates);
+  EXPECT_NE(csv.find("label,policy,app,sla"), std::string::npos);
+  EXPECT_NE(csv.find("\"SMIless\""), std::string::npos);
+  // Header + one row, both newline-terminated.
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 2);
+}
+
+TEST(ExpRunner, WallClockExcludedFromEmitters) {
+  exp::ExperimentConfig base;
+  std::vector<exp::CellResult> cells(1);
+  cells[0].config = base;
+  cells[0].result.policy = "SMIless";
+  cells[0].result.app = "wl1";
+  cells[0].wall_seconds = 1.25;
+  auto copy = cells;
+  copy[0].wall_seconds = 99.0;  // wall time must never leak into output
+  const auto a = exp::summary_json(cells, exp::aggregate(cells)).dump(2);
+  const auto b = exp::summary_json(copy, exp::aggregate(copy)).dump(2);
+  EXPECT_EQ(a, b);
+}

@@ -26,6 +26,52 @@ export ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1:detect_leaks=1}"
 export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}"
 
 run_flavor default "${prefix}"
+
+# Sweep smoke: a 32-cell grid must produce bit-identical aggregate JSON at
+# --threads 4 and --threads 1 (the runner's determinism contract), and the
+# parallel run should be faster when the machine has the cores for it.
+sweep_smoke() {
+  echo "==== [sweep] 32-cell grid: parallel == serial, byte for byte ===="
+  local dir grid out4 out1
+  dir="$(mktemp -d)"
+  grid="${dir}/grid.json"
+  out4="${dir}/threads4.json"
+  out1="${dir}/threads1.json"
+  cat > "${grid}" <<'EOF'
+{
+  "base": {
+    "sla": 2.0,
+    "use_lstm": false,
+    "trace": {"kind": "regular", "interval": 5.0, "jitter": 0.1, "duration": 60.0},
+    "platform": {"request_timeout": 30.0, "max_retries": 2},
+    "faults": {"straggler_prob": 0.02}
+  },
+  "axes": {
+    "apps": ["wl1", "wl2"],
+    "policies": ["smiless", "grandslam", "icebreaker", "orion"],
+    "init_failure_probs": [0.0, 0.05],
+    "seeds": [7, 8]
+  }
+}
+EOF
+  local t0 t1 wall4 wall1
+  t0=$(date +%s%N); "${prefix}/tools/smiless" --sweep "${grid}" --threads 4 --out "${out4}"
+  t1=$(date +%s%N); wall4=$(( (t1 - t0) / 1000000 ))
+  t0=$(date +%s%N); "${prefix}/tools/smiless" --sweep "${grid}" --threads 1 --out "${out1}"
+  t1=$(date +%s%N); wall1=$(( (t1 - t0) / 1000000 ))
+  cmp "${out4}" "${out1}"
+  echo "[sweep] bit-identical OK (threads=4: ${wall4} ms, threads=1: ${wall1} ms)"
+  # The speedup assertion only means something with real cores behind it.
+  if [ "${jobs}" -ge 8 ] && [ "${wall4}" -gt 0 ]; then
+    if [ $(( wall1 )) -lt $(( wall4 * 2 )) ]; then
+      echo "[sweep] WARNING: expected parallel speedup on ${jobs} cores" \
+           "(threads=1 ${wall1} ms vs threads=4 ${wall4} ms)"
+    fi
+  fi
+  rm -rf "${dir}"
+}
+sweep_smoke
+
 run_flavor asan "${prefix}-asan" -DSMILESS_SANITIZE=address
 run_flavor ubsan "${prefix}-ubsan" -DSMILESS_SANITIZE=undefined
 

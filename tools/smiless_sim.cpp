@@ -1,6 +1,11 @@
 // smiless_sim — command-line driver for the SMIless serving simulator.
 //
+// Every run — single cell or sweep — goes through the exp:: experiment API,
+// so anything the CLI can do is reproducible from one JSON config file.
+//
 //   smiless_sim [options]
+//     --config <file.json>  load a full ExperimentConfig; later flags override
+//     --save-config <file>  write the resolved config as JSON and exit
 //     --app <wl1|wl2|wl3|ipa|path.manifest>   application (default wl3)
 //     --policy <name|all>   smiless, smiless-homo, smiless-no-dag, opt,
 //                           orion, icebreaker, grandslam, aquatope, all
@@ -12,6 +17,14 @@
 //     --no-lstm             use lightweight statistical predictors
 //     --dump-trace <file>   write the (generated) trace as CSV and exit
 //     --slow <n>            print the n slowest request traces (default 0)
+//
+//   Sweeps (the parallel experiment runner):
+//     --sweep <grid.json>   run every cell of an ExperimentGrid file
+//     --threads <n>         concurrent cells (default: hardware; results are
+//                           bit-identical for every value)
+//     --out <file.json>     write the sweep summary JSON (default: stdout table)
+//     --csv <file.csv>      also write per-aggregate CSV
+//     --progress            per-cell completion lines on stderr
 //
 //   Fault injection (all off by default; see DESIGN.md "Failure model"):
 //     --fault-init-p <p>        container init failure probability
@@ -26,21 +39,20 @@
 //
 // Examples:
 //   smiless_sim --app wl1 --policy all --duration 900
-//   smiless_sim --app my_app.manifest --trace prod.csv --policy smiless
+//   smiless_sim --config run.json
+//   smiless_sim --sweep grid.json --threads 8 --out results.json
 //   smiless_sim --policy all --fault-init-p 0.05 --fault-crash 2@120:60
 #include <cstring>
 #include <fstream>
 #include <iostream>
-#include <limits>
 #include <sstream>
 
-#include "faults/fault_injector.hpp"
-
 #include "apps/catalog.hpp"
-#include "apps/serialize.hpp"
 #include "baselines/experiment.hpp"
 #include "common/table.hpp"
-#include "core/smiless_policy.hpp"
+#include "exp/aggregate.hpp"
+#include "exp/config.hpp"
+#include "exp/runner.hpp"
 #include "math/stats.hpp"
 #include "serverless/tracing.hpp"
 #include "workload/trace_io.hpp"
@@ -50,26 +62,25 @@ using namespace smiless;
 namespace {
 
 struct CliOptions {
-  std::string app = "wl3";
-  std::string policy = "smiless";
-  std::string trace_file;
+  exp::ExperimentConfig config;  ///< the single-run cell being assembled
+  std::string policy = "smiless";  ///< name or "all"
   std::string dump_trace;
-  double duration = 600.0;
-  double sla = 2.0;
-  std::uint64_t seed = 42;
-  bool use_lstm = true;
+  std::string save_config;
+  std::string sweep_file;
+  std::string out_file;
+  std::string csv_file;
+  exp::RunnerOptions runner;
   int slow = 0;
-  faults::FaultSpec faults;
-  double timeout = std::numeric_limits<double>::infinity();
-  int max_retries = 12;
 };
 
 [[noreturn]] void usage(const char* argv0, const std::string& error = "") {
   if (!error.empty()) std::cerr << "error: " << error << "\n\n";
   std::cerr << "usage: " << argv0
-            << " [--app wl1|wl2|wl3|ipa|file.manifest] [--policy NAME|all]\n"
-               "       [--duration S] [--trace file.csv] [--sla S] [--seed N]\n"
-               "       [--no-lstm] [--dump-trace file.csv] [--slow N]\n"
+            << " [--config run.json] [--save-config file] [--app wl1|wl2|wl3|ipa|file.manifest]\n"
+               "       [--policy NAME|all] [--duration S] [--trace file.csv] [--sla S]\n"
+               "       [--seed N] [--no-lstm] [--dump-trace file.csv] [--slow N]\n"
+               "       [--sweep grid.json] [--threads N] [--out file.json] [--csv file.csv]\n"
+               "       [--progress]\n"
                "       [--fault-init-p P] [--fault-straggler-p P] [--fault-straggler-x F]\n"
                "       [--fault-crash M@T:D]... [--fault-crash-rate R] [--fault-mttr S]\n"
                "       [--timeout S] [--max-retries N]\n";
@@ -95,86 +106,142 @@ CliOptions parse_cli(int argc, char** argv) {
     if (i + 1 >= argc) usage(argv[0], std::string("missing value for ") + argv[i]);
     return argv[++i];
   };
+  // --config seeds the cell; every later flag overrides one field of it.
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--config")) {
+      const char* path = need_value(i);
+      try {
+        o.config = exp::ExperimentConfig::from_json(json::load_file(path));
+      } catch (const std::exception& e) {
+        usage(argv[0], e.what());
+      }
+      o.policy = o.config.policy;
+    }
+  }
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
-    if (!std::strcmp(arg, "--app")) o.app = need_value(i);
+    if (!std::strcmp(arg, "--config")) { ++i; }  // handled above
+    else if (!std::strcmp(arg, "--save-config")) o.save_config = need_value(i);
+    else if (!std::strcmp(arg, "--app")) o.config.app = need_value(i);
     else if (!std::strcmp(arg, "--policy")) o.policy = need_value(i);
-    else if (!std::strcmp(arg, "--trace")) o.trace_file = need_value(i);
+    else if (!std::strcmp(arg, "--trace")) {
+      o.config.trace.kind = "csv";
+      o.config.trace.file = need_value(i);
+    }
     else if (!std::strcmp(arg, "--dump-trace")) o.dump_trace = need_value(i);
-    else if (!std::strcmp(arg, "--duration")) o.duration = std::atof(need_value(i));
-    else if (!std::strcmp(arg, "--sla")) o.sla = std::atof(need_value(i));
-    else if (!std::strcmp(arg, "--seed")) o.seed = std::strtoull(need_value(i), nullptr, 10);
-    else if (!std::strcmp(arg, "--no-lstm")) o.use_lstm = false;
+    else if (!std::strcmp(arg, "--duration"))
+      o.config.trace.duration = std::atof(need_value(i));
+    else if (!std::strcmp(arg, "--sla")) o.config.sla = std::atof(need_value(i));
+    else if (!std::strcmp(arg, "--seed")) {
+      o.config.seed = std::strtoull(need_value(i), nullptr, 10);
+      o.config.trace.seed = o.config.seed;
+    }
+    else if (!std::strcmp(arg, "--no-lstm")) o.config.use_lstm = false;
     else if (!std::strcmp(arg, "--slow")) o.slow = std::atoi(need_value(i));
+    else if (!std::strcmp(arg, "--sweep")) o.sweep_file = need_value(i);
+    else if (!std::strcmp(arg, "--threads")) {
+      const long v = std::atol(need_value(i));
+      if (v < 1) usage(argv[0], "--threads must be >= 1");
+      o.runner.threads = static_cast<std::size_t>(v);
+    }
+    else if (!std::strcmp(arg, "--out")) o.out_file = need_value(i);
+    else if (!std::strcmp(arg, "--csv")) o.csv_file = need_value(i);
+    else if (!std::strcmp(arg, "--progress")) o.runner.progress = true;
     else if (!std::strcmp(arg, "--fault-init-p"))
-      o.faults.init_failure_prob = std::atof(need_value(i));
+      o.config.faults.init_failure_prob = std::atof(need_value(i));
     else if (!std::strcmp(arg, "--fault-straggler-p"))
-      o.faults.straggler_prob = std::atof(need_value(i));
+      o.config.faults.straggler_prob = std::atof(need_value(i));
     else if (!std::strcmp(arg, "--fault-straggler-x"))
-      o.faults.straggler_factor = std::atof(need_value(i));
+      o.config.faults.straggler_factor = std::atof(need_value(i));
     else if (!std::strcmp(arg, "--fault-crash"))
-      o.faults.crashes.push_back(parse_crash(argv[0], need_value(i)));
+      o.config.faults.crashes.push_back(parse_crash(argv[0], need_value(i)));
     else if (!std::strcmp(arg, "--fault-crash-rate"))
-      o.faults.crash_rate = std::atof(need_value(i));
-    else if (!std::strcmp(arg, "--fault-mttr")) o.faults.mttr = std::atof(need_value(i));
-    else if (!std::strcmp(arg, "--timeout")) o.timeout = std::atof(need_value(i));
-    else if (!std::strcmp(arg, "--max-retries")) o.max_retries = std::atoi(need_value(i));
+      o.config.faults.crash_rate = std::atof(need_value(i));
+    else if (!std::strcmp(arg, "--fault-mttr"))
+      o.config.faults.mttr = std::atof(need_value(i));
+    else if (!std::strcmp(arg, "--timeout"))
+      o.config.platform.request_timeout = std::atof(need_value(i));
+    else if (!std::strcmp(arg, "--max-retries"))
+      o.config.platform.max_retries = std::atoi(need_value(i));
     else if (!std::strcmp(arg, "--help") || !std::strcmp(arg, "-h")) usage(argv[0]);
     else usage(argv[0], std::string("unknown option ") + arg);
   }
-  if (o.duration <= 0.0) usage(argv[0], "--duration must be positive");
-  if (o.sla <= 0.0) usage(argv[0], "--sla must be positive");
-  if (o.timeout <= 0.0) usage(argv[0], "--timeout must be positive");
+  if (o.config.trace.duration <= 0.0) usage(argv[0], "--duration must be positive");
+  if (o.config.sla <= 0.0) usage(argv[0], "--sla must be positive");
+  if (o.config.platform.request_timeout <= 0.0) usage(argv[0], "--timeout must be positive");
+  o.config.policy = o.policy == "all" ? "smiless" : o.policy;
   return o;
 }
 
-apps::App resolve_app(const CliOptions& o) {
-  if (o.app == "wl1") return apps::make_amber_alert(o.sla);
-  if (o.app == "wl2") return apps::make_image_query(o.sla);
-  if (o.app == "wl3") return apps::make_voice_assistant(o.sla);
-  if (o.app == "ipa") return apps::make_ipa(o.sla);
-  std::ifstream is(o.app);
-  if (!is.good()) {
-    std::cerr << "error: unknown app '" << o.app << "' (not a preset or readable file)\n";
+std::vector<std::string> resolve_policies(const char* argv0, const std::string& name) {
+  if (name == "all")
+    return {"smiless", "grandslam", "icebreaker", "orion", "aquatope", "opt"};
+  if (!baselines::parse_policy_kind(name)) {
+    std::cerr << "error: unknown policy '" << name << "'\n";
     std::exit(2);
   }
-  std::ostringstream buf;
-  buf << is.rdbuf();
-  apps::App app = apps::parse_app(buf.str());
-  app.sla = o.sla;
-  return app;
+  (void)argv0;
+  return {name};
 }
 
-std::vector<baselines::PolicyKind> resolve_policies(const std::string& name) {
-  using K = baselines::PolicyKind;
-  if (name == "all")
-    return {K::Smiless, K::GrandSlam, K::IceBreaker, K::Orion, K::Aquatope, K::Opt};
-  if (name == "smiless") return {K::Smiless};
-  if (name == "smiless-homo") return {K::SmilessHomo};
-  if (name == "smiless-no-dag") return {K::SmilessNoDag};
-  if (name == "opt") return {K::Opt};
-  if (name == "orion") return {K::Orion};
-  if (name == "icebreaker") return {K::IceBreaker};
-  if (name == "grandslam") return {K::GrandSlam};
-  if (name == "aquatope") return {K::Aquatope};
-  std::cerr << "error: unknown policy '" << name << "'\n";
-  std::exit(2);
+int run_sweep(const CliOptions& cli) {
+  exp::ExperimentGrid grid;
+  try {
+    grid = exp::ExperimentGrid::load(cli.sweep_file);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+  const auto cells_cfg = grid.expand();
+  std::cerr << "[exp] sweep " << cli.sweep_file << ": " << cells_cfg.size() << " cells, "
+            << (cli.runner.threads == 0 ? std::string("hw") : std::to_string(cli.runner.threads))
+            << " threads\n";
+  exp::Runner runner(cli.runner);
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto cells = runner.run(cells_cfg);
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  std::cerr << "[exp] sweep finished in " << TextTable::num(wall, 2) << " s\n";
+
+  const auto aggregates = exp::aggregate(cells);
+  if (!cli.out_file.empty()) {
+    json::save_file(exp::summary_json(cells, aggregates), cli.out_file);
+    std::cerr << "[exp] wrote " << cli.out_file << "\n";
+  }
+  if (!cli.csv_file.empty()) {
+    std::ofstream os(cli.csv_file);
+    os << exp::summary_csv(aggregates);
+    std::cerr << "[exp] wrote " << cli.csv_file << "\n";
+  }
+  if (cli.out_file.empty()) {
+    TextTable table({"label", "policy", "app", "sla", "runs", "cost ($)", "+-95%",
+                     "violations", "p99 E2E (s)", "goodput"});
+    for (const auto& a : aggregates)
+      table.add_row({a.label, a.policy, a.app, TextTable::num(a.sla, 2),
+                     std::to_string(a.replicates), TextTable::num(a.cost.mean, 4),
+                     TextTable::num(a.cost.ci95, 4),
+                     TextTable::num(100 * a.violation_ratio.mean, 1) + "%",
+                     TextTable::num(a.e2e_p99, 2),
+                     TextTable::num(100 * a.goodput.mean, 1) + "%"});
+    table.print();
+  }
+  return 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  const CliOptions cli = parse_cli(argc, argv);
-  const apps::App app = resolve_app(cli);
+  CliOptions cli = parse_cli(argc, argv);
 
-  workload::Trace trace;
-  if (!cli.trace_file.empty()) {
-    trace = workload::load_csv_file(cli.trace_file);
-  } else {
-    Rng rng(cli.seed);
-    auto trace_options = workload::preset_for_workload(app.name, cli.duration);
-    trace = workload::generate_trace(trace_options, rng);
+  if (!cli.save_config.empty()) {
+    json::save_file(cli.config.to_json(), cli.save_config);
+    std::cout << "Wrote config to " << cli.save_config << "\n";
+    return 0;
   }
+  if (!cli.sweep_file.empty()) return run_sweep(cli);
+
+  const apps::App app = exp::resolve_app(cli.config);
+  const workload::Trace trace = exp::build_trace(cli.config, app);
   if (!cli.dump_trace.empty()) {
     workload::save_csv_file(trace, cli.dump_trace);
     std::cout << "Wrote " << trace.total_invocations() << " arrivals to " << cli.dump_trace
@@ -186,19 +253,17 @@ int main(int argc, char** argv) {
             << " s), trace: " << trace.total_invocations() << " requests over "
             << trace.counts.size() << " s\n\n";
 
-  Rng profile_rng(cli.seed + 1);
-  baselines::ProfileStore store{profiler::OfflineProfiler{}, profile_rng};
-  baselines::PolicySettings settings;
-  settings.use_lstm = cli.use_lstm;
-  settings.oracle_trace = &trace;
-  baselines::ExperimentOptions run_options;
-  run_options.seed = cli.seed;
-  run_options.platform.record_traces = cli.slow > 0;
-  run_options.platform.request_timeout = cli.timeout;
-  run_options.platform.max_retries = cli.max_retries;
-  run_options.faults = cli.faults;
-  const bool with_faults = cli.faults.any();
+  // One cell per requested policy; the runner executes them concurrently.
+  std::vector<exp::ExperimentConfig> cells_cfg;
+  for (const auto& policy : resolve_policies(argv[0], cli.policy)) {
+    auto cfg = cli.config;
+    cfg.policy = policy;
+    cells_cfg.push_back(std::move(cfg));
+  }
+  exp::Runner runner(cli.runner);
+  const auto cells = runner.run(cells_cfg);
 
+  const bool with_faults = cli.config.faults.any();
   std::vector<std::string> headers = {"policy",     "cost ($)",  "p50 E2E (s)",
                                       "p99 E2E (s)", "violations", "inits",
                                       "cpu core-s", "gpu pct-s"};
@@ -206,9 +271,8 @@ int main(int argc, char** argv) {
     headers.insert(headers.end(), {"goodput", "failed", "retries", "evictions", "timeouts"});
   }
   TextTable table(headers);
-  for (const auto kind : resolve_policies(cli.policy)) {
-    const auto r = baselines::run_experiment(
-        app, trace, baselines::make_policy(kind, app, store, settings), run_options);
+  for (const auto& cell : cells) {
+    const auto& r = cell.result;
     std::vector<std::string> row = {
         r.policy, TextTable::num(r.cost, 4),
         TextTable::num(r.e2e.empty() ? 0.0 : math::percentile(r.e2e, 50), 2),
@@ -227,14 +291,20 @@ int main(int argc, char** argv) {
 
   if (cli.slow > 0) {
     // Re-run the first policy with tracing to show the slowest requests.
+    auto traced = cells_cfg.front();
+    traced.platform.record_traces = true;
     sim::Engine engine;
     cluster::Cluster cluster = cluster::Cluster::paper_testbed();
-    Rng rng(cli.seed);
-    serverless::PlatformOptions popt;
-    popt.record_traces = true;
+    Rng rng(traced.seed);
+    serverless::PlatformOptions popt = traced.platform;
     serverless::Platform platform(engine, cluster, perf::Pricing{}, rng, popt);
+    baselines::PolicySettings settings;
+    settings.use_lstm = traced.use_lstm;
+    settings.pool = runner.policy_pool();
+    settings.oracle_trace = &trace;
+    const auto kind = *baselines::parse_policy_kind(traced.policy);
     const auto id = platform.deploy(
-        app, baselines::make_policy(resolve_policies(cli.policy)[0], app, store, settings));
+        app, baselines::make_policy(kind, app, runner.profiles(traced.profile_seed), settings));
     for (SimTime t : trace.arrivals) platform.submit_request(id, t);
     const double end = static_cast<double>(trace.counts.size()) + 120.0;
     engine.run_until(end);
