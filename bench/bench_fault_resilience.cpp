@@ -44,7 +44,7 @@ int main() {
     const auto& r = cell.result;
     table.add_row({r.policy, TextTable::num(cell.config.faults.init_failure_prob, 2),
                    pct(r.goodput()), std::to_string(r.failed), TextTable::num(r.cost, 4),
-                   TextTable::num(r.e2e.empty() ? 0.0 : math::percentile(r.e2e, 99), 2),
+                   TextTable::num(math::tail_latency(r.e2e, 99), 2),
                    std::to_string(r.retries), std::to_string(r.evictions),
                    std::to_string(r.timeouts), std::to_string(r.init_failures)});
   }

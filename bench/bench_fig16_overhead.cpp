@@ -11,6 +11,8 @@
 #include "core/autoscaler.hpp"
 #include "core/strategy_optimizer.hpp"
 #include "core/workflow_manager.hpp"
+#include "exp/runner.hpp"
+#include "obs/audit.hpp"
 
 using namespace smiless;
 
@@ -102,6 +104,37 @@ int main(int argc, char** argv) {
                   std::to_string(sol.nodes_explored)});
   }
   topk.print();
+
+  // Fig. 16 headline number in situ: run a short end-to-end simulation with
+  // the audit log attached and report the policy's *self-profiled* solver
+  // time — every reoptimize/autoscale solve as it happened inside the
+  // serving loop, not a micro-benchmark of the solver in isolation.
+  std::cout << "\n=== in-simulation solver overhead (policy self-profiling) ===\n";
+  TextTable overhead({"app", "solver calls", "total (ms)", "mean/call (ms)", "decisions"});
+  exp::Runner runner({/*threads=*/1, /*policy_threads=*/1});
+  for (const std::string app_name : {"wl1", "wl2", "wl3"}) {
+    exp::ExperimentConfig cfg;
+    cfg.app = app_name;
+    cfg.policy = "smiless";
+    cfg.use_lstm = false;
+    cfg.trace.kind = "regular";
+    cfg.trace.interval = 3.0;
+    cfg.trace.duration = 120.0;
+    // Any non-empty artifact path makes the runner attach a Telemetry; the
+    // bench only reads the in-memory audit log and writes nothing.
+    cfg.obs.audit_out = "(in-memory)";
+    const auto cell =
+        exp::Runner::run_cell(cfg, runner.profiles(cfg.profile_seed), runner.policy_pool());
+    const obs::AuditLog& audit = cell.telemetry->audit();
+    const double total_ms = 1e3 * audit.total_solver_seconds();
+    const double per_call =
+        audit.solver_calls() == 0 ? 0.0
+                                  : total_ms / static_cast<double>(audit.solver_calls());
+    overhead.add_row({app_name, std::to_string(audit.solver_calls()),
+                      TextTable::num(total_ms, 3), TextTable::num(per_call, 3),
+                      std::to_string(audit.records().size())});
+  }
+  overhead.print();
 
   std::cout << "\n=== wall-clock timings (google-benchmark) ===\n";
 

@@ -56,10 +56,10 @@ int main() {
       submitted += r.submitted;
       violated += static_cast<long>(r.violation_ratio * r.submitted + 0.5);
     }
-    lat_table.add_row({policy_display(policy), TextTable::num(math::percentile(e2e, 50), 2),
-                       TextTable::num(math::percentile(e2e, 90), 2),
-                       TextTable::num(math::percentile(e2e, 99), 2),
-                       TextTable::num(math::percentile(e2e, 100), 2),
+    lat_table.add_row({policy_display(policy), TextTable::num(math::tail_latency(e2e, 50), 2),
+                       TextTable::num(math::tail_latency(e2e, 90), 2),
+                       TextTable::num(math::tail_latency(e2e, 99), 2),
+                       TextTable::num(math::tail_latency(e2e, 100), 2),
                        pct(static_cast<double>(violated) / submitted)});
   }
   lat_table.print();

@@ -10,6 +10,7 @@
 #include "baselines/orion.hpp"
 #include "cluster/cluster.hpp"
 #include "core/smiless_policy.hpp"
+#include "obs/telemetry.hpp"
 #include "sim/engine.hpp"
 
 namespace smiless::baselines {
@@ -78,13 +79,16 @@ RunResult run_experiment(const apps::App& app, const workload::Trace& trace,
 std::vector<RunResult> run_colocated(std::vector<ColocatedApp> apps,
                                      const ExperimentOptions& options) {
   SMILESS_CHECK(!apps.empty());
+  obs::Telemetry* tel = options.telemetry;
   sim::Engine engine;
   cluster::Cluster cluster = cluster::Cluster::paper_testbed();
   Rng rng(options.seed);
   faults::FaultInjector injector(options.faults, rng);
   serverless::PlatformOptions popt = options.platform;
   if (injector.enabled()) popt.faults = &injector;
+  if (tel != nullptr) popt.bus = &tel->bus();
   serverless::Platform platform(engine, cluster, perf::Pricing{}, rng, popt);
+  injector.set_bus(tel != nullptr ? &tel->bus() : nullptr);
   injector.arm(engine, cluster);
 
   std::vector<RunResult> out(apps.size());
@@ -95,6 +99,13 @@ std::vector<RunResult> run_colocated(std::vector<ColocatedApp> apps,
     SMILESS_CHECK(ca.trace != nullptr && ca.policy != nullptr);
     out[i].policy = ca.policy->name();
     out[i].app = ca.app.name;
+    if (tel != nullptr) {
+      std::vector<std::string> node_names;
+      node_names.reserve(ca.app.dag.size());
+      for (std::size_t n = 0; n < ca.app.dag.size(); ++n)
+        node_names.push_back(ca.app.dag.name(static_cast<dag::NodeId>(n)));
+      tel->register_app(static_cast<int>(i), ca.app.name, std::move(node_names));
+    }
     ids[i] = platform.deploy(ca.app, ca.policy);
     for (SimTime t : ca.trace->arrivals) platform.submit_request(ids[i], t);
     horizon = std::max(horizon,
@@ -106,6 +117,33 @@ std::vector<RunResult> run_colocated(std::vector<ColocatedApp> apps,
 
   for (std::size_t i = 0; i < apps.size(); ++i)
     fill_result(out[i], platform.metrics(ids[i]), apps[i].app.sla);
+
+  if (tel != nullptr) {
+    auto& reg = tel->registry();
+    reg.count("engine/events_scheduled", engine.stats().scheduled);
+    reg.count("engine/events_fired", engine.stats().fired);
+    reg.count("engine/events_cancelled", engine.stats().cancelled);
+    const auto& fs = injector.stats();
+    reg.count("faults/init_failures", static_cast<std::uint64_t>(fs.init_failures));
+    reg.count("faults/stragglers", static_cast<std::uint64_t>(fs.stragglers));
+    reg.count("faults/crashes", static_cast<std::uint64_t>(fs.crashes));
+    reg.count("faults/recoveries", static_cast<std::uint64_t>(fs.recoveries));
+    for (std::size_t i = 0; i < apps.size(); ++i) {
+      const RunResult& r = out[i];
+      const std::string p = "app/" + r.app + "/";
+      reg.count(p + "submitted", static_cast<std::uint64_t>(r.submitted));
+      reg.count(p + "completed", static_cast<std::uint64_t>(r.completed));
+      reg.count(p + "failed", static_cast<std::uint64_t>(r.failed));
+      reg.count(p + "invocations", static_cast<std::uint64_t>(r.invocations));
+      reg.count(p + "initializations", static_cast<std::uint64_t>(r.initializations));
+      reg.count(p + "evictions", static_cast<std::uint64_t>(r.evictions));
+      reg.count(p + "retries", static_cast<std::uint64_t>(r.retries));
+      reg.count(p + "timeouts", static_cast<std::uint64_t>(r.timeouts));
+      reg.gauge(p + "cost", r.cost);
+      reg.gauge(p + "cpu_core_seconds", r.cpu_core_seconds);
+      reg.gauge(p + "gpu_pct_seconds", r.gpu_pct_seconds);
+    }
+  }
   return out;
 }
 
@@ -155,22 +193,28 @@ std::shared_ptr<serverless::Policy> make_policy(PolicyKind kind, const apps::App
     case PolicyKind::Smiless: {
       core::SmilessOptions o;
       o.use_lstm = settings.use_lstm;
-      return std::make_shared<core::SmilessPolicy>("SMIless", std::move(fitted), o,
-                                                   settings.pool);
+      auto policy = std::make_shared<core::SmilessPolicy>("SMIless", std::move(fitted), o,
+                                                          settings.pool);
+      policy->set_audit_log(settings.audit);
+      return policy;
     }
     case PolicyKind::SmilessHomo: {
       core::SmilessOptions o;
       o.use_lstm = settings.use_lstm;
       o.optimizer.config_space = perf::cpu_only_config_space();
-      return std::make_shared<core::SmilessPolicy>("SMIless-Homo", std::move(fitted), o,
-                                                   settings.pool);
+      auto policy = std::make_shared<core::SmilessPolicy>("SMIless-Homo", std::move(fitted), o,
+                                                          settings.pool);
+      policy->set_audit_log(settings.audit);
+      return policy;
     }
     case PolicyKind::SmilessNoDag: {
       core::SmilessOptions o;
       o.use_lstm = settings.use_lstm;
       o.use_dag_offsets = false;
-      return std::make_shared<core::SmilessPolicy>("SMIless-No-DAG", std::move(fitted), o,
-                                                   settings.pool);
+      auto policy = std::make_shared<core::SmilessPolicy>("SMIless-No-DAG", std::move(fitted),
+                                                          o, settings.pool);
+      policy->set_audit_log(settings.audit);
+      return policy;
     }
     case PolicyKind::Opt: {
       SMILESS_CHECK_MSG(settings.oracle_trace != nullptr, "OPT needs an oracle trace");
@@ -179,6 +223,7 @@ std::shared_ptr<serverless::Policy> make_policy(PolicyKind kind, const apps::App
       o.exhaustive = true;
       auto policy = std::make_shared<core::SmilessPolicy>("OPT", app.truth, o, settings.pool);
       policy->set_oracle_arrivals(settings.oracle_trace->arrivals);
+      policy->set_audit_log(settings.audit);
       return policy;
     }
     case PolicyKind::Orion:

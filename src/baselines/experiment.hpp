@@ -13,6 +13,11 @@
 #include "serverless/platform.hpp"
 #include "workload/trace.hpp"
 
+namespace smiless::obs {
+class AuditLog;
+class Telemetry;
+}  // namespace smiless::obs
+
 namespace smiless::baselines {
 
 /// Fitted performance models shared by every policy of one experiment —
@@ -42,6 +47,13 @@ struct ExperimentOptions {
   /// Fault injection for the run; the default (all zero) is fault-free and
   /// reproduces the exact fault-less trajectory for a given seed.
   faults::FaultSpec faults;
+
+  /// Optional observability bundle (non-owning; must outlive the run). When
+  /// set, the platform and fault injector publish to its event bus, apps are
+  /// registered for track naming and the run's books are mirrored into its
+  /// metric registry after finalize. Null keeps the run observation-free;
+  /// the simulated trajectory is identical either way.
+  obs::Telemetry* telemetry = nullptr;
 };
 
 /// Outcome of serving one trace with one policy.
@@ -117,6 +129,8 @@ struct PolicySettings {
   std::shared_ptr<ThreadPool> pool;
   /// Required for PolicyKind::Opt: the exact arrival process.
   const workload::Trace* oracle_trace = nullptr;
+  /// Optional decision audit log attached to SMIless-family policies.
+  obs::AuditLog* audit = nullptr;
 };
 
 /// Build a policy for one application. SMIless variants receive the fitted

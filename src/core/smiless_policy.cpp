@@ -1,11 +1,13 @@
 #include "core/smiless_policy.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <limits>
 #include <span>
 
 #include "math/stats.hpp"
+#include "obs/audit.hpp"
 
 #include "common/check.hpp"
 
@@ -65,11 +67,42 @@ void SmilessPolicy::reoptimize(const apps::App& spec, serverless::Platform& plat
   update_gap_discount();
   workflow_.optimizer().set_prewarm_margin(
       std::max(0.1, options_.optimizer.prewarm_margin * (1.0 - gap_discount_)));
+  const auto solve_begin = std::chrono::steady_clock::now();
   solution_ = workflow_.optimize(
       spec.dag, profiles_, it_used_, options_.sla_margin * spec.sla,
       options_.exhaustive ? WorkflowManager::Search::Exhaustive
                           : WorkflowManager::Search::PathSearch);
+  const double solver_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - solve_begin).count();
   apply_plans(platform);
+
+  if (audit_ != nullptr) {
+    obs::DecisionRecord rec;
+    rec.t = platform.now();
+    rec.policy = name_;
+    rec.kind = "reoptimize";
+    rec.app = app_id_;
+    rec.interarrival = it_used_;
+    rec.sla = options_.sla_margin * spec.sla;
+    for (std::size_t n = 0; n < solution_.per_node.size(); ++n) {
+      const auto& d = solution_.per_node[n];
+      if (!rec.chosen.empty()) rec.chosen += ' ';
+      rec.chosen += spec.dag.name(static_cast<dag::NodeId>(n)) + "=" + d.config.to_string() +
+                    (d.mode == ColdStartMode::Prewarm ? "/prewarm" : "/keepalive");
+      if (d.mode == ColdStartMode::Prewarm) {
+        // The usable pre-warm window of Eq. (4): the gap minus init and
+        // inference time. The tightest one bounds how early inits must fire.
+        const double slack = it_used_ - d.init_time - d.inference_time;
+        if (slack > 0.0 && (rec.prewarm_window == 0.0 || slack < rec.prewarm_window))
+          rec.prewarm_window = slack;
+      }
+    }
+    rec.est_cost = solution_.cost_per_invocation;
+    rec.feasible = solution_.feasible;
+    rec.nodes_explored = static_cast<std::uint64_t>(solution_.nodes_explored);
+    rec.solver_seconds = solver_seconds;
+    audit_->record(std::move(rec));
+  }
 }
 
 void SmilessPolicy::apply_plans(serverless::Platform& platform) {
@@ -246,7 +279,7 @@ void SmilessPolicy::predict(const apps::App&) {
   it_predicted_ = std::max(it_predicted_, kMinInterarrival);
 }
 
-void SmilessPolicy::autoscale(const apps::App&, serverless::Platform& platform,
+void SmilessPolicy::autoscale(const apps::App& spec, serverless::Platform& platform,
                               int predicted_count, double window) {
   if (!options_.enable_autoscaler) return;
 
@@ -268,6 +301,17 @@ void SmilessPolicy::autoscale(const apps::App&, serverless::Platform& platform,
     if (scaled_out_ && ++calm_windows_ >= options_.burst_cooldown) {
       apply_plans(platform);
       burst_level_ = 0;
+      if (audit_ != nullptr) {
+        obs::DecisionRecord rec;
+        rec.t = platform.now();
+        rec.policy = name_;
+        rec.kind = "scale-in";
+        rec.app = app_id_;
+        rec.interarrival = it_used_;
+        rec.est_cost = solution_.cost_per_invocation;
+        rec.feasible = solution_.feasible;
+        audit_->record(std::move(rec));
+      }
     }
     return;
   }
@@ -281,8 +325,33 @@ void SmilessPolicy::autoscale(const apps::App&, serverless::Platform& platform,
     std::vector<double> budgets(solution_.per_node.size());
     for (std::size_t n = 0; n < budgets.size(); ++n)
       budgets[n] = solution_.per_node[n].inference_time;
+    const auto solve_begin = std::chrono::steady_clock::now();
     burst_decisions_ =
         autoscaler_.solve_all(profiles_, budgets, predicted_count, window, pool_.get());
+    const double solver_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - solve_begin).count();
+    if (audit_ != nullptr) {
+      obs::DecisionRecord rec;
+      rec.t = platform.now();
+      rec.policy = name_;
+      rec.kind = "autoscale";
+      rec.app = app_id_;
+      rec.interarrival = window;
+      rec.predicted_count = static_cast<double>(predicted_count);
+      rec.sla = options_.sla_margin * spec.sla;
+      bool all_feasible = true;
+      for (std::size_t n = 0; n < burst_decisions_.size(); ++n) {
+        const auto& sd = burst_decisions_[n];
+        if (!rec.chosen.empty()) rec.chosen += ' ';
+        rec.chosen += spec.dag.name(static_cast<dag::NodeId>(n)) + "=" + sd.config.to_string() +
+                      "*b" + std::to_string(sd.batch);
+        rec.est_cost += sd.cost;
+        all_feasible = all_feasible && sd.feasible;
+      }
+      rec.feasible = all_feasible;
+      rec.solver_seconds = solver_seconds;
+      audit_->record(std::move(rec));
+    }
   }
 
   for (std::size_t n = 0; n < burst_decisions_.size(); ++n) {

@@ -11,6 +11,10 @@
 #include "predictor/lstm_regressor.hpp"
 #include "serverless/platform.hpp"
 
+namespace smiless::obs {
+class AuditLog;
+}  // namespace smiless::obs
+
 namespace smiless::core {
 
 /// All the knobs of the SMIless runtime policy. The ablations and OPT are
@@ -80,6 +84,11 @@ class SmilessPolicy : public serverless::Policy {
   /// Give the policy perfect knowledge of the arrival process (OPT).
   void set_oracle_arrivals(std::vector<SimTime> arrivals);
 
+  /// Attach a decision audit log (non-owning, may be null). Every
+  /// StrategyOptimizer / Autoscaler solve and scale-in is recorded with its
+  /// inputs, and the solver wall time accumulates for overhead reporting.
+  void set_audit_log(obs::AuditLog* log) { audit_ = log; }
+
   std::string name() const override { return name_; }
   void on_deploy(serverless::AppId app, const apps::App& spec,
                  serverless::Platform& platform) override;
@@ -108,6 +117,7 @@ class SmilessPolicy : public serverless::Policy {
 
   std::string name_;
   std::vector<perf::FunctionPerf> profiles_;
+  obs::AuditLog* audit_ = nullptr;
   SmilessOptions options_;
   std::shared_ptr<ThreadPool> pool_;
   WorkflowManager workflow_;

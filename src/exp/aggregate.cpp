@@ -129,8 +129,8 @@ json::Value summary_json(const std::vector<CellResult>& cells,
       v["cost"] = r.cost;
       v["violation_ratio"] = r.violation_ratio;
       v["goodput"] = r.goodput();
-      v["e2e_p50"] = r.e2e.empty() ? 0.0 : math::percentile(r.e2e, 50);
-      v["e2e_p99"] = r.e2e.empty() ? 0.0 : math::percentile(r.e2e, 99);
+      v["e2e_p50"] = math::tail_latency(r.e2e, 50);
+      v["e2e_p99"] = math::tail_latency(r.e2e, 99);
       v["submitted"] = r.submitted;
       v["completed"] = r.completed;
       v["failed"] = r.failed;

@@ -1,0 +1,95 @@
+#include "exp/artifacts.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace smiless::exp {
+
+namespace {
+
+/// Per-cell process-id range in the combined trace. 64 leaves room for the
+/// cluster process plus 63 apps per cell, far beyond any deployment here.
+constexpr int kPidsPerCell = 64;
+
+std::string cell_label(const CellResult& cell) {
+  return cell.config.display_name() + " seed=" + std::to_string(cell.config.seed);
+}
+
+json::Value cell_header(const CellResult& cell) {
+  json::Value v = json::Value::object();
+  v["label"] = cell.config.display_name();
+  v["policy"] = cell.config.policy;
+  v["app"] = cell.config.app;
+  v["seed"] = static_cast<long long>(cell.config.seed);
+  return v;
+}
+
+}  // namespace
+
+json::Value combined_trace(const std::vector<CellResult>& cells) {
+  json::Value out = json::Value::array();
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (cells[i].telemetry == nullptr) continue;
+    json::Value part = cells[i].telemetry->perfetto_json(static_cast<int>(i) * kPidsPerCell,
+                                                         cell_label(cells[i]));
+    for (auto& e : part.items()) out.push_back(std::move(e));
+  }
+  return out;
+}
+
+json::Value combined_metrics(const std::vector<CellResult>& cells) {
+  json::Value v = json::Value::object();
+  json::Value rows = json::Value::array();
+  for (const auto& cell : cells) {
+    if (cell.telemetry == nullptr) continue;
+    json::Value row = cell_header(cell);
+    row["metrics"] = cell.telemetry->metrics_json();
+    rows.push_back(std::move(row));
+  }
+  v["cells"] = std::move(rows);
+  return v;
+}
+
+json::Value combined_audit(const std::vector<CellResult>& cells) {
+  json::Value v = json::Value::object();
+  json::Value rows = json::Value::array();
+  for (const auto& cell : cells) {
+    if (cell.telemetry == nullptr) continue;
+    json::Value row = cell_header(cell);
+    row["decisions"] = cell.telemetry->audit_json()["decisions"];
+    rows.push_back(std::move(row));
+  }
+  v["cells"] = std::move(rows);
+  return v;
+}
+
+std::string windows_csv(const std::vector<CellResult>& cells) {
+  std::ostringstream os;
+  os << "cell,label,policy,app,seed,window_start,arrivals,instances_total,"
+        "instances_cpu,instances_gpu\n";
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const auto& cell = cells[i];
+    for (const auto& w : cell.result.windows) {
+      os << i << ',' << cell.config.display_name() << ',' << cell.config.policy << ','
+         << cell.config.app << ',' << cell.config.seed << ','
+         << json::Value::format_double(w.window_start) << ',' << w.arrivals << ','
+         << w.instances_total << ',' << w.instances_cpu << ',' << w.instances_gpu << '\n';
+    }
+  }
+  return os.str();
+}
+
+void write_artifacts(const std::vector<CellResult>& cells, const ObservabilityOptions& obs) {
+  if (!obs.trace_out.empty()) json::save_file(combined_trace(cells), obs.trace_out);
+  if (!obs.metrics_out.empty()) json::save_file(combined_metrics(cells), obs.metrics_out);
+  if (!obs.audit_out.empty()) json::save_file(combined_audit(cells), obs.audit_out);
+  if (!obs.windows_out.empty()) {
+    std::ofstream os(obs.windows_out);
+    if (!os.good())
+      throw std::runtime_error("cannot write windows CSV to " + obs.windows_out);
+    os << windows_csv(cells);
+  }
+}
+
+}  // namespace smiless::exp

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "exp/runner.hpp"
+
+namespace smiless::exp {
+
+/// Combined Perfetto trace for a set of executed cells: each cell's events
+/// render into their own pid range (pid_base = cell index * 64) labelled
+/// "display_name seed=N", concatenated in cell order into one trace-event
+/// array. Cells without telemetry contribute nothing.
+json::Value combined_trace(const std::vector<CellResult>& cells);
+
+/// {"cells": [{"label", "policy", "app", "seed", "metrics": {...}}, ...]}
+/// in cell order.
+json::Value combined_metrics(const std::vector<CellResult>& cells);
+
+/// {"cells": [{"label", "policy", "app", "seed", "decisions": [...]}, ...]}
+/// in cell order.
+json::Value combined_audit(const std::vector<CellResult>& cells);
+
+/// Per-window time series of every cell as CSV (header:
+/// cell,label,policy,app,seed,window_start,arrivals,instances_total,
+/// instances_cpu,instances_gpu). Built from RunResult::windows, so it needs
+/// no telemetry attached.
+std::string windows_csv(const std::vector<CellResult>& cells);
+
+/// Write whichever artifacts `obs` names to disk. All outputs are pure
+/// functions of the cell list, which the runner returns in input order —
+/// byte-stable across thread counts.
+void write_artifacts(const std::vector<CellResult>& cells, const ObservabilityOptions& obs);
+
+}  // namespace smiless::exp

@@ -39,6 +39,24 @@ TraceSpec TraceSpec::from_json(const json::Value& v) {
   return t;
 }
 
+json::Value ObservabilityOptions::to_json() const {
+  json::Value v = json::Value::object();
+  v["trace_out"] = trace_out;
+  v["metrics_out"] = metrics_out;
+  v["audit_out"] = audit_out;
+  v["windows_out"] = windows_out;
+  return v;
+}
+
+ObservabilityOptions ObservabilityOptions::from_json(const json::Value& v) {
+  ObservabilityOptions o;
+  o.trace_out = v.get("trace_out", o.trace_out);
+  o.metrics_out = v.get("metrics_out", o.metrics_out);
+  o.audit_out = v.get("audit_out", o.audit_out);
+  o.windows_out = v.get("windows_out", o.windows_out);
+  return o;
+}
+
 std::string ExperimentConfig::display_name() const {
   if (!label.empty()) return label;
   return policy + "/" + app;
@@ -57,6 +75,7 @@ json::Value ExperimentConfig::to_json() const {
   v["trace"] = trace.to_json();
   v["platform"] = serverless::to_json(platform);
   v["faults"] = faults::to_json(faults);
+  v["observability"] = obs.to_json();
   return v;
 }
 
@@ -75,6 +94,8 @@ ExperimentConfig ExperimentConfig::from_json(const json::Value& v) {
   if (const json::Value* p = v.find("platform"))
     c.platform = serverless::platform_options_from_json(*p);
   if (const json::Value* f = v.find("faults")) c.faults = faults::fault_spec_from_json(*f);
+  if (const json::Value* o = v.find("observability"))
+    c.obs = ObservabilityOptions::from_json(*o);
   return c;
 }
 
@@ -83,6 +104,7 @@ std::string ExperimentConfig::group_key() const {
   copy.seed = 0;
   copy.trace.seed = 0;
   copy.label.clear();
+  copy.obs = {};  // artifact destinations never change what a cell computes
   return copy.to_json().dump();
 }
 

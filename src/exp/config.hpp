@@ -14,6 +14,10 @@
 #include "serverless/platform.hpp"
 #include "workload/trace.hpp"
 
+namespace smiless::obs {
+class Telemetry;
+}  // namespace smiless::obs
+
 namespace smiless::exp {
 
 /// How a cell obtains its arrival process. Everything a generated trace
@@ -41,6 +45,28 @@ struct TraceSpec {
 
 struct CellContext;
 
+/// Where a run's observability artifacts go. Empty paths disable the
+/// corresponding collector entirely — with every path empty no telemetry is
+/// attached and the run is byte-identical to a build without this subsystem.
+/// In a sweep the paths name combined files: every cell contributes, in
+/// deterministic cell order, regardless of how many threads executed it.
+struct ObservabilityOptions {
+  std::string trace_out;    ///< Perfetto/Chrome trace-event JSON
+  std::string metrics_out;  ///< counters/gauges/histograms JSON
+  std::string audit_out;    ///< policy decision audit JSON
+  std::string windows_out;  ///< per-window time series CSV
+
+  /// True when any collector needs a Telemetry attached to the run.
+  bool collect() const {
+    return !trace_out.empty() || !metrics_out.empty() || !audit_out.empty();
+  }
+  /// True when any artifact at all will be written.
+  bool any() const { return collect() || !windows_out.empty(); }
+
+  json::Value to_json() const;
+  static ObservabilityOptions from_json(const json::Value& v);
+};
+
 /// One fully-specified experiment cell: everything `run_experiment` needs,
 /// as data. The whole struct (minus the programmatic override below)
 /// round-trips through JSON, so any run is reproducible from one config
@@ -57,6 +83,7 @@ struct ExperimentConfig {
   TraceSpec trace;
   serverless::PlatformOptions platform;
   faults::FaultSpec faults;
+  ObservabilityOptions obs;
 
   /// Escape hatch for ablation studies that need hand-built policy options:
   /// when set, the runner calls this instead of baselines::make_policy.
@@ -83,6 +110,9 @@ struct CellContext {
   const workload::Trace& trace;
   const baselines::ProfileStore& profiles;
   std::shared_ptr<ThreadPool> pool;  ///< inner pool for policy solvers (may be null)
+  /// The cell's observability bundle; null when config.obs collects nothing.
+  /// Overrides building a SMIless-family policy should attach its audit().
+  obs::Telemetry* telemetry = nullptr;
 };
 
 /// A declarative sweep: a base config plus value lists for any subset of

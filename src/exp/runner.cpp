@@ -33,10 +33,12 @@ CellResult Runner::run_cell(const ExperimentConfig& config,
 
   const apps::App app = resolve_app(config);
   const workload::Trace trace = build_trace(config, app);
+  std::shared_ptr<obs::Telemetry> telemetry;
+  if (config.obs.collect()) telemetry = std::make_shared<obs::Telemetry>();
 
   std::shared_ptr<serverless::Policy> policy;
   if (config.policy_override) {
-    const CellContext ctx{config, app, trace, store, policy_pool};
+    const CellContext ctx{config, app, trace, store, policy_pool, telemetry.get()};
     policy = config.policy_override(ctx);
   } else {
     const auto kind = baselines::parse_policy_kind(config.policy);
@@ -45,6 +47,7 @@ CellResult Runner::run_cell(const ExperimentConfig& config,
     settings.use_lstm = config.use_lstm;
     settings.pool = policy_pool;
     settings.oracle_trace = &trace;  // only OPT reads it
+    settings.audit = telemetry != nullptr ? &telemetry->audit() : nullptr;
     policy = baselines::make_policy(*kind, app, store, settings);
   }
 
@@ -53,9 +56,11 @@ CellResult Runner::run_cell(const ExperimentConfig& config,
   options.drain_slack = config.drain_slack;
   options.platform = config.platform;
   options.faults = config.faults;
+  options.telemetry = telemetry.get();
 
   CellResult out;
   out.config = config;
+  out.telemetry = telemetry;
   out.result = baselines::run_experiment(app, trace, std::move(policy), options);
   out.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();

@@ -7,6 +7,7 @@
 
 #include "baselines/experiment.hpp"
 #include "exp/config.hpp"
+#include "obs/telemetry.hpp"
 
 namespace smiless::exp {
 
@@ -18,6 +19,9 @@ struct CellResult {
   ExperimentConfig config;
   baselines::RunResult result;
   double wall_seconds = 0.0;
+  /// Engaged iff config.obs asked for collection; holds the cell's event
+  /// stream, metric registry and audit log for the artifact writers.
+  std::shared_ptr<obs::Telemetry> telemetry;
 };
 
 struct RunnerOptions {

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "obs/event_bus.hpp"
+
 namespace smiless::faults {
 
 FaultInjector::FaultInjector(FaultSpec spec, Rng& parent) : spec_(std::move(spec)) {
@@ -24,10 +26,15 @@ double FaultInjector::inflate_inference(double latency) {
   if (spec_.straggler_prob <= 0.0) return latency;
   if (!rng_->bernoulli(spec_.straggler_prob)) return latency;
   ++stats_.stragglers;
+  if (bus_ != nullptr && engine_ != nullptr)
+    bus_->publish({.type = obs::EventType::StragglerInjected,
+                   .t = engine_->now(),
+                   .value = spec_.straggler_factor});
   return latency * spec_.straggler_factor;
 }
 
 void FaultInjector::arm(sim::Engine& engine, cluster::Cluster& cluster) {
+  engine_ = &engine;
   for (const auto& c : spec_.crashes) {
     SMILESS_CHECK(c.machine >= 0 && static_cast<std::size_t>(c.machine) < cluster.machine_count());
     SMILESS_CHECK(c.duration > 0.0);

@@ -9,6 +9,10 @@
 #include "common/units.hpp"
 #include "sim/engine.hpp"
 
+namespace smiless::obs {
+class EventBus;
+}  // namespace smiless::obs
+
 namespace smiless::faults {
 
 /// One deterministic machine outage: `machine` goes down at sim time `at`
@@ -89,6 +93,11 @@ class FaultInjector {
   /// when no crash knob is set. Call once, before the simulation runs.
   void arm(sim::Engine& engine, cluster::Cluster& cluster);
 
+  /// Attach an observability sink (non-owning, may be null). Injected
+  /// stragglers are published to it; machine transitions are published by
+  /// the platform's cluster listener. Call before arm().
+  void set_bus(obs::EventBus* bus) { bus_ = bus; }
+
   const FaultStats& stats() const { return stats_; }
 
  private:
@@ -99,6 +108,8 @@ class FaultInjector {
   FaultSpec spec_;
   std::optional<Rng> rng_;  ///< engaged iff spec_.any()
   FaultStats stats_;
+  obs::EventBus* bus_ = nullptr;
+  const sim::Engine* engine_ = nullptr;  ///< set by arm(), for event timestamps
 };
 
 }  // namespace smiless::faults

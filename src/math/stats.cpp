@@ -45,6 +45,24 @@ double percentile(std::span<const double> xs, double p) {
   return s[lo] * (1.0 - frac) + s[lo + 1] * frac;
 }
 
+double tail_latency(std::span<const double> xs, double p) {
+  return xs.empty() ? 0.0 : percentile(xs, p);
+}
+
+std::size_t nearest_rank(std::size_t n, double p) {
+  SMILESS_CHECK(n > 0);
+  SMILESS_CHECK(p >= 0.0 && p <= 100.0);
+  const auto rank = static_cast<std::size_t>(std::ceil(p / 100.0 * static_cast<double>(n)));
+  return std::min(std::max<std::size_t>(rank, 1), n);
+}
+
+double quantile_nearest_rank(std::span<const double> xs, double p) {
+  SMILESS_CHECK(!xs.empty());
+  std::vector<double> s(xs.begin(), xs.end());
+  std::sort(s.begin(), s.end());
+  return s[nearest_rank(s.size(), p) - 1];
+}
+
 double smape(std::span<const double> truth, std::span<const double> pred) {
   SMILESS_CHECK(truth.size() == pred.size());
   if (truth.empty()) return 0.0;

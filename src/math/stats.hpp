@@ -19,6 +19,21 @@ double variance_to_mean(std::span<const double> xs);
 /// non-empty span. Does not assume the input is sorted.
 double percentile(std::span<const double> xs, double p);
 
+/// Empty-safe tail latency: percentile(xs, p), or 0 when xs is empty. The
+/// one spelling of "p99 of a possibly-empty latency vector" shared by the
+/// CLI, the sweep emitters and the bench tables.
+double tail_latency(std::span<const double> xs, double p);
+
+/// Nearest-rank quantile definition (the one the observability histograms
+/// use): the 1-based rank ceil(p/100 * n), clamped to [1, n]. Unlike the
+/// interpolating percentile above, the result is always an observed sample
+/// (or, for a histogram, a bucket bound), so merging partial histograms and
+/// re-querying is exactly associative.
+std::size_t nearest_rank(std::size_t n, double p);
+
+/// Nearest-rank quantile of raw samples; requires a non-empty span.
+double quantile_nearest_rank(std::span<const double> xs, double p);
+
 /// Symmetric mean absolute percentage error, in percent (Fig. 11b metric).
 /// Pairs where |truth|+|pred| == 0 contribute zero error.
 double smape(std::span<const double> truth, std::span<const double> pred);

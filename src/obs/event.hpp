@@ -1,0 +1,62 @@
+#pragma once
+
+/// Structured event vocabulary for the observability subsystem.
+///
+/// Producers (Platform, FaultInjector, policies) publish plain-data Event
+/// records through a nullable EventBus pointer; with no bus attached the
+/// publish site is a single branch, so simulation trajectories are identical
+/// whether observability is on or off. Every field is simulation-domain data
+/// (sim seconds, entity ids) — no wall-clock values ever enter an Event, which
+/// is what keeps exported artifacts byte-stable across thread counts.
+
+namespace smiless::obs {
+
+enum class EventType {
+  RequestSubmitted,
+  RequestCompleted,
+  RequestFailed,
+  InvocationReady,
+  InvocationDone,
+  BatchStart,
+  BatchEnd,
+  InstanceCreated,
+  InstanceReady,
+  InstanceInitFailed,
+  InstanceTerminated,
+  InstanceEvicted,
+  MachineUp,
+  MachineDown,
+  PrewarmFired,
+  PrewarmSkipped,
+  RetryScheduled,
+  TimeoutFired,
+  StragglerInjected,
+};
+
+/// Stable lower-snake name for an event type (used as metric keys and in the
+/// exported JSON, so renames are format changes).
+const char* event_type_name(EventType type);
+
+/// One simulation event. Meaning of the generic fields per type:
+///  - t   is always the simulation time the event was published.
+///  - t2  is a second timestamp where the event closes an interval
+///        (e.g. InstanceReady.t2 = creation time, RequestCompleted.t2 =
+///        arrival time, BatchEnd.t2 = execution start).
+///  - value carries a duration or magnitude (sampled init time, retry
+///        backoff delay, straggler inflation factor).
+///  - count carries a small integer (batch size, retry attempt number).
+/// Unused fields stay at their defaults.
+struct Event {
+  EventType type = EventType::RequestSubmitted;
+  double t = 0.0;
+  double t2 = 0.0;
+  int app = -1;
+  int node = -1;
+  int request = -1;
+  int instance = -1;
+  int machine = -1;
+  double value = 0.0;
+  int count = 0;
+};
+
+}  // namespace smiless::obs

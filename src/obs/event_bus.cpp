@@ -1,0 +1,30 @@
+#include "obs/event.hpp"
+
+namespace smiless::obs {
+
+const char* event_type_name(EventType type) {
+  switch (type) {
+    case EventType::RequestSubmitted: return "request_submitted";
+    case EventType::RequestCompleted: return "request_completed";
+    case EventType::RequestFailed: return "request_failed";
+    case EventType::InvocationReady: return "invocation_ready";
+    case EventType::InvocationDone: return "invocation_done";
+    case EventType::BatchStart: return "batch_start";
+    case EventType::BatchEnd: return "batch_end";
+    case EventType::InstanceCreated: return "instance_created";
+    case EventType::InstanceReady: return "instance_ready";
+    case EventType::InstanceInitFailed: return "instance_init_failed";
+    case EventType::InstanceTerminated: return "instance_terminated";
+    case EventType::InstanceEvicted: return "instance_evicted";
+    case EventType::MachineUp: return "machine_up";
+    case EventType::MachineDown: return "machine_down";
+    case EventType::PrewarmFired: return "prewarm_fired";
+    case EventType::PrewarmSkipped: return "prewarm_skipped";
+    case EventType::RetryScheduled: return "retry_scheduled";
+    case EventType::TimeoutFired: return "timeout_fired";
+    case EventType::StragglerInjected: return "straggler_injected";
+  }
+  return "unknown";
+}
+
+}  // namespace smiless::obs

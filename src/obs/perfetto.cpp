@@ -1,0 +1,226 @@
+#include "obs/perfetto.hpp"
+
+#include <algorithm>
+#include <set>
+#include <tuple>
+
+namespace smiless::obs {
+
+namespace {
+
+constexpr double kUsPerSec = 1e6;
+
+std::string app_name(const std::map<int, AppTrackInfo>& apps, int app) {
+  const auto it = apps.find(app);
+  if (it != apps.end() && !it->second.name.empty()) return it->second.name;
+  return "app" + std::to_string(app);
+}
+
+std::string node_name(const std::map<int, AppTrackInfo>& apps, int app, int node) {
+  const auto it = apps.find(app);
+  if (it != apps.end() && node >= 0 &&
+      static_cast<std::size_t>(node) < it->second.node_names.size())
+    return it->second.node_names[static_cast<std::size_t>(node)];
+  return "node" + std::to_string(node);
+}
+
+json::Value meta_event(const char* what, int pid, int tid, const std::string& name) {
+  auto v = json::Value::object();
+  v["ph"] = "M";
+  v["name"] = what;
+  v["pid"] = pid;
+  if (tid >= 0) v["tid"] = tid;
+  auto args = json::Value::object();
+  args["name"] = name;
+  v["args"] = std::move(args);
+  return v;
+}
+
+json::Value slice(const std::string& name, int pid, int tid, double start, double end) {
+  auto v = json::Value::object();
+  v["ph"] = "X";
+  v["name"] = name;
+  v["pid"] = pid;
+  v["tid"] = tid;
+  v["ts"] = start * kUsPerSec;
+  v["dur"] = (end - start) * kUsPerSec;
+  return v;
+}
+
+json::Value instant(const std::string& name, int pid, int tid, double t) {
+  auto v = json::Value::object();
+  v["ph"] = "i";
+  v["name"] = name;
+  v["pid"] = pid;
+  v["tid"] = tid;
+  v["ts"] = t * kUsPerSec;
+  v["s"] = "t";  // thread-scoped instant
+  return v;
+}
+
+json::Value flow(const char* ph, long long id, int pid, int tid, double t) {
+  auto v = json::Value::object();
+  v["ph"] = ph;
+  v["cat"] = "request";
+  v["name"] = "request";
+  v["id"] = id;
+  v["pid"] = pid;
+  v["tid"] = tid;
+  v["ts"] = t * kUsPerSec;
+  if (ph[0] == 'f') v["bp"] = "e";
+  return v;
+}
+
+}  // namespace
+
+json::Value perfetto_trace(const std::vector<Event>& events,
+                           const std::map<int, AppTrackInfo>& apps, int pid_base,
+                           const std::string& label) {
+  auto out = json::Value::array();
+  const std::string prefix = label.empty() ? std::string() : label + "/";
+  constexpr int kGatewayTid = 1;
+
+  // --- Track discovery (deterministic: sets, not hash maps) ---------------
+  std::set<int> machines;
+  std::set<int> app_ids;
+  // (app, node, instance) -> tid, assigned by sorted order below.
+  std::map<std::tuple<int, int, int>, int> instance_tid;
+  for (const auto& e : events) {
+    if (e.type == EventType::MachineUp || e.type == EventType::MachineDown)
+      machines.insert(e.machine);
+    if (e.app >= 0) app_ids.insert(e.app);
+    if (e.app >= 0 && e.instance >= 0)
+      instance_tid.emplace(std::make_tuple(e.app, e.node, e.instance), 0);
+  }
+  for (const auto& [id, info] : apps) {
+    (void)info;
+    app_ids.insert(id);
+  }
+  {
+    std::map<int, int> next_tid;  // per app
+    for (auto& [key, tid] : instance_tid) {
+      const int app = std::get<0>(key);
+      auto [it, inserted] = next_tid.emplace(app, 2);
+      tid = it->second++;
+      (void)inserted;
+    }
+  }
+  const auto app_pid = [&](int app) { return pid_base + 1 + app; };
+
+  // --- Metadata ------------------------------------------------------------
+  if (!machines.empty()) {
+    out.push_back(meta_event("process_name", pid_base, -1, prefix + "cluster"));
+    for (const int m : machines)
+      out.push_back(
+          meta_event("thread_name", pid_base, m + 1, "machine " + std::to_string(m)));
+  }
+  for (const int a : app_ids) {
+    out.push_back(meta_event("process_name", app_pid(a), -1, prefix + app_name(apps, a)));
+    out.push_back(meta_event("thread_name", app_pid(a), kGatewayTid, "gateway"));
+  }
+  for (const auto& [key, tid] : instance_tid) {
+    const auto [app, node, inst] = key;
+    out.push_back(meta_event("thread_name", app_pid(app), tid,
+                             node_name(apps, app, node) + "#" + std::to_string(inst)));
+  }
+
+  // --- Slices and instants, in event-stream (= simulation) order ----------
+  std::map<int, double> down_since;
+  for (const auto& e : events) {
+    switch (e.type) {
+      case EventType::BatchEnd: {
+        const int tid = instance_tid.at(std::make_tuple(e.app, e.node, e.instance));
+        auto v = slice(node_name(apps, e.app, e.node), app_pid(e.app), tid, e.t2, e.t);
+        auto args = json::Value::object();
+        args["batch"] = e.count;
+        args["request"] = e.request;
+        v["args"] = std::move(args);
+        out.push_back(std::move(v));
+        break;
+      }
+      case EventType::InstanceReady: {
+        const int tid = instance_tid.at(std::make_tuple(e.app, e.node, e.instance));
+        out.push_back(slice("init", app_pid(e.app), tid, e.t2, e.t));
+        break;
+      }
+      case EventType::InstanceInitFailed: {
+        const int tid = instance_tid.at(std::make_tuple(e.app, e.node, e.instance));
+        out.push_back(slice("init failed", app_pid(e.app), tid, e.t2, e.t));
+        break;
+      }
+      case EventType::InstanceTerminated:
+      case EventType::InstanceEvicted: {
+        const int tid = instance_tid.at(std::make_tuple(e.app, e.node, e.instance));
+        const char* name = e.type == EventType::InstanceEvicted ? "evict" : "terminate";
+        out.push_back(instant(name, app_pid(e.app), tid, e.t));
+        break;
+      }
+      case EventType::RequestSubmitted:
+        out.push_back(instant("submit #" + std::to_string(e.request), app_pid(e.app),
+                              kGatewayTid, e.t));
+        break;
+      case EventType::RequestCompleted:
+        out.push_back(instant("complete #" + std::to_string(e.request), app_pid(e.app),
+                              kGatewayTid, e.t));
+        break;
+      case EventType::RequestFailed:
+        out.push_back(instant("fail #" + std::to_string(e.request), app_pid(e.app),
+                              kGatewayTid, e.t));
+        break;
+      case EventType::PrewarmFired:
+        out.push_back(instant("prewarm " + node_name(apps, e.app, e.node), app_pid(e.app),
+                              kGatewayTid, e.t));
+        break;
+      case EventType::RetryScheduled:
+        out.push_back(instant("retry " + node_name(apps, e.app, e.node), app_pid(e.app),
+                              kGatewayTid, e.t));
+        break;
+      case EventType::TimeoutFired:
+        out.push_back(instant("timeout #" + std::to_string(e.request), app_pid(e.app),
+                              kGatewayTid, e.t));
+        break;
+      case EventType::MachineDown:
+        down_since[e.machine] = e.t;
+        break;
+      case EventType::MachineUp: {
+        const auto it = down_since.find(e.machine);
+        if (it != down_since.end()) {
+          out.push_back(slice("down", pid_base, e.machine + 1, it->second, e.t));
+          down_since.erase(it);
+        }
+        break;
+      }
+      default:
+        break;  // PrewarmSkipped / StragglerInjected etc.: counters only
+    }
+  }
+  // Machines still down at end of trace: mark with an instant.
+  for (const auto& [machine, since] : down_since)
+    out.push_back(instant("down", pid_base, machine + 1, since));
+
+  // --- Flow arrows: one chain per multi-stage request ---------------------
+  // (app, request) -> spans as (start, node, instance), collected in event
+  // order then sorted by (start, node) so the chain follows DAG execution.
+  std::map<std::pair<int, int>, std::vector<std::tuple<double, int, int>>> chains;
+  for (const auto& e : events) {
+    if (e.type != EventType::InvocationDone) continue;
+    chains[{e.app, e.request}].emplace_back(e.t2, e.node, e.instance);
+  }
+  for (auto& [key, spans] : chains) {
+    if (spans.size() < 2) continue;
+    std::sort(spans.begin(), spans.end());
+    const auto [app, request] = key;
+    const long long flow_id =
+        static_cast<long long>(app_pid(app)) * 1000000LL + request;
+    for (std::size_t i = 0; i < spans.size(); ++i) {
+      const auto [start, node, inst] = spans[i];
+      const int tid = instance_tid.at(std::make_tuple(app, node, inst));
+      const char* ph = i == 0 ? "s" : (i + 1 == spans.size() ? "f" : "t");
+      out.push_back(flow(ph, flow_id, app_pid(app), tid, start));
+    }
+  }
+
+  return out;
+}
+
+}  // namespace smiless::obs

@@ -4,7 +4,7 @@ namespace smiless::serverless {
 
 json::Value to_json(const PlatformOptions& o) {
   json::Value v = json::Value::object();
-  v["window"] = o.window;
+  v["window_seconds"] = o.window_seconds;
   v["inference_noise"] = o.inference_noise;
   v["retry_delay"] = o.retry_delay;
   v["retry_backoff"] = o.retry_backoff;
@@ -17,7 +17,8 @@ json::Value to_json(const PlatformOptions& o) {
 
 PlatformOptions platform_options_from_json(const json::Value& v) {
   PlatformOptions o;
-  o.window = v.get("window", o.window);
+  // "window" is the pre-rename key; accept it so old config files keep working.
+  o.window_seconds = v.get("window_seconds", v.get("window", o.window_seconds));
   o.inference_noise = v.get("inference_noise", o.inference_noise);
   o.retry_delay = v.get("retry_delay", o.retry_delay);
   o.retry_backoff = v.get("retry_backoff", o.retry_backoff);

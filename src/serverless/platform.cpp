@@ -5,11 +5,13 @@
 #include <limits>
 
 #include "faults/fault_injector.hpp"
+#include "obs/event_bus.hpp"
 
 namespace smiless::serverless {
 
 namespace {
 enum class InstState { Init, Idle, Busy };
+using obs::EventType;
 }  // namespace
 
 struct Platform::Instance {
@@ -62,12 +64,16 @@ struct Platform::AppState {
 Platform::Platform(sim::Engine& engine, cluster::Cluster& cluster, perf::Pricing pricing,
                    Rng& rng, PlatformOptions options)
     : engine_(engine), cluster_(cluster), pricing_(pricing), rng_(rng), options_(options) {
-  SMILESS_CHECK(options_.window > 0.0);
+  SMILESS_CHECK(options_.window_seconds > 0.0);
   SMILESS_CHECK(options_.retry_delay > 0.0);
   SMILESS_CHECK(options_.retry_backoff >= 1.0);
   SMILESS_CHECK(options_.retry_max_delay >= options_.retry_delay);
   SMILESS_CHECK(options_.request_timeout > 0.0);
   cluster_listener_ = cluster_.add_listener([this](int machine, bool up) {
+    if (options_.bus != nullptr)
+      options_.bus->publish({.type = up ? EventType::MachineUp : EventType::MachineDown,
+                             .t = engine_.now(),
+                             .machine = machine});
     if (!up) on_machine_down(machine);
   });
 }
@@ -98,7 +104,7 @@ AppId Platform::deploy(apps::App app, std::shared_ptr<Policy> policy) {
   st->policy = std::move(policy);
   st->fns.resize(st->spec.dag.size());
   st->metrics.per_function.resize(st->spec.dag.size());
-  st->next_window_end = engine_.now() + options_.window;
+  st->next_window_end = engine_.now() + options_.window_seconds;
   apps_.push_back(std::move(st));
   const AppId id = static_cast<AppId>(apps_.size() - 1);
 
@@ -113,7 +119,7 @@ void Platform::window_tick(AppId app) {
   auto& a = state(app);
   WindowStats stats;
   stats.window_end = a.next_window_end;
-  stats.window_start = a.next_window_end - options_.window;
+  stats.window_start = a.next_window_end - options_.window_seconds;
   stats.arrivals = a.current_window_arrivals;
   a.window_counts.push_back(a.current_window_arrivals);
 
@@ -132,7 +138,7 @@ void Platform::window_tick(AppId app) {
   a.metrics.windows.push_back(sample);
 
   a.current_window_arrivals = 0;
-  a.next_window_end += options_.window;
+  a.next_window_end += options_.window_seconds;
   a.policy->on_window(app, a.spec, *this, stats);
   engine_.schedule_at(a.next_window_end, [this, app] { window_tick(app); });
 }
@@ -154,6 +160,11 @@ void Platform::submit_request(AppId app, SimTime arrival) {
     req.sinks_remaining = static_cast<int>(a.spec.dag.sinks().size());
     a.requests.push_back(std::move(req));
     const int ridx = static_cast<int>(a.requests.size() - 1);
+    if (options_.bus != nullptr)
+      options_.bus->publish({.type = EventType::RequestSubmitted,
+                             .t = engine_.now(),
+                             .app = app,
+                             .request = ridx});
 
     for (dag::NodeId src : a.spec.dag.sources()) enqueue_invocation(app, src, ridx);
   });
@@ -163,6 +174,12 @@ void Platform::enqueue_invocation(AppId app, dag::NodeId node, int request) {
   auto& a = state(app);
   auto& f = fn_state(app, node);
   if (options_.record_traces) a.requests[request].ready_at[node] = engine_.now();
+  if (options_.bus != nullptr)
+    options_.bus->publish({.type = EventType::InvocationReady,
+                           .t = engine_.now(),
+                           .app = app,
+                           .node = node,
+                           .request = request});
   arm_timeout(app, node, request);
   f.queue.push_back(request);
   dispatch(app, node);
@@ -182,6 +199,12 @@ void Platform::arm_timeout(AppId app, dag::NodeId node, int request) {
         r.timeout_ev[node] = 0;
         if (r.done || r.failed) return;
         ++st.metrics.per_function[node].timeouts;
+        if (options_.bus != nullptr)
+          options_.bus->publish({.type = EventType::TimeoutFired,
+                                 .t = engine_.now(),
+                                 .app = app,
+                                 .node = node,
+                                 .request = request});
         fail_request(app, request);
       });
 }
@@ -192,6 +215,12 @@ void Platform::fail_request(AppId app, int request) {
   if (req.done || req.failed) return;
   req.failed = true;
   ++a.metrics.failed;
+  if (options_.bus != nullptr)
+    options_.bus->publish({.type = EventType::RequestFailed,
+                           .t = engine_.now(),
+                           .t2 = req.arrival,
+                           .app = app,
+                           .request = request});
   for (auto& ev : req.timeout_ev) {
     if (ev != 0) {
       engine_.cancel(ev);
@@ -266,6 +295,15 @@ void Platform::dispatch(AppId app, dag::NodeId node) {
     if (options_.faults != nullptr) latency = options_.faults->inflate_inference(latency);
     const int inst_id = chosen->id;
     const SimTime exec_start = engine_.now();
+    if (options_.bus != nullptr)
+      options_.bus->publish({.type = EventType::BatchStart,
+                             .t = exec_start,
+                             .app = app,
+                             .node = node,
+                             .request = batch.front(),
+                             .instance = inst_id,
+                             .machine = chosen->alloc.machine,
+                             .count = batch_n});
     chosen->inflight = batch;
     chosen->pending = engine_.schedule_after(
         latency, [this, app, node, inst_id, exec_start, batch = std::move(batch)]() mutable {
@@ -282,6 +320,25 @@ void Platform::dispatch(AppId app, dag::NodeId node) {
               span.attempt = st.requests[r].retries;
               st.requests[r].spans.push_back(span);
             }
+          }
+          if (options_.bus != nullptr) {
+            options_.bus->publish({.type = EventType::BatchEnd,
+                                   .t = engine_.now(),
+                                   .t2 = exec_start,
+                                   .app = app,
+                                   .node = node,
+                                   .request = batch.front(),
+                                   .instance = inst_id,
+                                   .count = static_cast<int>(batch.size())});
+            for (int r : batch)
+              options_.bus->publish({.type = EventType::InvocationDone,
+                                     .t = engine_.now(),
+                                     .t2 = exec_start,
+                                     .app = app,
+                                     .node = node,
+                                     .request = r,
+                                     .instance = inst_id,
+                                     .count = static_cast<int>(batch.size())});
           }
           on_batch_done(app, node, inst_id, std::move(batch));
         });
@@ -304,6 +361,13 @@ void Platform::dispatch(AppId app, dag::NodeId node) {
     ++f.retry_attempts;
     ++a.metrics.per_function[node].retries;
     f.retry_scheduled = true;
+    if (options_.bus != nullptr)
+      options_.bus->publish({.type = EventType::RetryScheduled,
+                             .t = engine_.now(),
+                             .app = app,
+                             .node = node,
+                             .value = backoff_delay(f.retry_attempts),
+                             .count = f.retry_attempts});
     engine_.schedule_after(backoff_delay(f.retry_attempts), [this, app, node] {
       fn_state(app, node).retry_scheduled = false;
       dispatch(app, node);
@@ -330,6 +394,14 @@ Platform::Instance* Platform::create_instance(AppId app, dag::NodeId node,
   const double init = a.spec.perf_of(node).sample_init_time(config, rng_);
   f.instances.back().ready_at = engine_.now() + init;
   const int inst_id = inst.id;
+  if (options_.bus != nullptr)
+    options_.bus->publish({.type = EventType::InstanceCreated,
+                           .t = engine_.now(),
+                           .app = app,
+                           .node = node,
+                           .instance = inst_id,
+                           .machine = inst.alloc.machine,
+                           .value = init});
   const bool init_fails =
       options_.faults != nullptr && options_.faults->sample_init_failure();
   f.instances.back().pending =
@@ -350,6 +422,14 @@ void Platform::on_init_done(AppId app, dag::NodeId node, int instance_id) {
   it->pending = 0;
   it->st = InstState::Idle;
   f.retry_attempts = 0;  // a live instance ends the cold-start failure streak
+  if (options_.bus != nullptr)
+    options_.bus->publish({.type = EventType::InstanceReady,
+                           .t = engine_.now(),
+                           .t2 = it->created,
+                           .app = app,
+                           .node = node,
+                           .instance = instance_id,
+                           .machine = it->alloc.machine});
   on_instance_idle(app, node, instance_id);
 }
 
@@ -361,6 +441,14 @@ void Platform::on_init_failed(AppId app, dag::NodeId node, int instance_id) {
   if (it == f.instances.end()) return;  // evicted or finalized meanwhile
   it->pending = 0;
   ++a.metrics.per_function[node].init_failures;
+  if (options_.bus != nullptr)
+    options_.bus->publish({.type = EventType::InstanceInitFailed,
+                           .t = engine_.now(),
+                           .t2 = it->created,
+                           .app = app,
+                           .node = node,
+                           .instance = instance_id,
+                           .machine = it->alloc.machine});
   // The failed attempt is billed (the provider ran the container) and its
   // grant released.
   retire_accounting(a, node, *it);
@@ -377,6 +465,12 @@ void Platform::on_init_failed(AppId app, dag::NodeId node, int instance_id) {
     return;
   }
   ++a.metrics.per_function[node].retries;
+  if (options_.bus != nullptr)
+    options_.bus->publish({.type = EventType::RetryScheduled,
+                           .t = engine_.now(),
+                           .app = app,
+                           .node = node,
+                           .count = f.retry_attempts});
   dispatch(app, node);
 }
 
@@ -456,6 +550,14 @@ void Platform::terminate_instance(AppId app, dag::NodeId node, int instance_id) 
 
   if (it->kill_timer != 0) engine_.cancel(it->kill_timer);
   if (it->pending != 0) engine_.cancel(it->pending);
+  if (options_.bus != nullptr)
+    options_.bus->publish({.type = EventType::InstanceTerminated,
+                           .t = engine_.now(),
+                           .t2 = it->created,
+                           .app = app,
+                           .node = node,
+                           .instance = instance_id,
+                           .machine = it->alloc.machine});
   retire_accounting(a, node, *it);
   f.instances.erase(it);
 }
@@ -480,6 +582,14 @@ void Platform::on_machine_down(int machine) {
         if (inst.kill_timer != 0) engine_.cancel(inst.kill_timer);
         if (inst.pending != 0) engine_.cancel(inst.pending);
         ++fm.evictions;
+        if (options_.bus != nullptr)
+          options_.bus->publish({.type = EventType::InstanceEvicted,
+                                 .t = engine_.now(),
+                                 .t2 = inst.created,
+                                 .app = app,
+                                 .node = node,
+                                 .instance = inst.id,
+                                 .machine = machine});
         // Re-dispatch in-flight work at the head of the queue, preserving
         // the original order; each re-dispatch spends one retry.
         for (auto rit = inst.inflight.rbegin(); rit != inst.inflight.rend(); ++rit) {
@@ -521,6 +631,12 @@ void Platform::complete_node(AppId app, dag::NodeId node, int request) {
     if (--req.sinks_remaining == 0) {
       req.done = true;
       a.metrics.completed.push_back({req.arrival, engine_.now()});
+      if (options_.bus != nullptr)
+        options_.bus->publish({.type = EventType::RequestCompleted,
+                               .t = engine_.now(),
+                               .t2 = req.arrival,
+                               .app = app,
+                               .request = request});
       if (options_.record_traces)
         a.metrics.traces.push_back({req.arrival, engine_.now(), std::move(req.spans)});
     }
@@ -538,6 +654,14 @@ void Platform::finalize(SimTime end) {
       for (auto& inst : f.instances) {
         if (inst.kill_timer != 0) engine_.cancel(inst.kill_timer);
         if (inst.pending != 0) engine_.cancel(inst.pending);
+        if (options_.bus != nullptr)
+          options_.bus->publish({.type = EventType::InstanceTerminated,
+                                 .t = end,
+                                 .t2 = inst.created,
+                                 .app = static_cast<AppId>(ai),
+                                 .node = static_cast<dag::NodeId>(n),
+                                 .instance = inst.id,
+                                 .machine = inst.alloc.machine});
         const double billed = std::max(0.0, end - inst.created);
         fm.billed_seconds += billed;
         if (inst.config.backend == perf::Backend::Cpu)
@@ -618,8 +742,20 @@ sim::EventId Platform::prewarm_at(AppId app, dag::NodeId node, SimTime init_star
           covers = engine_.now() + fs.plan.keepalive;
           break;
       }
-      if (covers > need) return;
+      if (covers > need) {
+        if (options_.bus != nullptr)
+          options_.bus->publish({.type = EventType::PrewarmSkipped,
+                                 .t = engine_.now(),
+                                 .app = app,
+                                 .node = node});
+        return;
+      }
     }
+    if (options_.bus != nullptr)
+      options_.bus->publish({.type = EventType::PrewarmFired,
+                             .t = engine_.now(),
+                             .app = app,
+                             .node = node});
     create_instance(app, node, fs.plan.config);
   });
   f.prewarms.push_back(id);

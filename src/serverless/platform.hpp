@@ -20,11 +20,15 @@ namespace smiless::faults {
 class FaultInjector;
 }  // namespace smiless::faults
 
+namespace smiless::obs {
+class EventBus;
+}  // namespace smiless::obs
+
 namespace smiless::serverless {
 
 /// Platform tuning knobs.
 struct PlatformOptions {
-  double window = 1.0;          ///< Gateway counting window (s), §IV-B
+  double window_seconds = 1.0;  ///< Gateway counting window (s), §IV-B
   double inference_noise = 0.06; ///< multiplicative jitter on sampled latencies
 
   /// Cold-start retry with exponential backoff. When a function has queued
@@ -54,6 +58,11 @@ struct PlatformOptions {
   /// null or disabled the platform behaves exactly like the fault-free
   /// simulator. See faults::FaultSpec.
   faults::FaultInjector* faults = nullptr;
+
+  /// Optional observability sink (non-owning; must outlive the platform).
+  /// When null the platform publishes nothing and pays one pointer test per
+  /// lifecycle site — the simulated trajectory is identical either way.
+  obs::EventBus* bus = nullptr;
 };
 
 /// The serverless serving platform (OpenFaaS substitute) running inside the

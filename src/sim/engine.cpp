@@ -8,12 +8,17 @@ EventId Engine::schedule_at(SimTime t, Callback cb) {
   SMILESS_CHECK_MSG(t >= now_, "cannot schedule in the past: " << t << " < " << now_);
   SMILESS_CHECK(cb != nullptr);
   const EventId id = next_id_++;
+  ++stats_.scheduled;
   queue_.push({t, id});
   callbacks_.emplace(id, std::move(cb));
   return id;
 }
 
-bool Engine::cancel(EventId id) { return callbacks_.erase(id) > 0; }
+bool Engine::cancel(EventId id) {
+  if (callbacks_.erase(id) == 0) return false;
+  ++stats_.cancelled;
+  return true;
+}
 
 void Engine::run_until(SimTime end) {
   SMILESS_CHECK(end >= now_);
@@ -29,6 +34,7 @@ void Engine::run_until(SimTime end) {
     Callback cb = std::move(it->second);
     callbacks_.erase(it);
     now_ = ev.time;
+    ++stats_.fired;
     cb();
   }
   now_ = end;

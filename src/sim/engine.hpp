@@ -12,6 +12,14 @@ namespace smiless::sim {
 
 using EventId = std::uint64_t;
 
+/// Lifetime counters over an Engine's event queue, surfaced through the
+/// observability metric registry. Pure simulation-domain tallies.
+struct EngineStats {
+  std::uint64_t scheduled = 0;
+  std::uint64_t fired = 0;
+  std::uint64_t cancelled = 0;
+};
+
 /// Discrete-event simulation engine: a clock plus an ordered queue of
 /// cancellable callbacks. Events at the same timestamp fire in scheduling
 /// order, which makes whole experiments deterministic.
@@ -45,6 +53,8 @@ class Engine {
 
   std::size_t pending() const { return callbacks_.size(); }
 
+  const EngineStats& stats() const { return stats_; }
+
  private:
   struct QueuedEvent {
     SimTime time;
@@ -57,6 +67,7 @@ class Engine {
 
   SimTime now_ = 0.0;
   EventId next_id_ = 1;
+  EngineStats stats_;
   std::priority_queue<QueuedEvent, std::vector<QueuedEvent>, std::greater<>> queue_;
   std::unordered_map<EventId, Callback> callbacks_;
 };

@@ -105,6 +105,35 @@ TEST(ExpConfig, GroupKeyIgnoresSeedsAndLabel) {
   EXPECT_NE(a.group_key(), b.group_key());
 }
 
+TEST(ExpConfig, WindowSecondsRoundTripsAndAcceptsLegacyKey) {
+  exp::ExperimentConfig c;
+  c.platform.window_seconds = 2.5;
+  const auto back = exp::ExperimentConfig::from_json(json::Value::parse(c.to_json().dump()));
+  EXPECT_DOUBLE_EQ(back.platform.window_seconds, 2.5);
+  EXPECT_EQ(back.to_json().dump(), c.to_json().dump());
+  // Config files written before the rename used "window".
+  const auto legacy = exp::ExperimentConfig::from_json(
+      json::Value::parse(R"({"platform": {"window": 0.5}})"));
+  EXPECT_DOUBLE_EQ(legacy.platform.window_seconds, 0.5);
+}
+
+TEST(ExpConfig, ObservabilityRoundTripsAndStaysOutOfGroupKey) {
+  exp::ExperimentConfig a;
+  exp::ExperimentConfig b = a;
+  b.obs.trace_out = "trace.json";
+  b.obs.metrics_out = "metrics.json";
+  b.obs.audit_out = "audit.json";
+  b.obs.windows_out = "windows.csv";
+  EXPECT_FALSE(a.obs.any());
+  EXPECT_TRUE(b.obs.collect() && b.obs.any());
+  const auto back = exp::ExperimentConfig::from_json(json::Value::parse(b.to_json().dump()));
+  EXPECT_EQ(back.obs.trace_out, "trace.json");
+  EXPECT_EQ(back.obs.windows_out, "windows.csv");
+  EXPECT_EQ(back.to_json().dump(), b.to_json().dump());
+  // Where artifacts go must never split aggregation groups.
+  EXPECT_EQ(a.group_key(), b.group_key());
+}
+
 TEST(ExpGrid, GridFileRoundTrips) {
   const auto grid = faulty_grid();
   const std::string path = testing::TempDir() + "/exp_grid_roundtrip.json";

@@ -170,5 +170,35 @@ TEST(Tracing, FormatTraceMentionsColdStages) {
   EXPECT_NE(text.find("e2e="), std::string::npos);
 }
 
+TEST(Tracing, FormatTraceGoldenOutput) {
+  // Pins the exact rendering — fixed three-decimal numbers, stage layout,
+  // COLD markers — for one cold and one warm request of the same pipeline.
+  // Deterministic: the fixture zeroes inference noise and seeds the RNG.
+  Fixture f;
+  const auto app = apps::make_voice_assistant();
+  const auto id = f.platform->deploy(app, std::make_shared<FixedPolicy>(warm_plan()));
+  f.platform->submit_request(id, 1.0);
+  f.platform->submit_request(id, 100.0);
+  f.engine.run_until(200.0);
+  f.platform->finalize(200.0);
+
+  const auto& traces = f.platform->metrics(id).traces;
+  ASSERT_EQ(traces.size(), 2u);
+  std::string text;
+  for (const auto& t : traces) text += format_trace(t, app.dag);
+  const std::string golden =
+      "request arrival=1.000 e2e=8.171\n"
+      "  SR: ready+0.000 wait=1.988 infer=0.440 batch=1 COLD\n"
+      "  DB: ready+2.428 wait=1.511 infer=0.248 batch=1 COLD\n"
+      "  QA: ready+4.186 wait=1.632 infer=0.276 batch=1 COLD\n"
+      "  TTS: ready+6.094 wait=1.721 infer=0.356 batch=1 COLD\n"
+      "request arrival=100.000 e2e=1.320\n"
+      "  SR: ready+0.000 wait=0.000 infer=0.440 batch=1\n"
+      "  DB: ready+0.440 wait=0.000 infer=0.248 batch=1\n"
+      "  QA: ready+0.688 wait=0.000 infer=0.276 batch=1\n"
+      "  TTS: ready+0.964 wait=0.000 infer=0.356 batch=1\n";
+  EXPECT_EQ(text, golden);
+}
+
 }  // namespace
 }  // namespace smiless::serverless

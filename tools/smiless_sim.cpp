@@ -26,6 +26,13 @@
 //     --csv <file.csv>      also write per-aggregate CSV
 //     --progress            per-cell completion lines on stderr
 //
+//   Observability (see DESIGN.md "Observability"; artifacts are byte-stable
+//   across --threads values, and all flags work for single runs and sweeps):
+//     --trace-out <file>    Perfetto/Chrome trace-event JSON (ui.perfetto.dev)
+//     --metrics-out <file>  counters / gauges / latency histograms JSON
+//     --audit-out <file>    policy decision audit log JSON
+//     --windows-out <file>  per-window time-series CSV
+//
 //   Fault injection (all off by default; see DESIGN.md "Failure model"):
 //     --fault-init-p <p>        container init failure probability
 //     --fault-straggler-p <p>   straggler probability per inference
@@ -51,6 +58,7 @@
 #include "baselines/experiment.hpp"
 #include "common/table.hpp"
 #include "exp/aggregate.hpp"
+#include "exp/artifacts.hpp"
 #include "exp/config.hpp"
 #include "exp/runner.hpp"
 #include "math/stats.hpp"
@@ -81,6 +89,8 @@ struct CliOptions {
                "       [--seed N] [--no-lstm] [--dump-trace file.csv] [--slow N]\n"
                "       [--sweep grid.json] [--threads N] [--out file.json] [--csv file.csv]\n"
                "       [--progress]\n"
+               "       [--trace-out file.json] [--metrics-out file.json]\n"
+               "       [--audit-out file.json] [--windows-out file.csv]\n"
                "       [--fault-init-p P] [--fault-straggler-p P] [--fault-straggler-x F]\n"
                "       [--fault-crash M@T:D]... [--fault-crash-rate R] [--fault-mttr S]\n"
                "       [--timeout S] [--max-retries N]\n";
@@ -147,6 +157,10 @@ CliOptions parse_cli(int argc, char** argv) {
     else if (!std::strcmp(arg, "--out")) o.out_file = need_value(i);
     else if (!std::strcmp(arg, "--csv")) o.csv_file = need_value(i);
     else if (!std::strcmp(arg, "--progress")) o.runner.progress = true;
+    else if (!std::strcmp(arg, "--trace-out")) o.config.obs.trace_out = need_value(i);
+    else if (!std::strcmp(arg, "--metrics-out")) o.config.obs.metrics_out = need_value(i);
+    else if (!std::strcmp(arg, "--audit-out")) o.config.obs.audit_out = need_value(i);
+    else if (!std::strcmp(arg, "--windows-out")) o.config.obs.windows_out = need_value(i);
     else if (!std::strcmp(arg, "--fault-init-p"))
       o.config.faults.init_failure_prob = std::atof(need_value(i));
     else if (!std::strcmp(arg, "--fault-straggler-p"))
@@ -192,6 +206,14 @@ int run_sweep(const CliOptions& cli) {
     std::cerr << "error: " << e.what() << "\n";
     return 2;
   }
+  // CLI observability flags overlay the grid's base config field-by-field,
+  // so a grid file can name defaults and the command line can add to them.
+  if (!cli.config.obs.trace_out.empty()) grid.base.obs.trace_out = cli.config.obs.trace_out;
+  if (!cli.config.obs.metrics_out.empty())
+    grid.base.obs.metrics_out = cli.config.obs.metrics_out;
+  if (!cli.config.obs.audit_out.empty()) grid.base.obs.audit_out = cli.config.obs.audit_out;
+  if (!cli.config.obs.windows_out.empty())
+    grid.base.obs.windows_out = cli.config.obs.windows_out;
   const auto cells_cfg = grid.expand();
   std::cerr << "[exp] sweep " << cli.sweep_file << ": " << cells_cfg.size() << " cells, "
             << (cli.runner.threads == 0 ? std::string("hw") : std::to_string(cli.runner.threads))
@@ -202,6 +224,18 @@ int run_sweep(const CliOptions& cli) {
   const double wall =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
   std::cerr << "[exp] sweep finished in " << TextTable::num(wall, 2) << " s\n";
+
+  if (grid.base.obs.any()) {
+    exp::write_artifacts(cells, grid.base.obs);
+    if (!grid.base.obs.trace_out.empty())
+      std::cerr << "[obs] wrote " << grid.base.obs.trace_out << "\n";
+    if (!grid.base.obs.metrics_out.empty())
+      std::cerr << "[obs] wrote " << grid.base.obs.metrics_out << "\n";
+    if (!grid.base.obs.audit_out.empty())
+      std::cerr << "[obs] wrote " << grid.base.obs.audit_out << "\n";
+    if (!grid.base.obs.windows_out.empty())
+      std::cerr << "[obs] wrote " << grid.base.obs.windows_out << "\n";
+  }
 
   const auto aggregates = exp::aggregate(cells);
   if (!cli.out_file.empty()) {
@@ -262,6 +296,7 @@ int main(int argc, char** argv) {
   }
   exp::Runner runner(cli.runner);
   const auto cells = runner.run(cells_cfg);
+  if (cli.config.obs.any()) exp::write_artifacts(cells, cli.config.obs);
 
   const bool with_faults = cli.config.faults.any();
   std::vector<std::string> headers = {"policy",     "cost ($)",  "p50 E2E (s)",
@@ -275,8 +310,8 @@ int main(int argc, char** argv) {
     const auto& r = cell.result;
     std::vector<std::string> row = {
         r.policy, TextTable::num(r.cost, 4),
-        TextTable::num(r.e2e.empty() ? 0.0 : math::percentile(r.e2e, 50), 2),
-        TextTable::num(r.e2e.empty() ? 0.0 : math::percentile(r.e2e, 99), 2),
+        TextTable::num(math::tail_latency(r.e2e, 50), 2),
+        TextTable::num(math::tail_latency(r.e2e, 99), 2),
         TextTable::num(100 * r.violation_ratio, 1) + "%", std::to_string(r.initializations),
         TextTable::num(r.cpu_core_seconds, 0), TextTable::num(r.gpu_pct_seconds, 0)};
     if (with_faults) {
