@@ -19,6 +19,7 @@ namespace smiless::bench {
 /// 2 hours; the default here keeps every bench binary in the tens of
 /// seconds. Override with SMILESS_BENCH_DURATION=7200 for full-length runs.
 inline double bench_duration(double fallback = 600.0) {
+  // detlint:allow(env-read) bench-harness knob; changes which cells run, never a cell's result
   if (const char* env = std::getenv("SMILESS_BENCH_DURATION")) {
     const double v = std::atof(env);
     if (v > 0.0) return v;
@@ -33,10 +34,12 @@ inline double bench_duration(double fallback = 600.0) {
 inline exp::Runner& shared_runner() {
   static exp::Runner runner = [] {
     exp::RunnerOptions options;
+    // detlint:allow(env-read) worker-count knob; results are bit-identical at any thread count
     if (const char* env = std::getenv("SMILESS_BENCH_THREADS")) {
       const long v = std::atol(env);
       if (v > 0) options.threads = static_cast<std::size_t>(v);
     }
+    // detlint:allow(env-read) progress printing toggle; stderr only
     options.progress = std::getenv("SMILESS_BENCH_PROGRESS") != nullptr;
     return exp::Runner(options);
   }();

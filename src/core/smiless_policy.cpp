@@ -67,12 +67,13 @@ void SmilessPolicy::reoptimize(const apps::App& spec, serverless::Platform& plat
   update_gap_discount();
   workflow_.optimizer().set_prewarm_margin(
       std::max(0.1, options_.optimizer.prewarm_margin * (1.0 - gap_discount_)));
+  // detlint:allow(wall-clock) solver self-profiling for bench_fig16; never feeds sim state
   const auto solve_begin = std::chrono::steady_clock::now();
   solution_ = workflow_.optimize(
       spec.dag, profiles_, it_used_, options_.sla_margin * spec.sla,
       options_.exhaustive ? WorkflowManager::Search::Exhaustive
                           : WorkflowManager::Search::PathSearch);
-  const double solver_seconds =
+  const double solver_seconds =  // detlint:allow(wall-clock) same quarantine: overhead metric only
       std::chrono::duration<double>(std::chrono::steady_clock::now() - solve_begin).count();
   apply_plans(platform);
 
@@ -325,10 +326,11 @@ void SmilessPolicy::autoscale(const apps::App& spec, serverless::Platform& platf
     std::vector<double> budgets(solution_.per_node.size());
     for (std::size_t n = 0; n < budgets.size(); ++n)
       budgets[n] = solution_.per_node[n].inference_time;
+    // detlint:allow(wall-clock) solver self-profiling for bench_fig16; never feeds sim state
     const auto solve_begin = std::chrono::steady_clock::now();
     burst_decisions_ =
         autoscaler_.solve_all(profiles_, budgets, predicted_count, window, pool_.get());
-    const double solver_seconds =
+    const double solver_seconds =  // detlint:allow(wall-clock) same quarantine: overhead metric only
         std::chrono::duration<double>(std::chrono::steady_clock::now() - solve_begin).count();
     if (audit_ != nullptr) {
       obs::DecisionRecord rec;

@@ -1,8 +1,8 @@
 #include "exp/aggregate.hpp"
 
 #include <cmath>
+#include <map>
 #include <sstream>
-#include <unordered_map>
 
 #include "math/stats.hpp"
 
@@ -26,7 +26,10 @@ std::vector<Aggregate> aggregate(const std::vector<CellResult>& cells) {
     std::vector<double> costs, violations, goodputs, e2e;
   };
   std::vector<Group> groups;
-  std::unordered_map<std::string, std::size_t> index;
+  // Output order is first-appearance order (groups vector); the index only
+  // does keyed lookup, but std::map keeps even accidental iteration
+  // deterministic — this feeds the serialized aggregate JSON/CSV directly.
+  std::map<std::string, std::size_t> index;
 
   for (const auto& cell : cells) {
     const std::string key = cell.config.group_key();

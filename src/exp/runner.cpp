@@ -29,6 +29,7 @@ const baselines::ProfileStore& Runner::profiles(std::uint64_t profile_seed) {
 CellResult Runner::run_cell(const ExperimentConfig& config,
                             const baselines::ProfileStore& store,
                             std::shared_ptr<ThreadPool> policy_pool) {
+  // detlint:allow(wall-clock) cell wall-time goes to progress stderr only, never into artifacts
   const auto t0 = std::chrono::steady_clock::now();
 
   const apps::App app = resolve_app(config);
@@ -62,7 +63,7 @@ CellResult Runner::run_cell(const ExperimentConfig& config,
   out.config = config;
   out.telemetry = telemetry;
   out.result = baselines::run_experiment(app, trace, std::move(policy), options);
-  out.wall_seconds =
+  out.wall_seconds =  // detlint:allow(wall-clock) same quarantine: progress display only
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
   return out;
 }

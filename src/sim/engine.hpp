@@ -2,8 +2,8 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <queue>
-#include <unordered_map>
 
 #include "common/check.hpp"
 #include "common/units.hpp"
@@ -69,7 +69,11 @@ class Engine {
   EventId next_id_ = 1;
   EngineStats stats_;
   std::priority_queue<QueuedEvent, std::vector<QueuedEvent>, std::greater<>> queue_;
-  std::unordered_map<EventId, Callback> callbacks_;
+  // Deterministic by construction (detlint ptr-key/unordered-iter catalog):
+  // keyed by the monotonic EventId, so any future iteration is in schedule
+  // order, not hash order. Lookups are O(log n) against ids that are mostly
+  // near the front of the queue; the priority_queue dominates the hot path.
+  std::map<EventId, Callback> callbacks_;
 };
 
 }  // namespace smiless::sim

@@ -1,0 +1,14 @@
+// detlint corpus: a reasoned allow on the same or preceding line suppresses
+// exactly its rule and counts as used.
+#include <chrono>
+#include <cstdlib>
+
+double profiled() {
+  // detlint:allow(wall-clock) corpus: quarantined profiling read
+  const auto t0 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t0.time_since_epoch()).count();
+}
+
+// detlint:allow(env-read) corpus: harness knob, preceding-line form
+const char* knob = std::getenv("DETLINT_CORPUS_KNOB");
+const char* knob2 = std::getenv("DETLINT_CORPUS_KNOB2");  // detlint:allow(env-read) corpus: same-line form

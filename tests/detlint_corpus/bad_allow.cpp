@@ -1,0 +1,9 @@
+// detlint corpus: malformed and stale annotations are themselves violations.
+#include <cstdlib>
+
+// detlint:allow(no-such-rule) the rule id does not exist
+const char* a = std::getenv("A");
+// detlint:allow(env-read)
+const char* b = std::getenv("B");
+// detlint:allow(wall-clock) nothing on this or the next line reads a clock
+const char* c = "just a string";

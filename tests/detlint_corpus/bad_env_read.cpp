@@ -1,0 +1,9 @@
+// detlint corpus: environment reads and build-time stamps must be flagged.
+#include <cstdlib>
+
+const char* build_stamp() { return __DATE__ " " __TIME__; }
+
+double scale() {
+  const char* env = std::getenv("SMILESS_SCALE");
+  return env == nullptr ? 1.0 : 2.0;
+}

@@ -1,0 +1,12 @@
+// detlint corpus: parallel/vectorized execution policies must be flagged.
+#include <execution>
+#include <numeric>
+#include <vector>
+
+double total(const std::vector<double>& xs) {
+  return std::reduce(std::execution::par, xs.begin(), xs.end(), 0.0);
+}
+
+double total_unseq(const std::vector<double>& xs) {
+  return std::reduce(std::execution::par_unseq, xs.begin(), xs.end(), 0.0);
+}

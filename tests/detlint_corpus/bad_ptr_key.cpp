@@ -1,0 +1,12 @@
+// detlint corpus: pointer-keyed ordered containers must be flagged.
+#include <map>
+#include <queue>
+#include <set>
+
+struct Node {
+  int id;
+};
+
+std::map<const Node*, int> ranks;
+std::set<Node*> live;
+std::priority_queue<Node*> frontier;

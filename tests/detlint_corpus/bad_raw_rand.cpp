@@ -1,0 +1,12 @@
+// detlint corpus: raw randomness must be flagged.
+#include <cstdlib>
+#include <random>
+
+int noisy() {
+  std::srand(42);
+  const int a = std::rand();
+  std::random_device rd;
+  std::mt19937 engine(rd());
+  std::default_random_engine fallback;
+  return a + static_cast<int>(engine()) + static_cast<int>(fallback());
+}

@@ -1,0 +1,15 @@
+// detlint corpus: hash-order iteration must be flagged.
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+int sum_values(const std::unordered_map<std::string, int>& scores) {
+  int total = 0;
+  for (const auto& [name, score] : scores) total += score;
+  return total;
+}
+
+struct Index {
+  std::unordered_set<int> ids;
+  auto first() const { return ids.begin(); }
+};

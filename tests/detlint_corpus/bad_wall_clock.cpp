@@ -1,0 +1,9 @@
+// detlint corpus: wall-clock reads outside a quarantine must be flagged.
+#include <chrono>
+
+double wall_seconds() {
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto t1 = std::chrono::system_clock::now();
+  const auto t2 = std::chrono::high_resolution_clock::now();
+  return std::chrono::duration<double>(t2 - t0).count() + t1.time_since_epoch().count();
+}

@@ -1,0 +1,15 @@
+// detlint corpus: forbidden tokens inside comments, strings, raw strings and
+// near-miss identifiers must not fire any rule.
+// A comment may mention std::chrono::steady_clock or rand() freely.
+#include <string>
+
+const std::string kA = "std::chrono::steady_clock::now() inside a string";
+const std::string kB = R"(getenv("HOME") and __DATE__ inside a raw string)";
+const int kBig = 1'000'000;
+int steady_clockwork = 0;
+int brand(int x) { return x; }
+int call_brand() { return brand(7); }
+struct Strand {
+  std::string strand;
+  std::size_t n() const { return strand.size(); }
+};

@@ -1,0 +1,7 @@
+// detlint corpus: configuration arrives through arguments, not the process
+// environment; a comment may mention std::getenv freely.
+#include <string>
+
+double scale_from_config(double configured) { return configured; }
+
+const std::string kDocs = "SMILESS_BENCH_DURATION is read via std::getenv elsewhere";

@@ -1,0 +1,7 @@
+// detlint corpus: serial accumulation (fixed order) is clean.
+#include <numeric>
+#include <vector>
+
+double total(const std::vector<double>& xs) {
+  return std::accumulate(xs.begin(), xs.end(), 0.0);
+}

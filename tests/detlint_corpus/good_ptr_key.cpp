@@ -1,0 +1,10 @@
+// detlint corpus: value-keyed ordered containers are clean, including
+// pointer-valued maps and function-pointer values.
+#include <map>
+#include <set>
+#include <string>
+
+std::map<std::string, int> totals;
+std::set<std::pair<int, int>> edges;
+std::map<int, void (*)(int)> handlers;
+std::map<std::string, int*> slots;

@@ -1,0 +1,16 @@
+// detlint corpus: keyed lookup on unordered containers is clean, and
+// iterating a differently-typed container must not fire the rule.
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+struct Cache {
+  std::unordered_map<std::string, double> values;
+  bool has(const std::string& key) const { return values.count(key) != 0; }
+};
+
+double sum(const std::vector<double>& samples) {
+  double total = 0.0;
+  for (const double v : samples) total += v;
+  return total;
+}

@@ -1,0 +1,11 @@
+// detlint corpus: annotated quarantine sites are clean, both the
+// preceding-line and same-line annotation forms.
+#include <chrono>
+
+double quarantined_profile() {
+  // detlint:allow(wall-clock) corpus quarantine site: overhead metric only
+  const auto t0 = std::chrono::steady_clock::now();
+  const double dt =  // detlint:allow(wall-clock) same site, closing read
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  return dt;
+}

@@ -1,0 +1,157 @@
+// Tests for tools/detlint: the determinism-purity rule catalog (DESIGN.md
+// §11). Corpus files in tests/detlint_corpus/ pin exact rule ids and line
+// numbers per rule (good/bad pairs plus annotation and false-positive
+// cases), and DetlintTree.RepoIsClean re-lints the live tree so seeding a
+// violation anywhere in src/, tools/ or bench/ fails ctest.
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "scanner.hpp"
+
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "cannot read " << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+std::vector<detlint::Violation> scan_corpus(const std::string& name) {
+  const std::string path = std::string(DETLINT_CORPUS_DIR) + "/" + name;
+  return detlint::scan_file(path, read_file(path));
+}
+
+struct Expected {
+  std::string rule;
+  int line;
+};
+
+void expect_findings(const std::string& name, const std::vector<Expected>& expected) {
+  const std::vector<detlint::Violation> got = scan_corpus(name);
+  ASSERT_EQ(got.size(), expected.size())
+      << name << " findings:\n"
+      << [&] {
+           std::ostringstream os;
+           for (const auto& v : got) os << "  " << detlint::format_violation(v) << "\n";
+           return os.str();
+         }();
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(got[i].rule, expected[i].rule) << name << " finding " << i;
+    EXPECT_EQ(got[i].line, expected[i].line) << name << " finding " << i;
+  }
+}
+
+TEST(DetlintCatalog, RulesAreStable) {
+  const auto& rules = detlint::rule_catalog();
+  ASSERT_EQ(rules.size(), 6u);
+  const std::vector<std::string> ids = {"wall-clock", "raw-rand",        "unordered-iter",
+                                        "ptr-key",    "parallel-reduce", "env-read"};
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    EXPECT_EQ(rules[i].id, ids[i]);
+    EXPECT_TRUE(detlint::is_known_rule(ids[i]));
+    EXPECT_FALSE(rules[i].summary.empty());
+  }
+  EXPECT_FALSE(detlint::is_known_rule("no-such-rule"));
+  EXPECT_FALSE(detlint::is_known_rule(""));
+}
+
+TEST(DetlintCorpus, WallClock) {
+  expect_findings("bad_wall_clock.cpp",
+                  {{"wall-clock", 5}, {"wall-clock", 6}, {"wall-clock", 7}});
+  expect_findings("good_wall_clock.cpp", {});
+}
+
+TEST(DetlintCorpus, RawRand) {
+  expect_findings("bad_raw_rand.cpp", {{"raw-rand", 6},
+                                       {"raw-rand", 7},
+                                       {"raw-rand", 8},
+                                       {"raw-rand", 9},
+                                       {"raw-rand", 10}});
+  expect_findings("good_raw_rand.cpp", {});
+}
+
+TEST(DetlintCorpus, UnorderedIter) {
+  expect_findings("bad_unordered_iter.cpp", {{"unordered-iter", 8}, {"unordered-iter", 14}});
+  expect_findings("good_unordered_iter.cpp", {});
+}
+
+TEST(DetlintCorpus, PtrKey) {
+  expect_findings("bad_ptr_key.cpp", {{"ptr-key", 10}, {"ptr-key", 11}, {"ptr-key", 12}});
+  expect_findings("good_ptr_key.cpp", {});
+}
+
+TEST(DetlintCorpus, ParallelReduce) {
+  expect_findings("bad_parallel_reduce.cpp",
+                  {{"parallel-reduce", 7}, {"parallel-reduce", 11}});
+  expect_findings("good_parallel_reduce.cpp", {});
+}
+
+TEST(DetlintCorpus, EnvRead) {
+  expect_findings("bad_env_read.cpp", {{"env-read", 4}, {"env-read", 7}});
+  expect_findings("good_env_read.cpp", {});
+}
+
+TEST(DetlintCorpus, AllowAnnotations) { expect_findings("allow_annotations.cpp", {}); }
+
+TEST(DetlintCorpus, BadAndStaleAllows) {
+  expect_findings("bad_allow.cpp", {{"bad-allow", 4},
+                                    {"env-read", 5},
+                                    {"bad-allow", 6},
+                                    {"env-read", 7},
+                                    {"unused-allow", 8}});
+}
+
+TEST(DetlintCorpus, FalsePositives) { expect_findings("false_positives.cpp", {}); }
+
+// The rng wrapper itself is exempt from raw-rand by path suffix: the same
+// content under a different name must be flagged.
+TEST(DetlintScan, PathExemption) {
+  const std::string content = "#include <random>\nstd::mt19937_64 engine_;\n";
+  EXPECT_TRUE(detlint::scan_file("src/common/rng.hpp", content).empty());
+  const auto flagged = detlint::scan_file("src/common/other.hpp", content);
+  ASSERT_EQ(flagged.size(), 1u);
+  EXPECT_EQ(flagged[0].rule, "raw-rand");
+  EXPECT_EQ(flagged[0].line, 2);
+}
+
+// An allow suppresses only its own rule, not other findings on the line.
+TEST(DetlintScan, AllowIsRuleScoped) {
+  const std::string content =
+      "#include <chrono>\n"
+      "// detlint:allow(env-read) corpus: wrong rule for the site below\n"
+      "auto t = std::chrono::steady_clock::now();\n";
+  const auto got = detlint::scan_file("x.cpp", content);
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0].rule, "unused-allow");
+  EXPECT_EQ(got[0].line, 2);
+  EXPECT_EQ(got[1].rule, "wall-clock");
+  EXPECT_EQ(got[1].line, 3);
+}
+
+// ScanOptions::report_unused_allows=false silences only unused-allow.
+TEST(DetlintScan, UnusedAllowsCanBeSilenced) {
+  const std::string content = "// detlint:allow(wall-clock) stale exemption\nint x = 0;\n";
+  EXPECT_EQ(detlint::scan_file("x.cpp", content).size(), 1u);
+  detlint::ScanOptions options;
+  options.report_unused_allows = false;
+  EXPECT_TRUE(detlint::scan_file("x.cpp", content, options).empty());
+}
+
+// The machine-checked determinism contract: the live tree lints clean.
+// Seeding an un-annotated violation in src/, tools/ or bench/ fails here
+// (and in tools/ci.sh lint, which runs the standalone binary).
+TEST(DetlintTree, RepoIsClean) {
+  const std::string repo = DETLINT_REPO_DIR;
+  const auto violations =
+      detlint::scan_paths({repo + "/src", repo + "/tools", repo + "/bench"});
+  for (const auto& v : violations) ADD_FAILURE() << detlint::format_violation(v);
+}
+
+}  // namespace

@@ -1,14 +1,21 @@
 #!/usr/bin/env bash
-# Build and test every supported flavor: the default build plus the two
-# sanitizer builds wired through -DSMILESS_SANITIZE (see top-level
-# CMakeLists.txt). Any test failure or sanitizer report fails the script.
+# Build, lint and test every supported flavor: the default build, the static
+# analyzers (detlint + clang-tidy, see DESIGN.md §11) and the three
+# sanitizer builds wired through -DSMILESS_SANITIZE. Any test failure, lint
+# violation or sanitizer report fails the script.
 #
-# Usage: tools/ci.sh [build-dir-prefix]
-#   tools/ci.sh            # builds into build-ci, build-ci-asan, build-ci-ubsan
-#   tools/ci.sh /tmp/ci    # builds into /tmp/ci, /tmp/ci-asan, /tmp/ci-ubsan
+# Usage: tools/ci.sh [mode] [build-dir-prefix]
+#   tools/ci.sh            # full pipeline into build-ci, build-ci-{asan,ubsan,tsan}
+#   tools/ci.sh lint       # static analysis only: detlint + clang-tidy
+#   tools/ci.sh tsan       # ThreadSanitizer flavor only
+#   tools/ci.sh full /tmp/ci
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
+mode="full"
+case "${1:-}" in
+  lint|tsan|full) mode="$1"; shift ;;
+esac
 prefix="${1:-${repo}/build-ci}"
 jobs="$(nproc 2>/dev/null || echo 4)"
 
@@ -24,20 +31,11 @@ run_flavor() {
 # Make sanitizers fail loudly instead of continuing past the first report.
 export ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1:detect_leaks=1}"
 export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}"
+export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1:second_deadlock_stack=1:suppressions=${repo}/tools/tsan.supp}"
 
-run_flavor default "${prefix}"
-
-# Sweep smoke: a 32-cell grid must produce bit-identical aggregate JSON at
-# --threads 4 and --threads 1 (the runner's determinism contract), and the
-# parallel run should be faster when the machine has the cores for it.
-sweep_smoke() {
-  echo "==== [sweep] 32-cell grid: parallel == serial, byte for byte ===="
-  local dir grid out4 out1
-  dir="$(mktemp -d)"
-  grid="${dir}/grid.json"
-  out4="${dir}/threads4.json"
-  out1="${dir}/threads1.json"
-  cat > "${grid}" <<'EOF'
+# The 32-cell grid both smokes share; $1 receives the file path.
+write_smoke_grid() {
+  cat > "$1" <<'EOF'
 {
   "base": {
     "sla": 2.0,
@@ -54,6 +52,70 @@ sweep_smoke() {
   }
 }
 EOF
+}
+
+# Static analysis: detlint always (zero unsuppressed violations allowed over
+# src/ tools/ bench/), clang-tidy over the compile database when a binary is
+# on PATH. Exits non-zero on any finding.
+lint_step() {
+  echo "==== [lint] detlint: determinism rule catalog ===="
+  cmake -B "${prefix}" -S "${repo}" -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build "${prefix}" --target detlint -j "${jobs}"
+  "${prefix}/tools/detlint/detlint" "${repo}/src" "${repo}/tools" "${repo}/bench"
+
+  local tidy=""
+  for candidate in clang-tidy clang-tidy-19 clang-tidy-18 clang-tidy-17 clang-tidy-16; do
+    if command -v "${candidate}" >/dev/null 2>&1; then
+      tidy="${candidate}"
+      break
+    fi
+  done
+  if [ -z "${tidy}" ]; then
+    echo "[lint] clang-tidy not found on PATH; skipping (detlint ran, .clang-tidy profile unchecked)"
+    return 0
+  fi
+  echo "==== [lint] ${tidy}: .clang-tidy profile over the compile database ===="
+  if [ ! -f "${prefix}/compile_commands.json" ]; then
+    echo "[lint] ERROR: ${prefix}/compile_commands.json missing (CMAKE_EXPORT_COMPILE_COMMANDS)"
+    return 1
+  fi
+  # Translation units only; headers ride along via HeaderFilterRegex.
+  find "${repo}/src" "${repo}/tools" "${repo}/bench" -name '*.cpp' -print0 \
+    | xargs -0 -n 8 -P "${jobs}" "${tidy}" -p "${prefix}" --quiet
+  echo "[lint] clang-tidy clean"
+}
+
+# ThreadSanitizer flavor: the concurrency suite, the exp parallel==serial
+# determinism suite and the 32-cell sweep smoke must produce zero reports.
+tsan_step() {
+  local dir="${prefix}-tsan"
+  echo "==== [tsan] configure + build (SMILESS_SANITIZE=thread) ===="
+  cmake -B "${dir}" -S "${repo}" -DCMAKE_BUILD_TYPE=RelWithDebInfo -DSMILESS_SANITIZE=thread
+  cmake --build "${dir}" --target concurrency_test exp_test smiless_cli -j "${jobs}"
+  echo "==== [tsan] concurrency_test ===="
+  "${dir}/tests/concurrency_test"
+  echo "==== [tsan] exp_test (parallel == serial sweep) ===="
+  "${dir}/tests/exp_test"
+  echo "==== [tsan] 32-cell sweep smoke ===="
+  local tmp
+  tmp="$(mktemp -d)"
+  write_smoke_grid "${tmp}/grid.json"
+  "${dir}/tools/smiless" --sweep "${tmp}/grid.json" --threads 4 --out "${tmp}/out.json"
+  rm -rf "${tmp}"
+  echo "[tsan] zero reports"
+}
+
+# Sweep smoke: a 32-cell grid must produce bit-identical aggregate JSON at
+# --threads 4 and --threads 1 (the runner's determinism contract), and the
+# parallel run should be faster when the machine has the cores for it.
+sweep_smoke() {
+  echo "==== [sweep] 32-cell grid: parallel == serial, byte for byte ===="
+  local dir grid out4 out1
+  dir="$(mktemp -d)"
+  grid="${dir}/grid.json"
+  out4="${dir}/threads4.json"
+  out1="${dir}/threads1.json"
+  write_smoke_grid "${grid}"
   local t0 t1 wall4 wall1
   t0=$(date +%s%N); "${prefix}/tools/smiless" --sweep "${grid}" --threads 4 --out "${out4}"
   t1=$(date +%s%N); wall4=$(( (t1 - t0) / 1000000 ))
@@ -70,7 +132,6 @@ EOF
   fi
   rm -rf "${dir}"
 }
-sweep_smoke
 
 # Observability smoke: the same sweep with artifact collection on must (a)
 # leave the aggregate JSON untouched, (b) emit parseable artifacts, and (c)
@@ -131,9 +192,26 @@ EOF
   echo "[obs] artifacts valid and bit-identical across thread counts OK"
   rm -rf "${dir}"
 }
-obs_smoke
 
+case "${mode}" in
+  lint)
+    lint_step
+    echo "==== lint green ===="
+    exit 0
+    ;;
+  tsan)
+    tsan_step
+    echo "==== tsan green ===="
+    exit 0
+    ;;
+esac
+
+run_flavor default "${prefix}"
+lint_step
+sweep_smoke
+obs_smoke
 run_flavor asan "${prefix}-asan" -DSMILESS_SANITIZE=address
 run_flavor ubsan "${prefix}-ubsan" -DSMILESS_SANITIZE=undefined
+tsan_step
 
 echo "==== all flavors green ===="

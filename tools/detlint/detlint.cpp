@@ -1,0 +1,81 @@
+// detlint — determinism-purity linter for the SMIless tree.
+//
+// Scans C++ sources for constructs that break the DESIGN.md §9 contract
+// (bit-identical sweeps at any thread count, byte-stable artifacts): wall
+// clocks, raw randomness, hash-order iteration, pointer-keyed ordering,
+// parallel reductions, environment reads. Exemptions are inline, named and
+// reasoned, so every escape hatch is reviewable in the diff that adds it.
+//
+// Exit status: 0 clean, 1 violations found, 2 usage/IO error.
+
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "scanner.hpp"
+
+namespace {
+
+void print_usage(std::ostream& os) {
+  os << "usage: detlint [options] <path>...\n"
+        "  Scans every .cpp/.cc/.cxx/.hpp/.h/.hh under the given paths.\n"
+        "options:\n"
+        "  --list-rules         print the rule catalog and exit\n"
+        "  --allow-unused       do not report allow annotations that suppress nothing\n"
+        "  -q, --quiet          print only the final summary line\n"
+        "  -h, --help           this text\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> roots;
+  detlint::ScanOptions options;
+  bool quiet = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "-h" || arg == "--help") {
+      print_usage(std::cout);
+      return 0;
+    } else if (arg == "--list-rules") {
+      for (const auto& r : detlint::rule_catalog()) {
+        std::cout << r.id << "\n    " << r.summary << "\n";
+        for (const auto& s : r.exempt_suffixes) std::cout << "    (exempt: " << s << ")\n";
+      }
+      std::cout << "bad-allow\n    malformed allow annotation (unknown rule or missing reason)\n"
+                   "unused-allow\n    allow annotation that suppresses nothing\n";
+      return 0;
+    } else if (arg == "--allow-unused") {
+      options.report_unused_allows = false;
+    } else if (arg == "-q" || arg == "--quiet") {
+      quiet = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "detlint: unknown option '" << arg << "'\n";
+      print_usage(std::cerr);
+      return 2;
+    } else {
+      roots.push_back(arg);
+    }
+  }
+  if (roots.empty()) {
+    print_usage(std::cerr);
+    return 2;
+  }
+  std::vector<detlint::Violation> violations;
+  try {
+    violations = detlint::scan_paths(roots, options);
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n";
+    return 2;
+  }
+  if (!quiet)
+    for (const auto& v : violations) std::cout << detlint::format_violation(v) << "\n";
+  if (violations.empty()) {
+    std::cout << "detlint: clean\n";
+    return 0;
+  }
+  std::cout << "detlint: " << violations.size() << " violation"
+            << (violations.size() == 1 ? "" : "s") << "\n";
+  return 1;
+}

@@ -1,0 +1,540 @@
+#include "scanner.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <regex>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace detlint {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Rule catalog
+// ---------------------------------------------------------------------------
+
+const std::vector<RuleInfo>& catalog() {
+  static const std::vector<RuleInfo> kRules = {
+      {"wall-clock",
+       "wall-clock reads (std::chrono system/steady/high_resolution clocks, "
+       "gettimeofday, clock_gettime, timespec_get) outside annotated quarantine sites",
+       {}},
+      {"raw-rand",
+       "raw randomness (rand/srand, std::random_device, *rand48, or a std random "
+       "engine) anywhere but the seeded wrapper in common/rng.hpp",
+       {"common/rng.hpp"}},
+      {"unordered-iter",
+       "iteration over a std::unordered_map/unordered_set (hash order is not part "
+       "of the determinism contract); keyed lookup is fine",
+       {}},
+      {"ptr-key",
+       "ordered container keyed or prioritised by pointer value (std::map/set/"
+       "multimap/multiset/priority_queue over T*): address order varies run to run",
+       {}},
+      {"parallel-reduce",
+       "std::execution::par/par_unseq/unseq algorithm policies: reduction order "
+       "(and float rounding) becomes schedule-dependent",
+       {}},
+      {"env-read",
+       "process-environment and build-time inputs (getenv/setenv family, __DATE__, "
+       "__TIME__, __TIMESTAMP__) leaking into simulation state",
+       {}},
+  };
+  return kRules;
+}
+
+// ---------------------------------------------------------------------------
+// Comment / string stripping
+// ---------------------------------------------------------------------------
+
+/// Splits `content` into a code view and a comment view of identical shape:
+/// every character keeps its line/column, but the code view blanks comments
+/// and string/char literals while the comment view keeps only comment text.
+struct StrippedSource {
+  std::string code;
+  std::string comments;
+};
+
+bool is_word(char c) { return std::isalnum(static_cast<unsigned char>(c)) || c == '_'; }
+
+StrippedSource strip(const std::string& content) {
+  StrippedSource out;
+  out.code.reserve(content.size());
+  out.comments.reserve(content.size());
+  enum class State { Code, LineComment, BlockComment, String, Char, RawString };
+  State state = State::Code;
+  std::string raw_close;  // ")delim\"" for the active raw string
+  std::size_t i = 0;
+  const std::size_t n = content.size();
+  const auto emit = [&](char code_c, char comment_c) {
+    out.code.push_back(code_c);
+    out.comments.push_back(comment_c);
+  };
+  while (i < n) {
+    const char c = content[i];
+    if (c == '\n') {
+      emit('\n', '\n');
+      if (state == State::LineComment) state = State::Code;
+      ++i;
+      continue;
+    }
+    switch (state) {
+      case State::Code: {
+        if (c == '/' && i + 1 < n && content[i + 1] == '/') {
+          state = State::LineComment;
+          emit(' ', ' ');
+          emit(' ', ' ');
+          i += 2;
+        } else if (c == '/' && i + 1 < n && content[i + 1] == '*') {
+          state = State::BlockComment;
+          emit(' ', ' ');
+          emit(' ', ' ');
+          i += 2;
+        } else if (c == '"') {
+          // Raw string? Look back through an optional encoding prefix for R.
+          const std::size_t back = i;
+          const bool raw =
+              back > 0 && content[back - 1] == 'R' &&
+              (back < 2 || !is_word(content[back - 2]) || content[back - 2] == 'L' ||
+               content[back - 2] == 'u' || content[back - 2] == 'U' ||
+               (back >= 3 && content.compare(back - 3, 2, "u8") == 0));
+          if (raw) {
+            std::string delim;
+            std::size_t j = i + 1;
+            while (j < n && content[j] != '(' && content[j] != '\n') delim.push_back(content[j++]);
+            raw_close = ")" + delim + "\"";
+            state = State::RawString;
+          } else {
+            state = State::String;
+          }
+          emit(' ', ' ');
+          ++i;
+        } else if (c == '\'') {
+          // Digit separator (1'000) is not a char literal.
+          const bool separator = i > 0 && is_word(content[i - 1]) && i + 1 < n &&
+                                 is_word(content[i + 1]);
+          if (!separator) state = State::Char;
+          emit(separator ? c : ' ', ' ');
+          ++i;
+        } else {
+          emit(c, ' ');
+          ++i;
+        }
+        break;
+      }
+      case State::LineComment:
+        emit(' ', c);
+        ++i;
+        break;
+      case State::BlockComment:
+        if (c == '*' && i + 1 < n && content[i + 1] == '/') {
+          state = State::Code;
+          emit(' ', ' ');
+          emit(' ', ' ');
+          i += 2;
+        } else {
+          emit(' ', c);
+          ++i;
+        }
+        break;
+      case State::String:
+        if (c == '\\' && i + 1 < n) {
+          emit(' ', ' ');
+          if (content[i + 1] != '\n') emit(' ', ' ');
+          i += content[i + 1] == '\n' ? 1 : 2;
+        } else {
+          if (c == '"') state = State::Code;
+          emit(' ', ' ');
+          ++i;
+        }
+        break;
+      case State::Char:
+        if (c == '\\' && i + 1 < n) {
+          emit(' ', ' ');
+          if (content[i + 1] != '\n') emit(' ', ' ');
+          i += content[i + 1] == '\n' ? 1 : 2;
+        } else {
+          if (c == '\'') state = State::Code;
+          emit(' ', ' ');
+          ++i;
+        }
+        break;
+      case State::RawString:
+        if (content.compare(i, raw_close.size(), raw_close) == 0) {
+          for (std::size_t k = 0; k < raw_close.size(); ++k)
+            if (content[i + k] == '\n')
+              emit('\n', '\n');
+            else
+              emit(' ', ' ');
+          i += raw_close.size();
+          state = State::Code;
+        } else {
+          emit(' ', ' ');
+          ++i;
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::string cur;
+  for (const char c : text) {
+    if (c == '\n') {
+      lines.push_back(std::move(cur));
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  lines.push_back(std::move(cur));
+  return lines;
+}
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+// ---------------------------------------------------------------------------
+// Inline allow annotations (grammar in DESIGN.md §11)
+// ---------------------------------------------------------------------------
+
+struct Allow {
+  int line = 0;
+  std::string rule;
+  std::string reason;
+  bool malformed = false;
+  std::string problem;
+  bool used = false;
+};
+
+std::vector<Allow> collect_allows(const std::vector<std::string>& comment_lines) {
+  static const std::string kMarker = "detlint:allow";
+  std::vector<Allow> allows;
+  for (std::size_t li = 0; li < comment_lines.size(); ++li) {
+    const std::string& text = comment_lines[li];
+    std::size_t pos = 0;
+    while ((pos = text.find(kMarker, pos)) != std::string::npos) {
+      Allow a;
+      a.line = static_cast<int>(li + 1);
+      std::size_t p = pos + kMarker.size();
+      if (p >= text.size() || text[p] != '(') {
+        a.malformed = true;
+        a.problem = "expected 'detlint:allow(<rule>) <reason>'";
+        allows.push_back(a);
+        pos = p;
+        continue;
+      }
+      const std::size_t close = text.find(')', p);
+      if (close == std::string::npos) {
+        a.malformed = true;
+        a.problem = "unterminated rule list in detlint:allow(...)";
+        allows.push_back(a);
+        break;
+      }
+      a.rule = trim(text.substr(p + 1, close - p - 1));
+      // Reason: the rest of the comment, up to the next annotation if any.
+      std::size_t reason_end = text.find(kMarker, close);
+      if (reason_end == std::string::npos) reason_end = text.size();
+      a.reason = trim(text.substr(close + 1, reason_end - close - 1));
+      if (a.rule.empty() || !is_known_rule(a.rule)) {
+        a.malformed = true;
+        a.problem = "unknown rule '" + a.rule + "'";
+      } else if (a.reason.empty()) {
+        a.malformed = true;
+        a.problem = "missing reason after detlint:allow(" + a.rule + ")";
+      }
+      allows.push_back(a);
+      pos = reason_end;
+    }
+  }
+  return allows;
+}
+
+// ---------------------------------------------------------------------------
+// Rule matchers
+// ---------------------------------------------------------------------------
+
+/// Parses a balanced template argument list starting at the '<' at
+/// `open_pos`; returns the position one past the matching '>', or npos.
+std::size_t match_angle(const std::string& text, std::size_t open_pos) {
+  int depth = 0;
+  for (std::size_t i = open_pos; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c == '<') {
+      ++depth;
+    } else if (c == '>') {
+      if (i > 0 && text[i - 1] == '-') continue;  // operator->
+      if (--depth == 0) return i + 1;
+    } else if (c == ';' || c == '{') {
+      return std::string::npos;  // not a type after all
+    }
+  }
+  return std::string::npos;
+}
+
+/// First top-level template argument of the list opened at `open_pos`.
+std::string first_template_arg(const std::string& text, std::size_t open_pos) {
+  int depth = 0;
+  std::string arg;
+  for (std::size_t i = open_pos; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c == '<') {
+      if (depth > 0) arg.push_back(c);
+      ++depth;
+    } else if (c == '>') {
+      if (i > 0 && text[i - 1] == '-') {
+        arg.push_back(c);
+        continue;
+      }
+      if (--depth == 0) return arg;
+      arg.push_back(c);
+    } else if (c == ',' && depth == 1) {
+      return arg;
+    } else if (depth >= 1) {
+      arg.push_back(c);
+    }
+  }
+  return arg;
+}
+
+int line_of(const std::vector<std::size_t>& line_starts, std::size_t pos) {
+  const auto it = std::upper_bound(line_starts.begin(), line_starts.end(), pos);
+  return static_cast<int>(it - line_starts.begin());
+}
+
+/// Names of variables declared with an unordered map/set type anywhere in
+/// the file (members, locals, parameters). Alias-typed declarations are a
+/// known blind spot; the corpus documents it.
+std::unordered_set<std::string> unordered_decls(const std::string& code) {
+  static const std::regex kDecl(R"(\bunordered_(?:multi)?(?:map|set)\s*<)");
+  std::unordered_set<std::string> names;
+  for (auto it = std::sregex_iterator(code.begin(), code.end(), kDecl);
+       it != std::sregex_iterator(); ++it) {
+    const std::size_t open = static_cast<std::size_t>(it->position()) + it->length() - 1;
+    std::size_t after = match_angle(code, open);
+    if (after == std::string::npos) continue;
+    while (after < code.size() &&
+           (std::isspace(static_cast<unsigned char>(code[after])) || code[after] == '&' ||
+            code[after] == '*'))
+      ++after;
+    if (code.compare(after, 2, "::") == 0) continue;  // nested-type use, not a decl
+    std::string name;
+    while (after < code.size() && is_word(code[after])) name.push_back(code[after++]);
+    if (!name.empty() && !std::isdigit(static_cast<unsigned char>(name[0]))) names.insert(name);
+  }
+  return names;
+}
+
+void match_simple_rules(const std::string& path, const std::vector<std::string>& code_lines,
+                        std::vector<Violation>& out) {
+  struct Pattern {
+    const char* rule;
+    std::regex re;
+    const char* what;
+  };
+  static const std::vector<Pattern> kPatterns = [] {
+    std::vector<Pattern> p;
+    p.push_back({"wall-clock",
+                 std::regex(R"(\b(system_clock|steady_clock|high_resolution_clock)\b)"),
+                 "wall-clock source"});
+    p.push_back({"wall-clock", std::regex(R"(\b(gettimeofday|clock_gettime|timespec_get)\s*\()"),
+                 "wall-clock syscall"});
+    p.push_back({"raw-rand", std::regex(R"(\b(srand|rand)\s*\()"), "C rand"});
+    p.push_back({"raw-rand",
+                 std::regex(R"(\b(random_device|[demn]rand48|lrand48|jrand48)\b)"),
+                 "non-reproducible random source"});
+    p.push_back(
+        {"raw-rand",
+         std::regex(R"(\b(mt19937(_64)?|minstd_rand0?|default_random_engine|ranlux(24|48)(_base)?|knuth_b)\b)"),
+         "random engine outside common/rng.hpp"});
+    p.push_back({"parallel-reduce", std::regex(R"(\bexecution\s*::\s*(par_unseq|par|unseq)\b)"),
+                 "parallel/vectorized execution policy"});
+    p.push_back({"env-read",
+                 std::regex(R"(\b(secure_getenv|getenv|setenv|putenv|unsetenv)\s*\()"),
+                 "environment access"});
+    p.push_back({"env-read", std::regex(R"(__DATE__|__TIME__|__TIMESTAMP__)"),
+                 "build-time stamp"});
+    return p;
+  }();
+  for (std::size_t li = 0; li < code_lines.size(); ++li) {
+    for (const auto& p : kPatterns) {
+      std::smatch m;
+      if (!std::regex_search(code_lines[li], m, p.re)) continue;
+      Violation v;
+      v.path = path;
+      v.line = static_cast<int>(li + 1);
+      v.rule = p.rule;
+      v.message = std::string(p.what) + ": '" + trim(m.str(0)) + "'";
+      out.push_back(std::move(v));
+    }
+  }
+}
+
+void match_unordered_iter(const std::string& path, const std::string& code,
+                          const std::vector<std::string>& code_lines,
+                          std::vector<Violation>& out) {
+  const std::unordered_set<std::string> names = unordered_decls(code);
+  if (names.empty()) return;
+  static const std::regex kRangeFor(R"(\bfor\s*\([^;()]*:\s*([A-Za-z_]\w*)\s*\))");
+  static const std::regex kBeginEnd(R"(\b([A-Za-z_]\w*)\s*\.\s*(c?r?begin|c?r?end)\s*\()");
+  static const std::regex kFreeBegin(R"(\b(?:std\s*::\s*)?(?:begin|end)\s*\(\s*([A-Za-z_]\w*)\s*\))");
+  for (std::size_t li = 0; li < code_lines.size(); ++li) {
+    const std::string& line = code_lines[li];
+    for (const auto* re : {&kRangeFor, &kBeginEnd, &kFreeBegin}) {
+      for (auto it = std::sregex_iterator(line.begin(), line.end(), *re);
+           it != std::sregex_iterator(); ++it) {
+        const std::string name = (*it)[1].str();
+        if (!names.count(name)) continue;
+        Violation v;
+        v.path = path;
+        v.line = static_cast<int>(li + 1);
+        v.rule = "unordered-iter";
+        v.message = "iteration over unordered container '" + name + "'";
+        out.push_back(std::move(v));
+      }
+    }
+  }
+}
+
+void match_ptr_key(const std::string& path, const std::string& code,
+                   const std::vector<std::size_t>& line_starts, std::vector<Violation>& out) {
+  static const std::regex kOrdered(R"(\b(map|multimap|set|multiset|priority_queue)\s*<)");
+  for (auto it = std::sregex_iterator(code.begin(), code.end(), kOrdered);
+       it != std::sregex_iterator(); ++it) {
+    const std::size_t open = static_cast<std::size_t>(it->position()) + it->length() - 1;
+    const std::string arg = trim(first_template_arg(code, open));
+    if (arg.find('*') == std::string::npos) continue;
+    // A function-pointer value type has a '(' before the '*'; key rules only
+    // care about object pointers.
+    if (arg.find('(') != std::string::npos) continue;
+    Violation v;
+    v.path = path;
+    v.line = line_of(line_starts, static_cast<std::size_t>(it->position()));
+    v.rule = "ptr-key";
+    v.message = "pointer-keyed ordered container '" + (*it)[1].str() + "<" + arg + ", ...>'";
+    out.push_back(std::move(v));
+  }
+}
+
+bool rule_exempt(const std::string& rule, const std::string& path) {
+  for (const auto& r : catalog()) {
+    if (r.id != rule) continue;
+    for (const auto& suffix : r.exempt_suffixes)
+      if (path.size() >= suffix.size() &&
+          path.compare(path.size() - suffix.size(), suffix.size(), suffix) == 0)
+        return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+const std::vector<RuleInfo>& rule_catalog() { return catalog(); }
+
+bool is_known_rule(const std::string& id) {
+  for (const auto& r : catalog())
+    if (r.id == id) return true;
+  return false;
+}
+
+std::vector<Violation> scan_file(const std::string& path, const std::string& content,
+                                 const ScanOptions& options) {
+  const StrippedSource stripped = strip(content);
+  const std::vector<std::string> code_lines = split_lines(stripped.code);
+  const std::vector<std::string> comment_lines = split_lines(stripped.comments);
+  std::vector<std::size_t> line_starts;
+  line_starts.push_back(0);
+  for (std::size_t i = 0; i < stripped.code.size(); ++i)
+    if (stripped.code[i] == '\n') line_starts.push_back(i + 1);
+
+  std::vector<Allow> allows = collect_allows(comment_lines);
+
+  std::vector<Violation> raw;
+  match_simple_rules(path, code_lines, raw);
+  match_unordered_iter(path, stripped.code, code_lines, raw);
+  match_ptr_key(path, stripped.code, line_starts, raw);
+
+  // One report per (line, rule): several tokens on a line are one finding.
+  std::vector<std::pair<int, std::string>> emitted;
+  std::vector<Violation> out;
+  for (auto& v : raw) {
+    if (rule_exempt(v.rule, path)) continue;
+    const std::pair<int, std::string> key{v.line, v.rule};
+    if (std::find(emitted.begin(), emitted.end(), key) != emitted.end()) continue;
+    emitted.push_back(key);
+    bool suppressed = false;
+    for (auto& a : allows) {
+      if (a.malformed || a.rule != v.rule) continue;
+      if (a.line == v.line || a.line == v.line - 1) {
+        a.used = true;
+        suppressed = true;
+      }
+    }
+    if (!suppressed) out.push_back(std::move(v));
+  }
+  for (const auto& a : allows) {
+    if (a.malformed) {
+      out.push_back({path, a.line, "bad-allow", a.problem});
+    } else if (!a.used && options.report_unused_allows) {
+      out.push_back({path, a.line, "unused-allow",
+                     "detlint:allow(" + a.rule + ") suppresses nothing on this or the next line"});
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const Violation& a, const Violation& b) {
+    if (a.line != b.line) return a.line < b.line;
+    return a.rule < b.rule;
+  });
+  return out;
+}
+
+std::vector<Violation> scan_paths(const std::vector<std::string>& roots,
+                                  const ScanOptions& options) {
+  namespace fs = std::filesystem;
+  static const std::vector<std::string> kExtensions = {".cpp", ".cc", ".cxx", ".hpp", ".h", ".hh"};
+  const auto is_source = [&](const fs::path& p) {
+    const std::string ext = p.extension().string();
+    return std::find(kExtensions.begin(), kExtensions.end(), ext) != kExtensions.end();
+  };
+  std::vector<std::string> files;
+  for (const auto& root : roots) {
+    const fs::path p(root);
+    if (fs::is_regular_file(p)) {
+      files.push_back(p.generic_string());
+    } else if (fs::is_directory(p)) {
+      for (const auto& entry : fs::recursive_directory_iterator(p))
+        if (entry.is_regular_file() && is_source(entry.path()))
+          files.push_back(entry.path().generic_string());
+    } else {
+      throw std::runtime_error("detlint: no such file or directory: " + root);
+    }
+  }
+  std::sort(files.begin(), files.end());
+  std::vector<Violation> out;
+  for (const auto& file : files) {
+    std::ifstream in(file, std::ios::binary);
+    if (!in) throw std::runtime_error("detlint: cannot read " + file);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    std::vector<Violation> vs = scan_file(file, ss.str(), options);
+    out.insert(out.end(), std::make_move_iterator(vs.begin()), std::make_move_iterator(vs.end()));
+  }
+  return out;
+}
+
+std::string format_violation(const Violation& v) {
+  std::ostringstream os;
+  os << v.path << ":" << v.line << ": [" << v.rule << "] " << v.message;
+  return os.str();
+}
+
+}  // namespace detlint

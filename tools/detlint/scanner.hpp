@@ -1,0 +1,56 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace detlint {
+
+/// One rule of the determinism catalog (DESIGN.md §11). `id` is what an
+/// inline allow annotation names (see DESIGN.md for the grammar);
+/// `exempt_suffixes` lists path suffixes that are quarantined by construction
+/// (e.g. the one blessed RNG wrapper) and therefore never scanned for this
+/// rule.
+struct RuleInfo {
+  std::string id;
+  std::string summary;
+  std::vector<std::string> exempt_suffixes;
+};
+
+/// A single finding: `rule` is a catalog id, or one of the two meta rules
+/// ("bad-allow" for a malformed/unknown annotation, "unused-allow" for an
+/// annotation that suppressed nothing).
+struct Violation {
+  std::string path;
+  int line = 0;
+  std::string rule;
+  std::string message;
+};
+
+struct ScanOptions {
+  /// Report allow annotations that matched no violation. Keeping this on
+  /// stops stale exemptions from accumulating after the code they excused
+  /// is gone.
+  bool report_unused_allows = true;
+};
+
+/// The full rule catalog, in stable order.
+const std::vector<RuleInfo>& rule_catalog();
+
+/// True if `id` names a catalog rule.
+bool is_known_rule(const std::string& id);
+
+/// Scan one file's contents. `path` is used for reporting and for rule
+/// exemption matching only; nothing is read from disk.
+std::vector<Violation> scan_file(const std::string& path, const std::string& content,
+                                 const ScanOptions& options = {});
+
+/// Recursively scan every C++ source file (.cpp/.cc/.hpp/.h) under each
+/// root (a root may also be a single file). Returns findings sorted by
+/// path, then line. Throws std::runtime_error on unreadable paths.
+std::vector<Violation> scan_paths(const std::vector<std::string>& roots,
+                                  const ScanOptions& options = {});
+
+/// "path:line: [rule] message" — one line per violation.
+std::string format_violation(const Violation& v);
+
+}  // namespace detlint

@@ -219,9 +219,10 @@ int run_sweep(const CliOptions& cli) {
             << (cli.runner.threads == 0 ? std::string("hw") : std::to_string(cli.runner.threads))
             << " threads\n";
   exp::Runner runner(cli.runner);
+  // detlint:allow(wall-clock) sweep wall time is reported to stderr, not serialized
   const auto t0 = std::chrono::steady_clock::now();
   const auto cells = runner.run(cells_cfg);
-  const double wall =
+  const double wall =  // detlint:allow(wall-clock) same quarantine: stderr report only
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
   std::cerr << "[exp] sweep finished in " << TextTable::num(wall, 2) << " s\n";
 
