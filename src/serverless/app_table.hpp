@@ -1,0 +1,53 @@
+#pragma once
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "apps/app.hpp"
+#include "common/check.hpp"
+#include "serverless/policy.hpp"
+#include "serverless/types.hpp"
+
+namespace smiless::serverless {
+
+/// AppTable — the deployment registry shared by every subsystem. Single
+/// responsibility: own each deployed application's immutable spec and its
+/// policy, keyed by AppId in deployment order. All mutable serving state
+/// lives in the subsystem that owns the concern (Gateway windows,
+/// RequestTracker requests, FunctionScheduler queues, InstancePool
+/// instances, Ledger books).
+class AppTable {
+ public:
+  AppId add(apps::App spec, std::shared_ptr<Policy> policy) {
+    SMILESS_CHECK(policy != nullptr);
+    auto e = std::make_unique<Entry>();
+    e->spec = std::move(spec);
+    e->policy = std::move(policy);
+    entries_.push_back(std::move(e));
+    return static_cast<AppId>(entries_.size() - 1);
+  }
+
+  std::size_t size() const { return entries_.size(); }
+
+  const apps::App& spec(AppId app) const { return entry(app).spec; }
+  Policy& policy(AppId app) const { return *entry(app).policy; }
+
+  /// Number of DAG nodes (= functions) of one app.
+  std::size_t nodes(AppId app) const { return entry(app).spec.dag.size(); }
+
+ private:
+  struct Entry {
+    apps::App spec;
+    std::shared_ptr<Policy> policy;
+  };
+
+  const Entry& entry(AppId app) const {
+    SMILESS_CHECK(app >= 0 && static_cast<std::size_t>(app) < entries_.size());
+    return *entries_[app];
+  }
+
+  std::vector<std::unique_ptr<Entry>> entries_;
+};
+
+}  // namespace smiless::serverless

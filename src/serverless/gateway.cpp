@@ -1,0 +1,80 @@
+#include "serverless/gateway.hpp"
+
+#include "common/check.hpp"
+#include "serverless/app_table.hpp"
+#include "serverless/instance_pool.hpp"
+#include "serverless/ledger.hpp"
+#include "serverless/platform.hpp"
+#include "serverless/request_tracker.hpp"
+#include "sim/engine.hpp"
+
+namespace smiless::serverless {
+
+Gateway::Gateway(sim::Engine& engine, const PlatformOptions& options, const AppTable& table,
+                 Ledger& ledger)
+    : engine_(engine), options_(options), table_(table), ledger_(ledger) {}
+
+void Gateway::wire(Platform* platform, RequestTracker* tracker, InstancePool* pool) {
+  platform_ = platform;
+  tracker_ = tracker;
+  pool_ = pool;
+}
+
+Gateway::AppWindows& Gateway::windows(AppId app) {
+  SMILESS_CHECK(app >= 0 && static_cast<std::size_t>(app) < apps_.size());
+  return apps_[app];
+}
+
+const Gateway::AppWindows& Gateway::windows(AppId app) const {
+  SMILESS_CHECK(app >= 0 && static_cast<std::size_t>(app) < apps_.size());
+  return apps_[app];
+}
+
+void Gateway::add_app() {
+  apps_.emplace_back();
+  apps_.back().next_end = engine_.now() + options_.window_seconds;
+}
+
+void Gateway::start(AppId app) {
+  engine_.schedule_at(windows(app).next_end, [this, app] { window_tick(app); });
+}
+
+void Gateway::window_tick(AppId app) {
+  if (halted_) return;  // engine may still drain ticks after finalize()
+  auto& w = windows(app);
+  WindowStats stats;
+  stats.window_end = w.next_end;
+  stats.window_start = w.next_end - options_.window_seconds;
+  stats.arrivals = w.current_arrivals;
+  w.counts.push_back(w.current_arrivals);
+
+  WindowSample sample;
+  sample.window_start = stats.window_start;
+  sample.arrivals = w.current_arrivals;
+  const auto census = pool_->census(app);
+  sample.instances_total = census.total;
+  sample.instances_cpu = census.cpu;
+  sample.instances_gpu = census.gpu;
+  ledger_.books(app).windows.push_back(sample);
+
+  w.current_arrivals = 0;
+  w.next_end += options_.window_seconds;
+  table_.policy(app).on_window(app, table_.spec(app), *platform_, stats);
+  engine_.schedule_at(w.next_end, [this, app] { window_tick(app); });
+}
+
+void Gateway::submit(AppId app, SimTime arrival) {
+  SMILESS_CHECK(arrival >= engine_.now());
+  engine_.schedule_at(arrival, [this, app] {
+    ++ledger_.books(app).submitted;
+    ++windows(app).current_arrivals;
+    table_.policy(app).on_arrival(app, table_.spec(app), *platform_, engine_.now());
+    tracker_->admit(app);
+  });
+}
+
+const std::vector<int>& Gateway::arrival_counts(AppId app) const {
+  return windows(app).counts;
+}
+
+}  // namespace smiless::serverless

@@ -1,0 +1,75 @@
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "common/units.hpp"
+#include "serverless/types.hpp"
+
+namespace smiless::sim {
+class Engine;
+}  // namespace smiless::sim
+
+namespace smiless::serverless {
+
+class AppTable;
+class InstancePool;
+class Ledger;
+class Platform;
+class RequestTracker;
+struct PlatformOptions;
+
+/// Gateway — arrival intake and the per-app window ticker. Single
+/// responsibility: accept request submissions, count arrivals per counting
+/// window (§IV-B: "a specified time window, which is set to one second"),
+/// snapshot a WindowSample into the Ledger at each boundary, and deliver
+/// WindowStats to the policy. Publishes obs: RequestSubmitted is published
+/// downstream by the RequestTracker it admits into; the Gateway itself
+/// publishes nothing.
+class Gateway {
+ public:
+  Gateway(sim::Engine& engine, const PlatformOptions& options, const AppTable& table,
+          Ledger& ledger);
+
+  /// Late binding of the collaborators (the facade wires the cycle).
+  void wire(Platform* platform, RequestTracker* tracker, InstancePool* pool);
+
+  /// Open the books for a newly deployed app: the first window starts now.
+  void add_app();
+  /// Schedule the first window tick (called after Policy::on_deploy so the
+  /// deploy-time plan installation precedes any window event).
+  void start(AppId app);
+
+  /// Schedule a user request for `app` at absolute time `arrival`.
+  void submit(AppId app, SimTime arrival);
+
+  /// Stop ticking (finalize). Idempotent.
+  void halt() { halted_ = true; }
+
+  /// Per-window arrival counts observed so far (the series the Online
+  /// Predictor trains on).
+  const std::vector<int>& arrival_counts(AppId app) const;
+
+ private:
+  struct AppWindows {
+    std::vector<int> counts;  ///< finished windows
+    int current_arrivals = 0;
+    SimTime next_end = 0.0;
+  };
+
+  void window_tick(AppId app);
+  AppWindows& windows(AppId app);
+  const AppWindows& windows(AppId app) const;
+
+  sim::Engine& engine_;
+  const PlatformOptions& options_;
+  const AppTable& table_;
+  Ledger& ledger_;
+  Platform* platform_ = nullptr;
+  RequestTracker* tracker_ = nullptr;
+  InstancePool* pool_ = nullptr;
+  std::deque<AppWindows> apps_;  // by AppId; deque: stable arrival_counts refs
+  bool halted_ = false;
+};
+
+}  // namespace smiless::serverless

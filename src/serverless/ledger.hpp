@@ -1,0 +1,102 @@
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/units.hpp"
+#include "dag/dag.hpp"
+#include "perfmodel/hardware.hpp"
+#include "serverless/instance.hpp"
+#include "serverless/metrics.hpp"
+#include "serverless/types.hpp"
+
+namespace smiless::serverless {
+
+/// Ledger — the platform's books. Single responsibility: accounting. It owns
+/// the per-app AppMetrics/FunctionMetrics aggregates, the per-window samples,
+/// and per-instance billing (Eq. 3: lifetime x the configuration's unit
+/// price). Producers mutate counters through books()/fn(); nothing in here
+/// schedules events, draws randomness or feeds a decision back into the
+/// simulation.
+class Ledger {
+ public:
+  /// One billed instance lifetime: the interval [created, retired) at the
+  /// config's unit price. Every instance retirement — keep-alive reap,
+  /// config-drift reap, init failure, eviction, finalize — lands exactly one
+  /// record here, which is what makes the billing invariant assertable.
+  struct BillingRecord {
+    dag::NodeId node = -1;
+    InstanceId instance = -1;
+    perf::HwConfig config;
+    SimTime created = 0.0;
+    SimTime retired = 0.0;
+    Dollars cost = 0.0;
+
+    double seconds() const { return retired - created; }
+  };
+
+  explicit Ledger(perf::Pricing pricing) : pricing_(pricing) {}
+
+  void add_app(std::size_t nodes) {
+    metrics_.emplace_back();
+    metrics_.back().per_function.resize(nodes);
+    records_.emplace_back();
+  }
+
+  /// Mutable books for producers (counter increments, completion records,
+  /// traces, window samples).
+  AppMetrics& books(AppId app) {
+    SMILESS_CHECK(app >= 0 && static_cast<std::size_t>(app) < metrics_.size());
+    return metrics_[app];
+  }
+
+  FunctionMetrics& fn(AppId app, dag::NodeId node) {
+    auto& m = books(app);
+    SMILESS_CHECK(node >= 0 && static_cast<std::size_t>(node) < m.per_function.size());
+    return m.per_function[node];
+  }
+
+  const AppMetrics& metrics(AppId app) const {
+    SMILESS_CHECK(app >= 0 && static_cast<std::size_t>(app) < metrics_.size());
+    return metrics_[app];
+  }
+
+  /// Bill one instance up to `end` (Eq. 3) and append its BillingRecord.
+  /// Pure accounting: releasing the cluster grant stays with the caller.
+  void bill_instance(AppId app, dag::NodeId node, const Instance& inst, SimTime end) {
+    const double billed = end - inst.created > 0.0 ? end - inst.created : 0.0;
+    auto& fm = fn(app, node);
+    fm.billed_seconds += billed;
+    if (inst.config.backend == perf::Backend::Cpu)
+      fm.billed_cpu_seconds += billed * inst.config.cpu_cores;
+    else
+      fm.billed_gpu_seconds += billed * inst.config.gpu_pct;
+    const Dollars cost = billed * pricing_.per_second(inst.config);
+    fm.cost += cost;
+    records_[app].push_back(
+        {node, inst.id, inst.config, inst.created, inst.created + billed, cost});
+  }
+
+  /// Every billed instance interval of one app, in retirement order.
+  const std::vector<BillingRecord>& billing(AppId app) const {
+    SMILESS_CHECK(app >= 0 && static_cast<std::size_t>(app) < records_.size());
+    return records_[app];
+  }
+
+  /// Requests still pending (submitted - completed - failed).
+  long in_flight(AppId app) const {
+    const auto& m = metrics(app);
+    return m.submitted - static_cast<long>(m.completed.size()) - m.failed;
+  }
+
+  const perf::Pricing& pricing() const { return pricing_; }
+
+ private:
+  perf::Pricing pricing_;
+  // deques: references handed out stay valid as later apps deploy.
+  std::deque<AppMetrics> metrics_;                   // by AppId
+  std::deque<std::vector<BillingRecord>> records_;   // by AppId
+};
+
+}  // namespace smiless::serverless

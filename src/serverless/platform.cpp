@@ -1,688 +1,70 @@
 #include "serverless/platform.hpp"
 
-#include <algorithm>
-#include <cmath>
-#include <limits>
+#include <utility>
 
-#include "faults/fault_injector.hpp"
+#include "common/check.hpp"
 #include "obs/event_bus.hpp"
 
 namespace smiless::serverless {
 
-namespace {
-enum class InstState { Init, Idle, Busy };
 using obs::EventType;
-}  // namespace
-
-struct Platform::Instance {
-  int id = -1;
-  perf::HwConfig config;
-  cluster::Allocation alloc;
-  InstState st = InstState::Init;
-  SimTime created = 0.0;
-  SimTime ready_at = 0.0;       // when the cold init completes
-  SimTime kill_at = std::numeric_limits<SimTime>::infinity();  // armed reap time
-  bool served = false;          // has executed at least one batch
-  sim::EventId kill_timer = 0;  // pending keep-alive reap, 0 if none
-  sim::EventId pending = 0;     // in-flight init or batch-completion event
-  std::vector<int> inflight;    // requests executing in the current batch
-};
-
-struct Platform::FnState {
-  FunctionPlan plan;
-  std::vector<Instance> instances;
-  std::deque<int> queue;  // ready invocations, by request index
-  std::vector<sim::EventId> prewarms;
-  int next_instance_id = 0;
-  bool retry_scheduled = false;
-  int retry_attempts = 0;  // consecutive failed cold starts (alloc or init)
-};
-
-struct Platform::RequestState {
-  SimTime arrival = 0.0;
-  std::vector<int> pending_preds;  // per node
-  std::vector<SimTime> ready_at;   // when each node's invocation became ready
-  std::vector<NodeSpan> spans;     // recorded when tracing is enabled
-  std::vector<sim::EventId> timeout_ev;  // per node; non-empty iff timeout armed
-  int sinks_remaining = 0;
-  int retries = 0;  // times any invocation of this request was re-dispatched
-  bool done = false;
-  bool failed = false;  // terminal Failed state (timeout / retries exhausted)
-};
-
-struct Platform::AppState {
-  apps::App spec;
-  std::shared_ptr<Policy> policy;
-  std::vector<FnState> fns;
-  std::vector<RequestState> requests;
-  AppMetrics metrics;
-  std::vector<int> window_counts;  // finished windows
-  int current_window_arrivals = 0;
-  SimTime next_window_end = 0.0;
-};
 
 Platform::Platform(sim::Engine& engine, cluster::Cluster& cluster, perf::Pricing pricing,
                    Rng& rng, PlatformOptions options)
-    : engine_(engine), cluster_(cluster), pricing_(pricing), rng_(rng), options_(options) {
+    : engine_(engine),
+      cluster_(cluster),
+      rng_(rng),
+      options_(options),
+      ledger_(pricing),
+      gateway_(engine_, options_, table_, ledger_),
+      tracker_(engine_, options_, table_, ledger_),
+      scheduler_(engine_, rng_, options_, table_, ledger_),
+      pool_(engine_, cluster_, rng_, options_, table_, ledger_) {
   SMILESS_CHECK(options_.window_seconds > 0.0);
   SMILESS_CHECK(options_.retry_delay > 0.0);
   SMILESS_CHECK(options_.retry_backoff >= 1.0);
   SMILESS_CHECK(options_.retry_max_delay >= options_.retry_delay);
   SMILESS_CHECK(options_.request_timeout > 0.0);
+  gateway_.wire(this, &tracker_, &pool_);
+  tracker_.wire(&scheduler_);
+  scheduler_.wire(&tracker_, &pool_);
+  pool_.wire(this, &scheduler_, &tracker_);
   cluster_listener_ = cluster_.add_listener([this](int machine, bool up) {
     if (options_.bus != nullptr)
       options_.bus->publish({.type = up ? EventType::MachineUp : EventType::MachineDown,
                              .t = engine_.now(),
                              .machine = machine});
-    if (!up) on_machine_down(machine);
+    if (!up) pool_.on_machine_down(machine);
   });
 }
 
 Platform::~Platform() { cluster_.remove_listener(cluster_listener_); }
 
-Platform::AppState& Platform::state(AppId app) {
-  SMILESS_CHECK(app >= 0 && static_cast<std::size_t>(app) < apps_.size());
-  return *apps_[app];
-}
-
-const Platform::AppState& Platform::state(AppId app) const {
-  SMILESS_CHECK(app >= 0 && static_cast<std::size_t>(app) < apps_.size());
-  return *apps_[app];
-}
-
-Platform::FnState& Platform::fn_state(AppId app, dag::NodeId node) {
-  auto& a = state(app);
-  SMILESS_CHECK(node >= 0 && static_cast<std::size_t>(node) < a.fns.size());
-  return a.fns[node];
-}
-
 AppId Platform::deploy(apps::App app, std::shared_ptr<Policy> policy) {
   SMILESS_CHECK(policy != nullptr);
   SMILESS_CHECK(app.dag.size() == app.truth.size());
-  auto st = std::make_unique<AppState>();
-  st->spec = std::move(app);
-  st->policy = std::move(policy);
-  st->fns.resize(st->spec.dag.size());
-  st->metrics.per_function.resize(st->spec.dag.size());
-  st->next_window_end = engine_.now() + options_.window_seconds;
-  apps_.push_back(std::move(st));
-  const AppId id = static_cast<AppId>(apps_.size() - 1);
+  const AppId id = table_.add(std::move(app), std::move(policy));
+  const std::size_t nodes = table_.nodes(id);
+  ledger_.add_app(nodes);
+  gateway_.add_app();
+  tracker_.add_app();
+  scheduler_.add_app(nodes);
+  pool_.add_app(nodes);
 
-  auto& a = state(id);
-  a.policy->on_deploy(id, a.spec, *this);
-  engine_.schedule_at(a.next_window_end, [this, id] { window_tick(id); });
+  table_.policy(id).on_deploy(id, table_.spec(id), *this);
+  gateway_.start(id);  // after on_deploy: deploy-time plans precede any tick
   return id;
 }
 
-void Platform::window_tick(AppId app) {
-  if (finalized_) return;  // engine may still drain ticks after finalize()
-  auto& a = state(app);
-  WindowStats stats;
-  stats.window_end = a.next_window_end;
-  stats.window_start = a.next_window_end - options_.window_seconds;
-  stats.arrivals = a.current_window_arrivals;
-  a.window_counts.push_back(a.current_window_arrivals);
-
-  WindowSample sample;
-  sample.window_start = stats.window_start;
-  sample.arrivals = a.current_window_arrivals;
-  for (const auto& fn : a.fns) {
-    for (const auto& inst : fn.instances) {
-      ++sample.instances_total;
-      if (inst.config.backend == perf::Backend::Cpu)
-        ++sample.instances_cpu;
-      else
-        ++sample.instances_gpu;
-    }
-  }
-  a.metrics.windows.push_back(sample);
-
-  a.current_window_arrivals = 0;
-  a.next_window_end += options_.window_seconds;
-  a.policy->on_window(app, a.spec, *this, stats);
-  engine_.schedule_at(a.next_window_end, [this, app] { window_tick(app); });
-}
-
-void Platform::submit_request(AppId app, SimTime arrival) {
-  SMILESS_CHECK(arrival >= engine_.now());
-  engine_.schedule_at(arrival, [this, app] {
-    auto& a = state(app);
-    ++a.metrics.submitted;
-    ++a.current_window_arrivals;
-    a.policy->on_arrival(app, a.spec, *this, engine_.now());
-
-    RequestState req;
-    req.arrival = engine_.now();
-    req.pending_preds.resize(a.spec.dag.size());
-    if (options_.record_traces) req.ready_at.assign(a.spec.dag.size(), 0.0);
-    for (std::size_t n = 0; n < a.spec.dag.size(); ++n)
-      req.pending_preds[n] = static_cast<int>(a.spec.dag.in_degree(static_cast<dag::NodeId>(n)));
-    req.sinks_remaining = static_cast<int>(a.spec.dag.sinks().size());
-    a.requests.push_back(std::move(req));
-    const int ridx = static_cast<int>(a.requests.size() - 1);
-    if (options_.bus != nullptr)
-      options_.bus->publish({.type = EventType::RequestSubmitted,
-                             .t = engine_.now(),
-                             .app = app,
-                             .request = ridx});
-
-    for (dag::NodeId src : a.spec.dag.sources()) enqueue_invocation(app, src, ridx);
-  });
-}
-
-void Platform::enqueue_invocation(AppId app, dag::NodeId node, int request) {
-  auto& a = state(app);
-  auto& f = fn_state(app, node);
-  if (options_.record_traces) a.requests[request].ready_at[node] = engine_.now();
-  if (options_.bus != nullptr)
-    options_.bus->publish({.type = EventType::InvocationReady,
-                           .t = engine_.now(),
-                           .app = app,
-                           .node = node,
-                           .request = request});
-  arm_timeout(app, node, request);
-  f.queue.push_back(request);
-  dispatch(app, node);
-}
-
-void Platform::arm_timeout(AppId app, dag::NodeId node, int request) {
-  if (!std::isfinite(options_.request_timeout)) return;
-  auto& a = state(app);
-  auto& req = a.requests[request];
-  if (req.timeout_ev.empty()) req.timeout_ev.assign(a.spec.dag.size(), 0);
-  if (req.timeout_ev[node] != 0) return;  // deadline set at first readiness
-  req.timeout_ev[node] =
-      engine_.schedule_after(options_.request_timeout, [this, app, node, request] {
-        if (finalized_) return;
-        auto& st = state(app);
-        auto& r = st.requests[request];
-        r.timeout_ev[node] = 0;
-        if (r.done || r.failed) return;
-        ++st.metrics.per_function[node].timeouts;
-        if (options_.bus != nullptr)
-          options_.bus->publish({.type = EventType::TimeoutFired,
-                                 .t = engine_.now(),
-                                 .app = app,
-                                 .node = node,
-                                 .request = request});
-        fail_request(app, request);
-      });
-}
-
-void Platform::fail_request(AppId app, int request) {
-  auto& a = state(app);
-  auto& req = a.requests[request];
-  if (req.done || req.failed) return;
-  req.failed = true;
-  ++a.metrics.failed;
-  if (options_.bus != nullptr)
-    options_.bus->publish({.type = EventType::RequestFailed,
-                           .t = engine_.now(),
-                           .t2 = req.arrival,
-                           .app = app,
-                           .request = request});
-  for (auto& ev : req.timeout_ev) {
-    if (ev != 0) {
-      engine_.cancel(ev);
-      ev = 0;
-    }
-  }
-  // Strip every queued (not yet executing) invocation of this request; a
-  // batch already in flight finishes and is ignored by complete_node.
-  for (auto& f : a.fns) {
-    for (auto it = f.queue.begin(); it != f.queue.end();)
-      it = (*it == request) ? f.queue.erase(it) : std::next(it);
-  }
-}
-
-void Platform::fail_queued(AppId app, dag::NodeId node) {
-  auto& f = fn_state(app, node);
-  while (!f.queue.empty()) {
-    const int r = f.queue.front();
-    fail_request(app, r);
-    if (!f.queue.empty() && f.queue.front() == r) f.queue.pop_front();  // defensive
-  }
-}
-
-double Platform::backoff_delay(int attempt) const {
-  double d = options_.retry_delay;
-  for (int i = 1; i < attempt && d < options_.retry_max_delay; ++i) d *= options_.retry_backoff;
-  return std::min(d, options_.retry_max_delay);
-}
-
-void Platform::dispatch(AppId app, dag::NodeId node) {
-  if (finalized_) return;
-  auto& a = state(app);
-  auto& f = fn_state(app, node);
-
-  while (!f.queue.empty()) {
-    // Prefer an idle instance whose config matches the current plan; fall
-    // back to any warm idle instance (it is warm — use it).
-    Instance* chosen = nullptr;
-    for (auto& inst : f.instances) {
-      if (inst.st != InstState::Idle) continue;
-      if (inst.config == f.plan.config) {
-        chosen = &inst;
-        break;
-      }
-      if (chosen == nullptr) chosen = &inst;
-    }
-    if (chosen == nullptr) break;
-
-    // Claim the instance and form a batch.
-    if (chosen->kill_timer != 0) {
-      engine_.cancel(chosen->kill_timer);
-      chosen->kill_timer = 0;
-    }
-    chosen->kill_at = std::numeric_limits<SimTime>::infinity();
-    chosen->st = InstState::Busy;
-    chosen->served = true;
-    const int batch_n =
-        std::min<int>(std::max(1, f.plan.max_batch), static_cast<int>(f.queue.size()));
-    std::vector<int> batch;
-    batch.reserve(batch_n);
-    for (int i = 0; i < batch_n; ++i) {
-      batch.push_back(f.queue.front());
-      f.queue.pop_front();
-    }
-
-    auto& fm = a.metrics.per_function[node];
-    fm.invocations += batch_n;
-    fm.batches += 1;
-
-    double latency = a.spec.perf_of(node).sample_inference_time(
-        chosen->config, batch_n, options_.inference_noise, rng_);
-    if (options_.faults != nullptr) latency = options_.faults->inflate_inference(latency);
-    const int inst_id = chosen->id;
-    const SimTime exec_start = engine_.now();
-    if (options_.bus != nullptr)
-      options_.bus->publish({.type = EventType::BatchStart,
-                             .t = exec_start,
-                             .app = app,
-                             .node = node,
-                             .request = batch.front(),
-                             .instance = inst_id,
-                             .machine = chosen->alloc.machine,
-                             .count = batch_n});
-    chosen->inflight = batch;
-    chosen->pending = engine_.schedule_after(
-        latency, [this, app, node, inst_id, exec_start, batch = std::move(batch)]() mutable {
-          if (options_.record_traces) {
-            auto& st = state(app);
-            for (int r : batch) {
-              NodeSpan span;
-              span.node = node;
-              span.ready = st.requests[r].ready_at[node];
-              span.start = exec_start;
-              span.end = engine_.now();
-              span.batch = static_cast<int>(batch.size());
-              span.cold = span.wait() > 1e-6;
-              span.attempt = st.requests[r].retries;
-              st.requests[r].spans.push_back(span);
-            }
-          }
-          if (options_.bus != nullptr) {
-            options_.bus->publish({.type = EventType::BatchEnd,
-                                   .t = engine_.now(),
-                                   .t2 = exec_start,
-                                   .app = app,
-                                   .node = node,
-                                   .request = batch.front(),
-                                   .instance = inst_id,
-                                   .count = static_cast<int>(batch.size())});
-            for (int r : batch)
-              options_.bus->publish({.type = EventType::InvocationDone,
-                                     .t = engine_.now(),
-                                     .t2 = exec_start,
-                                     .app = app,
-                                     .node = node,
-                                     .request = r,
-                                     .instance = inst_id,
-                                     .count = static_cast<int>(batch.size())});
-          }
-          on_batch_done(app, node, inst_id, std::move(batch));
-        });
-  }
-
-  if (f.queue.empty()) return;
-
-  // Queue still non-empty: cold-start on demand iff the function has no
-  // instance at all (scale-out beyond that is the policy's decision). A
-  // failed allocation enters the bounded exponential-backoff retry loop;
-  // when the budget is exhausted, everything queued here fails.
-  if (f.instances.empty()) {
-    if (create_instance(app, node, f.plan.config) != nullptr) return;
-    if (f.retry_scheduled) return;
-    if (options_.max_retries >= 0 && f.retry_attempts >= options_.max_retries) {
-      f.retry_attempts = 0;
-      fail_queued(app, node);
-      return;
-    }
-    ++f.retry_attempts;
-    ++a.metrics.per_function[node].retries;
-    f.retry_scheduled = true;
-    if (options_.bus != nullptr)
-      options_.bus->publish({.type = EventType::RetryScheduled,
-                             .t = engine_.now(),
-                             .app = app,
-                             .node = node,
-                             .value = backoff_delay(f.retry_attempts),
-                             .count = f.retry_attempts});
-    engine_.schedule_after(backoff_delay(f.retry_attempts), [this, app, node] {
-      fn_state(app, node).retry_scheduled = false;
-      dispatch(app, node);
-    });
-  }
-}
-
-Platform::Instance* Platform::create_instance(AppId app, dag::NodeId node,
-                                              const perf::HwConfig& config) {
-  auto& a = state(app);
-  auto& f = fn_state(app, node);
-  auto alloc = cluster_.allocate(config);
-  if (!alloc) return nullptr;
-
-  Instance inst;
-  inst.id = f.next_instance_id++;
-  inst.config = config;
-  inst.alloc = *alloc;
-  inst.st = InstState::Init;
-  inst.created = engine_.now();
-  f.instances.push_back(inst);
-  ++a.metrics.per_function[node].initializations;
-
-  const double init = a.spec.perf_of(node).sample_init_time(config, rng_);
-  f.instances.back().ready_at = engine_.now() + init;
-  const int inst_id = inst.id;
-  if (options_.bus != nullptr)
-    options_.bus->publish({.type = EventType::InstanceCreated,
-                           .t = engine_.now(),
-                           .app = app,
-                           .node = node,
-                           .instance = inst_id,
-                           .machine = inst.alloc.machine,
-                           .value = init});
-  const bool init_fails =
-      options_.faults != nullptr && options_.faults->sample_init_failure();
-  f.instances.back().pending =
-      engine_.schedule_after(init, [this, app, node, inst_id, init_fails] {
-        if (init_fails)
-          on_init_failed(app, node, inst_id);
-        else
-          on_init_done(app, node, inst_id);
-      });
-  return &f.instances.back();
-}
-
-void Platform::on_init_done(AppId app, dag::NodeId node, int instance_id) {
-  auto& f = fn_state(app, node);
-  auto it = std::find_if(f.instances.begin(), f.instances.end(),
-                         [&](const Instance& i) { return i.id == instance_id; });
-  if (it == f.instances.end()) return;  // terminated during init (finalize)
-  it->pending = 0;
-  it->st = InstState::Idle;
-  f.retry_attempts = 0;  // a live instance ends the cold-start failure streak
-  if (options_.bus != nullptr)
-    options_.bus->publish({.type = EventType::InstanceReady,
-                           .t = engine_.now(),
-                           .t2 = it->created,
-                           .app = app,
-                           .node = node,
-                           .instance = instance_id,
-                           .machine = it->alloc.machine});
-  on_instance_idle(app, node, instance_id);
-}
-
-void Platform::on_init_failed(AppId app, dag::NodeId node, int instance_id) {
-  auto& a = state(app);
-  auto& f = fn_state(app, node);
-  auto it = std::find_if(f.instances.begin(), f.instances.end(),
-                         [&](const Instance& i) { return i.id == instance_id; });
-  if (it == f.instances.end()) return;  // evicted or finalized meanwhile
-  it->pending = 0;
-  ++a.metrics.per_function[node].init_failures;
-  if (options_.bus != nullptr)
-    options_.bus->publish({.type = EventType::InstanceInitFailed,
-                           .t = engine_.now(),
-                           .t2 = it->created,
-                           .app = app,
-                           .node = node,
-                           .instance = instance_id,
-                           .machine = it->alloc.machine});
-  // The failed attempt is billed (the provider ran the container) and its
-  // grant released.
-  retire_accounting(a, node, *it);
-  f.instances.erase(it);
-  ++f.retry_attempts;
-  a.policy->on_instance_failed(app, a.spec, *this, node, InstanceFailure::InitFailure);
-  if (f.queue.empty()) return;
-  // The counter includes the just-failed attempt, so `>` grants the same
-  // budget as the allocation path: the initial attempt plus max_retries
-  // retries before giving up.
-  if (options_.max_retries >= 0 && f.retry_attempts > options_.max_retries) {
-    f.retry_attempts = 0;
-    fail_queued(app, node);
-    return;
-  }
-  ++a.metrics.per_function[node].retries;
-  if (options_.bus != nullptr)
-    options_.bus->publish({.type = EventType::RetryScheduled,
-                           .t = engine_.now(),
-                           .app = app,
-                           .node = node,
-                           .count = f.retry_attempts});
-  dispatch(app, node);
-}
-
-void Platform::on_batch_done(AppId app, dag::NodeId node, int instance_id,
-                             std::vector<int> requests) {
-  auto& f = fn_state(app, node);
-  auto it = std::find_if(f.instances.begin(), f.instances.end(),
-                         [&](const Instance& i) { return i.id == instance_id; });
-  SMILESS_CHECK_MSG(it != f.instances.end(), "busy instance vanished");
-  it->pending = 0;
-  it->inflight.clear();
-  it->st = InstState::Idle;
-
-  for (int r : requests) complete_node(app, node, r);
-  on_instance_idle(app, node, instance_id);
-}
-
-void Platform::on_instance_idle(AppId app, dag::NodeId node, int instance_id) {
-  // Serve any queued work first; the instance may go Busy again.
-  dispatch(app, node);
-
-  auto& f = fn_state(app, node);
-  auto it = std::find_if(f.instances.begin(), f.instances.end(),
-                         [&](const Instance& i) { return i.id == instance_id; });
-  if (it == f.instances.end() || it->st != InstState::Idle) return;
-
-  // Config drift: reap stale-config instances as soon as they are idle,
-  // unless they are needed to hold the min_instances floor.
-  const int total = static_cast<int>(f.instances.size());
-  const bool above_floor = total > f.plan.min_instances;
-  if (!(it->config == f.plan.config) && above_floor) {
-    terminate_instance(app, node, instance_id);
-    return;
-  }
-
-  // A never-used pre-warmed instance gets the grace window instead of the
-  // plain keep-alive: it exists precisely to absorb the next invocation.
-  const double effective_keepalive =
-      it->served ? f.plan.keepalive : std::max(f.plan.keepalive, f.plan.prewarm_grace);
-  if (effective_keepalive <= 0.0 && above_floor) {
-    terminate_instance(app, node, instance_id);
-    return;
-  }
-  if (std::isfinite(effective_keepalive) && it->kill_timer == 0) {
-    it->kill_at = engine_.now() + effective_keepalive;
-    it->kill_timer = engine_.schedule_after(effective_keepalive, [this, app, node, instance_id] {
-      auto& fs = fn_state(app, node);
-      auto inst = std::find_if(fs.instances.begin(), fs.instances.end(),
-                               [&](const Instance& i) { return i.id == instance_id; });
-      if (inst == fs.instances.end() || inst->st != InstState::Idle) return;
-      inst->kill_timer = 0;
-      if (static_cast<int>(fs.instances.size()) > fs.plan.min_instances)
-        terminate_instance(app, node, instance_id);
-    });
-  }
-}
-
-void Platform::retire_accounting(AppState& a, dag::NodeId node, const Instance& inst) {
-  const double billed = std::max(0.0, engine_.now() - inst.created);
-  auto& fm = a.metrics.per_function[node];
-  fm.billed_seconds += billed;
-  if (inst.config.backend == perf::Backend::Cpu)
-    fm.billed_cpu_seconds += billed * inst.config.cpu_cores;
-  else
-    fm.billed_gpu_seconds += billed * inst.config.gpu_pct;
-  fm.cost += billed * pricing_.per_second(inst.config);
-  cluster_.release(inst.alloc);
-}
-
-void Platform::terminate_instance(AppId app, dag::NodeId node, int instance_id) {
-  auto& a = state(app);
-  auto& f = fn_state(app, node);
-  auto it = std::find_if(f.instances.begin(), f.instances.end(),
-                         [&](const Instance& i) { return i.id == instance_id; });
-  SMILESS_CHECK(it != f.instances.end());
-  SMILESS_CHECK_MSG(it->st != InstState::Busy, "cannot terminate a busy instance");
-
-  if (it->kill_timer != 0) engine_.cancel(it->kill_timer);
-  if (it->pending != 0) engine_.cancel(it->pending);
-  if (options_.bus != nullptr)
-    options_.bus->publish({.type = EventType::InstanceTerminated,
-                           .t = engine_.now(),
-                           .t2 = it->created,
-                           .app = app,
-                           .node = node,
-                           .instance = instance_id,
-                           .machine = it->alloc.machine});
-  retire_accounting(a, node, *it);
-  f.instances.erase(it);
-}
-
-void Platform::on_machine_down(int machine) {
-  if (finalized_) return;
-  for (std::size_t ai = 0; ai < apps_.size(); ++ai) {
-    const AppId app = static_cast<AppId>(ai);
-    auto& a = *apps_[ai];
-    for (std::size_t n = 0; n < a.fns.size(); ++n) {
-      const auto node = static_cast<dag::NodeId>(n);
-      auto& f = a.fns[n];
-      auto& fm = a.metrics.per_function[n];
-      bool evicted = false;
-      for (std::size_t i = 0; i < f.instances.size();) {
-        Instance& inst = f.instances[i];
-        if (inst.alloc.machine != machine) {
-          ++i;
-          continue;
-        }
-        evicted = true;
-        if (inst.kill_timer != 0) engine_.cancel(inst.kill_timer);
-        if (inst.pending != 0) engine_.cancel(inst.pending);
-        ++fm.evictions;
-        if (options_.bus != nullptr)
-          options_.bus->publish({.type = EventType::InstanceEvicted,
-                                 .t = engine_.now(),
-                                 .t2 = inst.created,
-                                 .app = app,
-                                 .node = node,
-                                 .instance = inst.id,
-                                 .machine = machine});
-        // Re-dispatch in-flight work at the head of the queue, preserving
-        // the original order; each re-dispatch spends one retry.
-        for (auto rit = inst.inflight.rbegin(); rit != inst.inflight.rend(); ++rit) {
-          auto& req = a.requests[*rit];
-          if (req.done || req.failed) continue;
-          ++req.retries;
-          ++fm.retries;
-          if (options_.max_retries >= 0 && req.retries > options_.max_retries) {
-            fail_request(app, *rit);
-            continue;
-          }
-          f.queue.push_front(*rit);
-        }
-        retire_accounting(a, node, inst);
-        f.instances.erase(f.instances.begin() + static_cast<long>(i));
-      }
-      if (evicted) {
-        a.policy->on_instance_failed(app, a.spec, *this, node, InstanceFailure::Eviction);
-        dispatch(app, node);
-      }
-    }
-  }
-}
-
-void Platform::complete_node(AppId app, dag::NodeId node, int request) {
-  auto& a = state(app);
-  auto& req = a.requests[request];
-  if (req.failed) return;  // late completion of a batch holding a failed request
-  SMILESS_CHECK(!req.done);
-  if (!req.timeout_ev.empty() && req.timeout_ev[node] != 0) {
-    engine_.cancel(req.timeout_ev[node]);
-    req.timeout_ev[node] = 0;
-  }
-
-  for (dag::NodeId s : a.spec.dag.successors(node)) {
-    if (--req.pending_preds[s] == 0) enqueue_invocation(app, s, request);
-  }
-  if (a.spec.dag.out_degree(node) == 0) {
-    if (--req.sinks_remaining == 0) {
-      req.done = true;
-      a.metrics.completed.push_back({req.arrival, engine_.now()});
-      if (options_.bus != nullptr)
-        options_.bus->publish({.type = EventType::RequestCompleted,
-                               .t = engine_.now(),
-                               .t2 = req.arrival,
-                               .app = app,
-                               .request = request});
-      if (options_.record_traces)
-        a.metrics.traces.push_back({req.arrival, engine_.now(), std::move(req.spans)});
-    }
-  }
-}
+void Platform::submit_request(AppId app, SimTime arrival) { gateway_.submit(app, arrival); }
 
 void Platform::finalize(SimTime end) {
   if (finalized_) return;
   finalized_ = true;
-  for (std::size_t ai = 0; ai < apps_.size(); ++ai) {
-    auto& a = *apps_[ai];
-    for (std::size_t n = 0; n < a.fns.size(); ++n) {
-      auto& f = a.fns[n];
-      auto& fm = a.metrics.per_function[n];
-      for (auto& inst : f.instances) {
-        if (inst.kill_timer != 0) engine_.cancel(inst.kill_timer);
-        if (inst.pending != 0) engine_.cancel(inst.pending);
-        if (options_.bus != nullptr)
-          options_.bus->publish({.type = EventType::InstanceTerminated,
-                                 .t = end,
-                                 .t2 = inst.created,
-                                 .app = static_cast<AppId>(ai),
-                                 .node = static_cast<dag::NodeId>(n),
-                                 .instance = inst.id,
-                                 .machine = inst.alloc.machine});
-        const double billed = std::max(0.0, end - inst.created);
-        fm.billed_seconds += billed;
-        if (inst.config.backend == perf::Backend::Cpu)
-          fm.billed_cpu_seconds += billed * inst.config.cpu_cores;
-        else
-          fm.billed_gpu_seconds += billed * inst.config.gpu_pct;
-        fm.cost += billed * pricing_.per_second(inst.config);
-        cluster_.release(inst.alloc);
-      }
-      f.instances.clear();
-      for (sim::EventId ev : f.prewarms) engine_.cancel(ev);
-      f.prewarms.clear();
-    }
-    // Outstanding per-invocation timeout timers die with the run.
-    for (auto& req : a.requests)
-      for (auto& ev : req.timeout_ev)
-        if (ev != 0) {
-          engine_.cancel(ev);
-          ev = 0;
-        }
-  }
+  gateway_.halt();
+  scheduler_.halt();
+  pool_.finalize(end);
+  tracker_.finalize();
 }
 
 // --- control surface --------------------------------------------------------
@@ -690,143 +72,57 @@ void Platform::finalize(SimTime end) {
 void Platform::set_plan(AppId app, dag::NodeId node, FunctionPlan plan) {
   SMILESS_CHECK(plan.max_batch >= 1);
   SMILESS_CHECK(plan.min_instances >= 0);
-  auto& f = fn_state(app, node);
-  f.plan = plan;
-  // Reap idle instances whose configuration no longer matches (above the
-  // floor); busy ones are reaped when they next go idle.
-  std::vector<int> stale;
-  for (const auto& inst : f.instances)
-    if (inst.st == InstState::Idle && !(inst.config == plan.config)) stale.push_back(inst.id);
-  for (int id : stale) {
-    if (static_cast<int>(f.instances.size()) <= plan.min_instances) break;
-    terminate_instance(app, node, id);
-  }
-  // Raise to the floor immediately (burst scale-out, §V-D).
-  int total = static_cast<int>(f.instances.size());
-  while (total < plan.min_instances) {
-    if (create_instance(app, node, plan.config) == nullptr) break;
-    ++total;
-  }
-  dispatch(app, node);
+  scheduler_.set_plan(app, node, plan);
+  pool_.apply_plan(app, node, plan);
+  scheduler_.dispatch(app, node);
 }
 
 const FunctionPlan& Platform::plan(AppId app, dag::NodeId node) const {
-  const auto& a = state(app);
-  SMILESS_CHECK(node >= 0 && static_cast<std::size_t>(node) < a.fns.size());
-  return a.fns[node].plan;
+  return scheduler_.plan(app, node);
 }
 
 sim::EventId Platform::prewarm_at(AppId app, dag::NodeId node, SimTime init_start) {
-  auto& f = fn_state(app, node);
-  const SimTime at = std::max(init_start, engine_.now());
-  const sim::EventId id = engine_.schedule_at(at, [this, app, node] {
-    auto& a = state(app);
-    auto& fs = fn_state(app, node);
-    // Skip only if an existing instance is expected to still be warm when
-    // the pre-warmed one would become ready — otherwise a short-lived
-    // instance from the previous request would silently cancel the
-    // pre-warm and then die before the arrival it was meant to serve.
-    const double mu_init = a.spec.perf_of(node).init_time(fs.plan.config, 0.0);
-    const SimTime need = engine_.now() + mu_init + 0.5;
-    for (const auto& inst : fs.instances) {
-      SimTime covers;
-      switch (inst.st) {
-        case InstState::Init:
-          covers = inst.ready_at + fs.plan.keepalive;
-          break;
-        case InstState::Idle:
-          covers = inst.kill_at;
-          break;
-        case InstState::Busy:
-        default:
-          covers = engine_.now() + fs.plan.keepalive;
-          break;
-      }
-      if (covers > need) {
-        if (options_.bus != nullptr)
-          options_.bus->publish({.type = EventType::PrewarmSkipped,
-                                 .t = engine_.now(),
-                                 .app = app,
-                                 .node = node});
-        return;
-      }
-    }
-    if (options_.bus != nullptr)
-      options_.bus->publish({.type = EventType::PrewarmFired,
-                             .t = engine_.now(),
-                             .app = app,
-                             .node = node});
-    create_instance(app, node, fs.plan.config);
-  });
-  f.prewarms.push_back(id);
-  // Bound growth of the handle list.
-  if (f.prewarms.size() > 64)
-    f.prewarms.erase(f.prewarms.begin(), f.prewarms.begin() + 32);
-  return id;
+  return pool_.prewarm_at(app, node, init_start);
 }
 
-void Platform::cancel_prewarm(sim::EventId id) { engine_.cancel(id); }
+void Platform::cancel_prewarm(sim::EventId id) { pool_.cancel_prewarm(id); }
 
-void Platform::clear_prewarms(AppId app, dag::NodeId node) {
-  auto& f = fn_state(app, node);
-  for (sim::EventId ev : f.prewarms) engine_.cancel(ev);
-  f.prewarms.clear();
-}
+void Platform::clear_prewarms(AppId app, dag::NodeId node) { pool_.clear_prewarms(app, node); }
 
-bool Platform::spawn_instance(AppId app, dag::NodeId node) {
-  auto& f = fn_state(app, node);
-  return create_instance(app, node, f.plan.config) != nullptr;
-}
+bool Platform::spawn_instance(AppId app, dag::NodeId node) { return pool_.spawn(app, node); }
 
 // --- introspection -----------------------------------------------------------
 
 SimTime Platform::now() const { return engine_.now(); }
 
-const apps::App& Platform::app_spec(AppId app) const { return state(app).spec; }
+const apps::App& Platform::app_spec(AppId app) const { return table_.spec(app); }
 
 int Platform::instances_total(AppId app, dag::NodeId node) const {
-  const auto& a = state(app);
-  return static_cast<int>(a.fns[node].instances.size());
+  return pool_.count_total(app, node);
 }
 
 int Platform::instances_idle(AppId app, dag::NodeId node) const {
-  const auto& a = state(app);
-  int n = 0;
-  for (const auto& i : a.fns[node].instances)
-    if (i.st == InstState::Idle) ++n;
-  return n;
+  return pool_.count_state(app, node, InstanceState::Idle);
 }
 
 int Platform::instances_initializing(AppId app, dag::NodeId node) const {
-  const auto& a = state(app);
-  int n = 0;
-  for (const auto& i : a.fns[node].instances)
-    if (i.st == InstState::Init) ++n;
-  return n;
+  return pool_.count_state(app, node, InstanceState::Init);
 }
 
 int Platform::instances_busy(AppId app, dag::NodeId node) const {
-  const auto& a = state(app);
-  int n = 0;
-  for (const auto& i : a.fns[node].instances)
-    if (i.st == InstState::Busy) ++n;
-  return n;
+  return pool_.count_state(app, node, InstanceState::Busy);
 }
 
 std::size_t Platform::queue_length(AppId app, dag::NodeId node) const {
-  return state(app).fns[node].queue.size();
+  return scheduler_.queue_length(app, node);
 }
 
-const AppMetrics& Platform::metrics(AppId app) const { return state(app).metrics; }
+const AppMetrics& Platform::metrics(AppId app) const { return ledger_.metrics(app); }
 
-long Platform::in_flight(AppId app) const {
-  const auto& a = state(app);
-  return a.metrics.submitted - static_cast<long>(a.metrics.completed.size()) -
-         a.metrics.failed;
-}
+long Platform::in_flight(AppId app) const { return ledger_.in_flight(app); }
 
 const std::vector<int>& Platform::arrival_counts(AppId app) const {
-  return state(app).window_counts;
+  return gateway_.arrival_counts(app);
 }
 
 }  // namespace smiless::serverless

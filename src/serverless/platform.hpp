@@ -1,9 +1,7 @@
 #pragma once
 
-#include <deque>
 #include <limits>
 #include <memory>
-#include <optional>
 #include <vector>
 
 #include "apps/app.hpp"
@@ -11,9 +9,16 @@
 #include "common/rng.hpp"
 #include "common/units.hpp"
 #include "perfmodel/hardware.hpp"
+#include "serverless/app_table.hpp"
+#include "serverless/function_scheduler.hpp"
+#include "serverless/gateway.hpp"
+#include "serverless/instance_pool.hpp"
+#include "serverless/ledger.hpp"
 #include "serverless/metrics.hpp"
 #include "serverless/plan.hpp"
 #include "serverless/policy.hpp"
+#include "serverless/request_tracker.hpp"
+#include "serverless/types.hpp"
 #include "sim/engine.hpp"
 
 namespace smiless::faults {
@@ -66,10 +71,20 @@ struct PlatformOptions {
 };
 
 /// The serverless serving platform (OpenFaaS substitute) running inside the
-/// discrete-event engine. It owns deployed applications, executes request
-/// DAGs on container instances placed on the Cluster, enforces the
-/// FunctionPlans installed by a Policy, and keeps the books (cost, E2E
-/// latency, initializations, per-window samples).
+/// discrete-event engine. Platform is a thin facade over five narrowly
+/// scoped subsystems (see DESIGN.md §12 for the architecture map):
+///
+///  - Gateway          — arrival intake and the per-app window ticker
+///  - RequestTracker   — per-request DAG progress and terminal transitions
+///  - FunctionScheduler — per-function queues, batching and dispatch
+///                        (instance selection behind the Router seam)
+///  - InstancePool     — container lifecycle: cold starts, keep-alive
+///                        reaping, pre-warm timers, eviction, retry ladder
+///  - Ledger           — billing (Eq. 3), metrics books, window samples
+///
+/// The facade owns them all, wires their call cycle, validates inputs, and
+/// preserves the original public control surface so policies and drivers are
+/// untouched by the decomposition.
 ///
 /// Execution semantics:
 ///  - A request triggers its DAG's source functions; a function becomes
@@ -152,47 +167,20 @@ class Platform {
   /// the Online Predictor trains on).
   const std::vector<int>& arrival_counts(AppId app) const;
 
+  /// The platform's books: per-instance BillingRecords and metrics.
+  const Ledger& ledger() const { return ledger_; }
+
  private:
-  struct Instance;
-  struct FnState;
-  struct RequestState;
-  struct AppState;
-
-  AppState& state(AppId app);
-  const AppState& state(AppId app) const;
-  FnState& fn_state(AppId app, dag::NodeId node);
-
-  void enqueue_invocation(AppId app, dag::NodeId node, int request);
-  void dispatch(AppId app, dag::NodeId node);
-  Instance* create_instance(AppId app, dag::NodeId node, const perf::HwConfig& config);
-  void on_init_done(AppId app, dag::NodeId node, int instance_id);
-  void on_init_failed(AppId app, dag::NodeId node, int instance_id);
-  void on_batch_done(AppId app, dag::NodeId node, int instance_id, std::vector<int> requests);
-  void on_instance_idle(AppId app, dag::NodeId node, int instance_id);
-  void terminate_instance(AppId app, dag::NodeId node, int instance_id);
-  void complete_node(AppId app, dag::NodeId node, int request);
-  void window_tick(AppId app);
-
-  /// Bill an instance up to now and return its grant to the cluster.
-  void retire_accounting(AppState& a, dag::NodeId node, const Instance& inst);
-  /// Backoff delay for the attempt-th consecutive failed cold start.
-  double backoff_delay(int attempt) const;
-  /// Terminal Failed transition: strip the request from every queue,
-  /// cancel its timers, count it. Callers attribute the cause in the
-  /// per-function metrics before calling.
-  void fail_request(AppId app, int request);
-  /// Fail every request queued at `node` (retry budget exhausted).
-  void fail_queued(AppId app, dag::NodeId node);
-  /// Evict all instances hosted on a machine that went down.
-  void on_machine_down(int machine);
-  void arm_timeout(AppId app, dag::NodeId node, int request);
-
   sim::Engine& engine_;
   cluster::Cluster& cluster_;
-  perf::Pricing pricing_;
   Rng& rng_;
   PlatformOptions options_;
-  std::vector<std::unique_ptr<AppState>> apps_;
+  AppTable table_;
+  Ledger ledger_;
+  Gateway gateway_;
+  RequestTracker tracker_;
+  FunctionScheduler scheduler_;
+  InstancePool pool_;
   bool finalized_ = false;
   int cluster_listener_ = 0;  ///< token of the machine-down listener
 };

@@ -4,17 +4,11 @@
 
 #include "apps/app.hpp"
 #include "common/units.hpp"
+#include "serverless/types.hpp"
 
 namespace smiless::serverless {
 
 class Platform;
-using AppId = int;
-
-/// Why a container instance disappeared without the policy asking for it.
-enum class InstanceFailure {
-  InitFailure,  ///< cold init failed (fault injection)
-  Eviction,     ///< the machine hosting it went down
-};
 
 /// Arrival statistics for the window that just closed, delivered by the
 /// Gateway to the policy each second (§IV-B: "a specified time window,

@@ -1,0 +1,93 @@
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "common/units.hpp"
+#include "dag/dag.hpp"
+#include "serverless/tracing.hpp"
+#include "serverless/types.hpp"
+#include "sim/engine.hpp"
+
+namespace smiless::serverless {
+
+class AppTable;
+class FunctionScheduler;
+class Ledger;
+struct PlatformOptions;
+
+/// RequestTracker — the per-request DAG lifecycle. Single responsibility:
+/// track each request's progress through its DAG (pending-predecessor
+/// counts, the ready set, sink completion), drive the terminal transitions
+/// (Completed into the Ledger's books, Failed with queue stripping), arm and
+/// service per-invocation timeouts, and record NodeSpan traces. Publishes
+/// obs: RequestSubmitted, InvocationReady, TimeoutFired, RequestFailed,
+/// RequestCompleted.
+class RequestTracker {
+ public:
+  RequestTracker(sim::Engine& engine, const PlatformOptions& options, const AppTable& table,
+                 Ledger& ledger);
+
+  void wire(FunctionScheduler* scheduler) { scheduler_ = scheduler; }
+
+  void add_app();
+
+  /// Admit one request at the current sim time: build its DAG progress
+  /// state, publish RequestSubmitted, and enqueue the DAG's source nodes.
+  RequestId admit(AppId app);
+
+  /// A node's invocation became ready (all predecessors done): record
+  /// readiness, arm the timeout, and hand it to the scheduler's queue.
+  void on_node_ready(AppId app, dag::NodeId node, RequestId request);
+
+  /// A node finished for `request`: cancel its timeout, decrement successor
+  /// predecessor counts (enqueueing newly ready nodes), and close the
+  /// request when its last sink completes.
+  void complete_node(AppId app, dag::NodeId node, RequestId request);
+
+  /// Terminal Failed transition: strip the request from every queue, cancel
+  /// its timers, count it. Callers attribute the cause in the per-function
+  /// metrics before calling.
+  void fail_request(AppId app, RequestId request);
+
+  /// True when the request already reached Completed or Failed.
+  bool in_terminal_state(AppId app, RequestId request) const;
+
+  /// Count one re-dispatch of the request (eviction path); returns the new
+  /// per-request retry total.
+  int bump_retry(AppId app, RequestId request);
+
+  /// Record one executed NodeSpan for `request` at `node` (tracing mode).
+  void record_span(AppId app, dag::NodeId node, RequestId request, SimTime exec_start,
+                   int batch_size);
+
+  /// Cancel all outstanding timeout timers and stop (finalize). Idempotent.
+  void finalize();
+
+ private:
+  struct RequestState {
+    SimTime arrival = 0.0;
+    std::vector<int> pending_preds;  // per node
+    std::vector<SimTime> ready_at;   // when each node's invocation became ready
+    std::vector<NodeSpan> spans;     // recorded when tracing is enabled
+    std::vector<sim::EventId> timeout_ev;  // per node; non-empty iff timeout armed
+    int sinks_remaining = 0;
+    int retries = 0;  // times any invocation of this request was re-dispatched
+    bool done = false;
+    bool failed = false;  // terminal Failed state (timeout / retries exhausted)
+  };
+
+  void arm_timeout(AppId app, dag::NodeId node, RequestId request);
+  RequestState& req(AppId app, RequestId request);
+  std::vector<RequestState>& app_requests(AppId app);
+
+  sim::Engine& engine_;
+  const PlatformOptions& options_;
+  const AppTable& table_;
+  Ledger& ledger_;
+  FunctionScheduler* scheduler_ = nullptr;
+  std::deque<std::vector<RequestState>> requests_;  // by AppId
+  bool halted_ = false;
+};
+
+}  // namespace smiless::serverless

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "serverless/instance.hpp"
+#include "serverless/plan.hpp"
+
+namespace smiless::serverless {
+
+/// Router — the dispatch-order/placement seam of the FunctionScheduler.
+/// Single responsibility: given a function's instances and its current plan,
+/// choose the idle instance that serves the next batch (or none, which sends
+/// the scheduler down the cold-start path). Future policies (locality-aware,
+/// load-spreading, config-strict) swap this without touching the scheduler.
+class Router {
+ public:
+  virtual ~Router() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Pick the instance that serves the next batch of the queue, or nullptr
+  /// when no instance can take work right now.
+  virtual Instance* select(std::vector<Instance>& instances,
+                           const FunctionPlan& plan) const = 0;
+};
+
+/// The default dispatch order: prefer an idle instance whose config matches
+/// the current plan; fall back to any warm idle instance (it is warm — use
+/// it). This is the platform's historical behaviour, byte-for-byte.
+class WarmFirstRouter final : public Router {
+ public:
+  std::string name() const override { return "warm-first"; }
+
+  Instance* select(std::vector<Instance>& instances,
+                   const FunctionPlan& plan) const override {
+    Instance* chosen = nullptr;
+    for (auto& inst : instances) {
+      if (inst.st != InstanceState::Idle) continue;
+      if (inst.config == plan.config) return &inst;
+      if (chosen == nullptr) chosen = &inst;
+    }
+    return chosen;
+  }
+};
+
+}  // namespace smiless::serverless

@@ -1,0 +1,170 @@
+// Billing-invariant tests against the Ledger's per-instance BillingRecords:
+// every instance the platform ever created is billed for exactly
+// [creation, termination) at its configuration's unit price (Eq. 3), no
+// matter how it died — keep-alive reap, machine eviction, or finalize.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "apps/catalog.hpp"
+#include "cluster/cluster.hpp"
+#include "faults/fault_injector.hpp"
+#include "serverless/platform.hpp"
+#include "sim/engine.hpp"
+
+namespace smiless::serverless {
+namespace {
+
+class FixedPolicy : public Policy {
+ public:
+  explicit FixedPolicy(FunctionPlan plan) : plan_(plan) {}
+  std::string name() const override { return "fixed"; }
+  void on_deploy(AppId app, const apps::App& spec, Platform& p) override {
+    for (std::size_t n = 0; n < spec.dag.size(); ++n)
+      p.set_plan(app, static_cast<dag::NodeId>(n), plan_);
+  }
+
+ private:
+  FunctionPlan plan_;
+};
+
+struct Fixture {
+  sim::Engine engine;
+  cluster::Cluster cluster = cluster::Cluster::paper_testbed();
+  Rng rng{123};
+  PlatformOptions options;
+  std::unique_ptr<Platform> platform;
+
+  Fixture() {
+    options.inference_noise = 0.0;
+    platform = std::make_unique<Platform>(engine, cluster, perf::Pricing{}, rng, options);
+  }
+};
+
+FunctionPlan plan_with_keepalive(double keepalive) {
+  FunctionPlan p;
+  p.config = {perf::Backend::Cpu, 4, 0};
+  p.keepalive = keepalive;
+  return p;
+}
+
+/// The invariant every BillingRecord must satisfy: a non-negative lifetime
+/// billed at the config's unit price, totals reconciling with the books.
+void expect_records_consistent(const Platform& platform, AppId app) {
+  const auto& ledger = platform.ledger();
+  const auto& pricing = ledger.pricing();
+  Dollars sum = 0.0;
+  for (const auto& rec : ledger.billing(app)) {
+    EXPECT_GE(rec.retired, rec.created);
+    EXPECT_NEAR(rec.cost, rec.seconds() * pricing.per_second(rec.config), 1e-9);
+    sum += rec.cost;
+  }
+  EXPECT_NEAR(sum, platform.metrics(app).total_cost(), 1e-9);
+}
+
+TEST(Ledger, KeepaliveReapedInstancesAreBilledCreationToTermination) {
+  Fixture f;
+  const auto app = apps::make_voice_assistant();
+  const auto id = f.platform->deploy(app, std::make_shared<FixedPolicy>(plan_with_keepalive(5.0)));
+  f.platform->submit_request(id, 1.0);
+  f.engine.run_until(200.0);  // every instance reaped well before this
+  f.platform->finalize(200.0);
+
+  const auto& m = f.platform->metrics(id);
+  ASSERT_EQ(m.completed.size(), 1u);
+  const auto& recs = f.platform->ledger().billing(id);
+  // Every initialization retired through the keep-alive reaper: one record
+  // each, and none of them stretches to the finalize horizon.
+  ASSERT_EQ(static_cast<long>(recs.size()), m.total_initializations());
+  for (const auto& rec : recs) {
+    EXPECT_GT(rec.seconds(), 0.0);
+    EXPECT_LT(rec.retired, 200.0);
+  }
+  expect_records_consistent(*f.platform, id);
+}
+
+TEST(Ledger, FinalizeBillsOpenInstancesToTheHorizon) {
+  Fixture f;
+  const auto app = apps::make_voice_assistant();
+  const auto id = f.platform->deploy(
+      app, std::make_shared<FixedPolicy>(plan_with_keepalive(FunctionPlan::forever())));
+  f.platform->submit_request(id, 1.0);
+  f.engine.run_until(100.0);
+  f.platform->finalize(100.0);
+
+  const auto& m = f.platform->metrics(id);
+  ASSERT_EQ(m.completed.size(), 1u);
+  const auto& recs = f.platform->ledger().billing(id);
+  // Keep-alive forever: every instance stayed open until finalize closed it.
+  ASSERT_EQ(static_cast<long>(recs.size()), m.total_initializations());
+  for (const auto& rec : recs) EXPECT_DOUBLE_EQ(rec.retired, 100.0);
+  expect_records_consistent(*f.platform, id);
+}
+
+TEST(Ledger, EvictedInstancesAreBilledToTheEvictionInstant) {
+  Fixture f;
+  const auto app = apps::make_voice_assistant();
+  const auto id = f.platform->deploy(
+      app, std::make_shared<FixedPolicy>(plan_with_keepalive(FunctionPlan::forever())));
+  f.platform->submit_request(id, 1.0);
+  f.engine.run_until(50.0);  // request done, instances idle-forever
+
+  // Take down every machine hosting an instance: all instances evict at
+  // t=50, and each eviction lands one record billed exactly to the instant.
+  long evicted_before = 0;
+  for (std::size_t machine = 0; machine < f.cluster.machine_count(); ++machine)
+    f.cluster.mark_down(static_cast<int>(machine));
+  const auto& m = f.platform->metrics(id);
+  for (const auto& fn : m.per_function) evicted_before += fn.evictions;
+  ASSERT_EQ(evicted_before, m.total_initializations());
+
+  const auto& recs = f.platform->ledger().billing(id);
+  ASSERT_EQ(static_cast<long>(recs.size()), evicted_before);
+  for (const auto& rec : recs) {
+    EXPECT_DOUBLE_EQ(rec.retired, 50.0);
+    EXPECT_GT(rec.seconds(), 0.0);
+  }
+  expect_records_consistent(*f.platform, id);
+  f.platform->finalize(50.0);
+  // Finalize found nothing left open: no further records.
+  EXPECT_EQ(recs.size(), f.platform->ledger().billing(id).size());
+}
+
+TEST(Ledger, InitFailuresBillTheFailedAttempt) {
+  // A failed cold init still bills the provider time the container ran
+  // (creation to the failure instant) — the record set stays reconciled.
+  faults::FaultSpec spec;
+  spec.init_failure_prob = 1.0;  // every init fails
+  sim::Engine engine;
+  cluster::Cluster cluster = cluster::Cluster::paper_testbed();
+  Rng rng{123};
+  faults::FaultInjector faults(spec, rng);
+  PlatformOptions options;
+  options.inference_noise = 0.0;
+  options.max_retries = 1;
+  options.faults = &faults;
+  Platform platform(engine, cluster, perf::Pricing{}, rng, options);
+
+  const auto app = apps::make_voice_assistant();
+  const auto id = platform.deploy(
+      app, std::make_shared<FixedPolicy>(plan_with_keepalive(FunctionPlan::forever())));
+  platform.submit_request(id, 1.0);
+  engine.run_until(100.0);
+  platform.finalize(100.0);
+
+  const auto& m = platform.metrics(id);
+  EXPECT_EQ(m.completed.size(), 0u);  // nothing ever initialised
+  EXPECT_GT(m.total_init_failures(), 0);
+  const auto& recs = platform.ledger().billing(id);
+  ASSERT_EQ(static_cast<long>(recs.size()), m.total_initializations());
+  for (const auto& rec : recs) {
+    EXPECT_GT(rec.seconds(), 0.0);  // the init interval itself was billed
+    EXPECT_LT(rec.retired, 100.0);  // retired at the failure, not finalize
+  }
+  expect_records_consistent(platform, id);
+}
+
+}  // namespace
+}  // namespace smiless::serverless

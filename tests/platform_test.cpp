@@ -405,5 +405,64 @@ TEST(Platform, ClearPrewarmsCancelsScheduledWarmups) {
   f.platform->finalize(30.0);
 }
 
+TEST(Platform, CancelPrewarmAfterFiredIsHarmless) {
+  // Cancelling a pre-warm whose timer already fired must neither kill the
+  // instance it created nor disturb anything else (the handle is stale).
+  Fixture f;
+  const auto app = apps::make_voice_assistant();
+  FunctionPlan plan = warm_plan();
+  plan.keepalive = 0.0;
+  plan.prewarm_grace = 50.0;
+  const auto id = f.platform->deploy(app, std::make_shared<FixedPolicy>(plan));
+  const sim::EventId handle = f.platform->prewarm_at(id, 0, 5.0);
+  f.engine.run_until(20.0);  // fired at t=5, instance init done by now
+  EXPECT_EQ(f.platform->metrics(id).per_function[0].initializations, 1);
+  EXPECT_EQ(f.platform->instances_total(id, 0), 1);
+  f.platform->cancel_prewarm(handle);
+  f.engine.run_until(30.0);
+  EXPECT_EQ(f.platform->instances_total(id, 0), 1);
+  EXPECT_EQ(f.platform->metrics(id).per_function[0].initializations, 1);
+  f.platform->finalize(30.0);
+}
+
+TEST(Platform, ClearPrewarmsCancelsAllPendingTimers) {
+  // Several pre-warms queued on the same function: one clear_prewarms call
+  // cancels every pending timer, and only that function's — a sibling
+  // function's pre-warm still fires.
+  Fixture f;
+  const auto app = apps::make_voice_assistant();
+  FunctionPlan plan = warm_plan();
+  plan.keepalive = 0.0;
+  plan.prewarm_grace = 1.0;
+  const auto id = f.platform->deploy(app, std::make_shared<FixedPolicy>(plan));
+  f.platform->prewarm_at(id, 0, 10.0);
+  f.platform->prewarm_at(id, 0, 20.0);
+  f.platform->prewarm_at(id, 0, 30.0);
+  f.platform->prewarm_at(id, 1, 25.0);
+  f.platform->clear_prewarms(id, 0);
+  f.engine.run_until(40.0);
+  const auto& m = f.platform->metrics(id);
+  EXPECT_EQ(m.per_function[0].initializations, 0);
+  EXPECT_EQ(m.per_function[1].initializations, 1);
+  f.platform->finalize(40.0);
+}
+
+TEST(Platform, PrewarmSkippedWhileInstanceStillInitializing) {
+  // A pre-warm firing while a cold init is already in progress (instance in
+  // the Init state, keep-alive forever) is redundant and must be skipped.
+  Fixture f;
+  const auto app = apps::make_voice_assistant();
+  const auto id = f.platform->deploy(app, std::make_shared<FixedPolicy>(warm_plan()));
+  f.platform->submit_request(id, 1.0);  // node 0 cold init starts at t=1
+  f.platform->prewarm_at(id, 0, 1.5);   // fires mid-init
+  f.engine.run_until(100.0);
+  const auto& m = f.platform->metrics(id);
+  ASSERT_EQ(m.completed.size(), 1u);
+  // Only the on-demand cold start initialised node 0; the pre-warm did not.
+  EXPECT_EQ(m.per_function[0].initializations, 1);
+  EXPECT_EQ(f.platform->instances_total(id, 0), 1);
+  f.platform->finalize(100.0);
+}
+
 }  // namespace
 }  // namespace smiless::serverless

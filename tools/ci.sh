@@ -2,30 +2,60 @@
 # Build, lint and test every supported flavor: the default build, the static
 # analyzers (detlint + clang-tidy, see DESIGN.md §11) and the three
 # sanitizer builds wired through -DSMILESS_SANITIZE. Any test failure, lint
-# violation or sanitizer report fails the script.
+# violation, golden mismatch or sanitizer report fails the script.
+#
+# Flavors are defined once in CMakePresets.json (ci, asan, ubsan, tsan) and
+# consumed here via `cmake --preset`. Passing an explicit build-dir prefix
+# falls back to hand-rolled -B configures so scratch trees keep working.
 #
 # Usage: tools/ci.sh [mode] [build-dir-prefix]
 #   tools/ci.sh            # full pipeline into build-ci, build-ci-{asan,ubsan,tsan}
-#   tools/ci.sh lint       # static analysis only: detlint + clang-tidy
+#   tools/ci.sh lint       # static analysis only: detlint + clang-tidy + compile-db audit
 #   tools/ci.sh tsan       # ThreadSanitizer flavor only
+#   tools/ci.sh golden     # golden bit-identity smoke against tests/golden/
 #   tools/ci.sh full /tmp/ci
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
+# --build --preset / ctest --preset resolve CMakePresets.json from the cwd.
+cd "${repo}"
 mode="full"
 case "${1:-}" in
-  lint|tsan|full) mode="$1"; shift ;;
+  lint|tsan|golden|full) mode="$1"; shift ;;
 esac
 prefix="${1:-${repo}/build-ci}"
 jobs="$(nproc 2>/dev/null || echo 4)"
 
-run_flavor() {
-  local name="$1" dir="$2"
+# Presets pin the binary dirs; a custom prefix opts out of them.
+use_presets=0
+if [ "${prefix}" = "${repo}/build-ci" ]; then
+  use_presets=1
+fi
+
+# Configure one flavor into its build tree. $1 = preset name, $2 = build dir,
+# rest = extra cache args for the non-preset fallback.
+configure_flavor() {
+  local preset="$1" dir="$2"
   shift 2
+  if [ "${use_presets}" -eq 1 ]; then
+    cmake --preset "${preset}" -S "${repo}"
+  else
+    cmake -B "${dir}" -S "${repo}" -DCMAKE_BUILD_TYPE=RelWithDebInfo "$@"
+  fi
+}
+
+run_flavor() {
+  local name="$1" preset="$2" dir="$3"
+  shift 3
   echo "==== [${name}] configure + build + test ===="
-  cmake -B "${dir}" -S "${repo}" -DCMAKE_BUILD_TYPE=RelWithDebInfo "$@"
-  cmake --build "${dir}" -j "${jobs}"
-  ctest --test-dir "${dir}" --output-on-failure -j "${jobs}"
+  configure_flavor "${preset}" "${dir}" "$@"
+  if [ "${use_presets}" -eq 1 ]; then
+    cmake --build --preset "${preset}" -j "${jobs}"
+    ctest --preset "${preset}" -j "${jobs}"
+  else
+    cmake --build "${dir}" -j "${jobs}"
+    ctest --test-dir "${dir}" --output-on-failure -j "${jobs}"
+  fi
 }
 
 # Make sanitizers fail loudly instead of continuing past the first report.
@@ -33,7 +63,9 @@ export ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1:detect_leaks=1}"
 export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}"
 export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1:second_deadlock_stack=1:suppressions=${repo}/tools/tsan.supp}"
 
-# The 32-cell grid both smokes share; $1 receives the file path.
+# The 32-cell grid the smokes share; $1 receives the file path. The golden
+# artifact tests/golden/sweep_smoke.json is pinned to exactly this grid — if
+# you change it, regenerate the golden in the same commit and say why.
 write_smoke_grid() {
   cat > "$1" <<'EOF'
 {
@@ -54,14 +86,41 @@ write_smoke_grid() {
 EOF
 }
 
+# Compile-database audit: every translation unit under src/ must appear in
+# the freshly regenerated compile_commands.json. Catches a source file that
+# exists on disk but was never added to its CMakeLists.txt (it would silently
+# escape clang-tidy, detlint's build coverage and the sanitizer flavors).
+compile_db_check() {
+  echo "==== [lint] compile database covers every translation unit ===="
+  local db="${prefix}/compile_commands.json"
+  if [ ! -f "${db}" ]; then
+    echo "[lint] ERROR: ${db} missing (CMAKE_EXPORT_COMPILE_COMMANDS)"
+    return 1
+  fi
+  local missing=0 f
+  while IFS= read -r f; do
+    if ! grep -qF "${f}" "${db}"; then
+      echo "[lint] ERROR: ${f} not in compile_commands.json" \
+           "(add it to its CMakeLists.txt and reconfigure)"
+      missing=1
+    fi
+  done < <(find "${repo}/src" -name '*.cpp' | sort)
+  if [ "${missing}" -ne 0 ]; then
+    return 1
+  fi
+  echo "[lint] compile database complete"
+}
+
 # Static analysis: detlint always (zero unsuppressed violations allowed over
-# src/ tools/ bench/), clang-tidy over the compile database when a binary is
-# on PATH. Exits non-zero on any finding.
+# src/ tools/ bench/), the compile-db audit, and clang-tidy over the compile
+# database when a binary is on PATH. Exits non-zero on any finding.
 lint_step() {
   echo "==== [lint] detlint: determinism rule catalog ===="
-  cmake -B "${prefix}" -S "${repo}" -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  configure_flavor ci "${prefix}"
   cmake --build "${prefix}" --target detlint -j "${jobs}"
   "${prefix}/tools/detlint/detlint" "${repo}/src" "${repo}/tools" "${repo}/bench"
+
+  compile_db_check
 
   local tidy=""
   for candidate in clang-tidy clang-tidy-19 clang-tidy-18 clang-tidy-17 clang-tidy-16; do
@@ -75,10 +134,6 @@ lint_step() {
     return 0
   fi
   echo "==== [lint] ${tidy}: .clang-tidy profile over the compile database ===="
-  if [ ! -f "${prefix}/compile_commands.json" ]; then
-    echo "[lint] ERROR: ${prefix}/compile_commands.json missing (CMAKE_EXPORT_COMPILE_COMMANDS)"
-    return 1
-  fi
   # Translation units only; headers ride along via HeaderFilterRegex.
   find "${repo}/src" "${repo}/tools" "${repo}/bench" -name '*.cpp' -print0 \
     | xargs -0 -n 8 -P "${jobs}" "${tidy}" -p "${prefix}" --quiet
@@ -90,7 +145,7 @@ lint_step() {
 tsan_step() {
   local dir="${prefix}-tsan"
   echo "==== [tsan] configure + build (SMILESS_SANITIZE=thread) ===="
-  cmake -B "${dir}" -S "${repo}" -DCMAKE_BUILD_TYPE=RelWithDebInfo -DSMILESS_SANITIZE=thread
+  configure_flavor tsan "${dir}" -DSMILESS_SANITIZE=thread
   cmake --build "${dir}" --target concurrency_test exp_test smiless_cli -j "${jobs}"
   echo "==== [tsan] concurrency_test ===="
   "${dir}/tests/concurrency_test"
@@ -131,6 +186,31 @@ sweep_smoke() {
     fi
   fi
   rm -rf "${dir}"
+}
+
+# Golden bit-identity smoke: the 32-cell sweep must reproduce the checked-in
+# artifact byte for byte. This is the cross-commit determinism contract — a
+# refactor that claims behavioural neutrality must leave this untouched. A
+# legitimate behaviour change regenerates tests/golden/sweep_smoke.json in
+# the same commit (and says why in its message).
+golden_smoke() {
+  echo "==== [golden] 32-cell sweep vs tests/golden/sweep_smoke.json ===="
+  local golden="${repo}/tests/golden/sweep_smoke.json"
+  if [ ! -f "${golden}" ]; then
+    echo "[golden] ERROR: ${golden} missing"
+    return 1
+  fi
+  local dir
+  dir="$(mktemp -d)"
+  write_smoke_grid "${dir}/grid.json"
+  "${prefix}/tools/smiless" --sweep "${dir}/grid.json" --threads 2 --out "${dir}/out.json"
+  if ! cmp "${golden}" "${dir}/out.json"; then
+    echo "[golden] ERROR: sweep output diverged from the pinned artifact"
+    rm -rf "${dir}"
+    return 1
+  fi
+  rm -rf "${dir}"
+  echo "[golden] bit-identical to the pinned artifact OK"
 }
 
 # Observability smoke: the same sweep with artifact collection on must (a)
@@ -204,14 +284,23 @@ case "${mode}" in
     echo "==== tsan green ===="
     exit 0
     ;;
+  golden)
+    echo "==== [golden] configure + build ===="
+    configure_flavor ci "${prefix}"
+    cmake --build "${prefix}" --target smiless_cli -j "${jobs}"
+    golden_smoke
+    echo "==== golden green ===="
+    exit 0
+    ;;
 esac
 
-run_flavor default "${prefix}"
+run_flavor default ci "${prefix}"
 lint_step
 sweep_smoke
+golden_smoke
 obs_smoke
-run_flavor asan "${prefix}-asan" -DSMILESS_SANITIZE=address
-run_flavor ubsan "${prefix}-ubsan" -DSMILESS_SANITIZE=undefined
+run_flavor asan asan "${prefix}-asan" -DSMILESS_SANITIZE=address
+run_flavor ubsan ubsan "${prefix}-ubsan" -DSMILESS_SANITIZE=undefined
 tsan_step
 
 echo "==== all flavors green ===="
