@@ -1,0 +1,342 @@
+// Simulator throughput baseline: one large colocated cell — hundreds of
+// machines, thousands of DAG applications, a multi-hour Poisson + burst
+// trace per app — driven end-to-end through the Platform on both event
+// queue implementations (the calendar queue that serves the hot path, and
+// the pre-calendar binary-heap + std::map reference), plus a pure-queue
+// hold-model microbench that isolates the data structure from platform
+// work. Records events/sec, wall time, peak RSS, EngineStats and
+// CalendarStats into BENCH_throughput.json (see DESIGN.md §13).
+//
+// The two end-to-end runs double as a correctness gate: both impls must
+// produce bit-identical simulation trajectories (same scheduled / fired /
+// cancelled / completed counts), or the bench aborts.
+//
+// Timing and RSS are measurements of the harness itself, not simulated
+// behaviour; the `deterministic` section of the artifact is byte-stable for
+// a given config, the `measured` sections are not.
+//
+// Knobs: --apps N --machines N --nodes N --duration S --events N --out PATH
+// (SMILESS_BENCH_DURATION also respected, like every bench binary).
+#include <sys/resource.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/catalog.hpp"
+#include "bench/bench_common.hpp"
+#include "cluster/cluster.hpp"
+#include "common/json.hpp"
+#include "common/rng.hpp"
+#include "serverless/plan.hpp"
+#include "serverless/platform.hpp"
+#include "serverless/policy.hpp"
+#include "sim/engine.hpp"
+#include "workload/trace.hpp"
+
+using namespace smiless;
+
+namespace {
+
+// getrusage's ru_maxrss is the process-lifetime high-water mark (KiB on
+// Linux); not in the detlint catalog because it cannot order or time
+// anything simulated.
+double peak_rss_mb() {
+  rusage ru{};
+  getrusage(RUSAGE_SELF, &ru);
+  return static_cast<double>(ru.ru_maxrss) / 1024.0;
+}
+
+double now_seconds() {
+  // detlint:allow(wall-clock) harness throughput measurement; stays out of the simulation
+  const auto t = std::chrono::steady_clock::now().time_since_epoch();
+  return std::chrono::duration<double>(t).count();
+}
+
+const char* impl_name(sim::Engine::QueueImpl impl) {
+  return impl == sim::Engine::QueueImpl::Calendar ? "calendar" : "binary_heap";
+}
+
+struct CellConfig {
+  std::size_t apps = 1500;
+  std::size_t machines = 320;
+  std::size_t nodes_per_app = 3;
+  double duration = 1800.0;
+  std::uint64_t seed = 42;
+};
+
+/// Always-warm policy with a finite keep-alive: enough lifecycle churn to
+/// exercise the cancel/tombstone path (keep-alive timers are cancelled on
+/// every reuse) without the full SMIless optimizer dominating the profile.
+class KeepWarmPolicy final : public serverless::Policy {
+ public:
+  std::string name() const override { return "bench-keepwarm"; }
+  void on_deploy(serverless::AppId app, const apps::App& spec,
+                 serverless::Platform& platform) override {
+    for (std::size_t n = 0; n < spec.dag.size(); ++n) {
+      serverless::FunctionPlan plan;
+      plan.keepalive = 60.0;
+      plan.max_batch = 4;
+      platform.set_plan(app, static_cast<dag::NodeId>(n), plan);
+    }
+  }
+};
+
+struct EndToEnd {
+  std::uint64_t scheduled = 0;
+  std::uint64_t fired = 0;
+  std::uint64_t cancelled = 0;
+  long long submitted = 0;
+  long long completed = 0;
+  double wall_seconds = 0.0;
+  double events_per_sec = 0.0;
+  double rss_after_mb = 0.0;
+  sim::CalendarStats cal;  // calendar impl only
+};
+
+EndToEnd run_cell(sim::Engine::QueueImpl impl, const CellConfig& cc,
+                  const std::vector<workload::Trace>& traces) {
+  const double t0 = now_seconds();
+
+  sim::Engine engine(impl);
+  cluster::Cluster cluster(cc.machines, cluster::MachineSpec{});
+  Rng rng(cc.seed);
+  serverless::Platform platform(engine, cluster, perf::Pricing{}, rng,
+                                serverless::PlatformOptions{});
+  auto policy = std::make_shared<KeepWarmPolicy>();
+
+  double horizon = 0.0;
+  EndToEnd r;
+  for (std::size_t i = 0; i < cc.apps; ++i) {
+    apps::App app = apps::make_synthetic_pipeline(cc.nodes_per_app, /*sla=*/2.0);
+    const serverless::AppId id = platform.deploy(std::move(app), policy);
+    for (SimTime t : traces[i].arrivals) platform.submit_request(id, t);
+    r.submitted += static_cast<long long>(traces[i].arrivals.size());
+    horizon = std::max(horizon,
+                       static_cast<double>(traces[i].counts.size()) * traces[i].window);
+  }
+  const double end = horizon + 120.0;  // drain slack
+  engine.run_until(end);
+  platform.finalize(end);
+
+  r.wall_seconds = now_seconds() - t0;
+  r.scheduled = engine.stats().scheduled;
+  r.fired = engine.stats().fired;
+  r.cancelled = engine.stats().cancelled;
+  r.events_per_sec =
+      r.wall_seconds > 0.0 ? static_cast<double>(r.fired) / r.wall_seconds : 0.0;
+  r.rss_after_mb = peak_rss_mb();
+  if (const sim::CalendarStats* cs = engine.calendar_stats()) r.cal = *cs;
+  for (std::size_t i = 0; i < cc.apps; ++i)
+    r.completed += static_cast<long long>(
+        platform.metrics(static_cast<serverless::AppId>(i)).completed.size());
+  return r;
+}
+
+/// Classic hold-model microbench: keep `live` events pending, repeatedly
+/// pop the earliest and schedule a replacement at now + exp(1). Isolates
+/// schedule/pop/cancel cost from platform callback work; with thousands
+/// pending this is where the heap pays its O(log n) and its two map
+/// allocations per event.
+struct Micro {
+  std::uint64_t events = 0;
+  double wall_seconds = 0.0;
+  double events_per_sec = 0.0;
+};
+
+Micro run_micro(sim::Engine::QueueImpl impl, std::uint64_t total_events,
+                std::size_t live, std::uint64_t seed) {
+  sim::Engine engine(impl);
+  Rng rng(seed);
+  std::uint64_t fired = 0;
+  std::vector<sim::EventId> cancellable;
+
+  std::function<void()> hold = [&] {
+    ++fired;
+    if (fired + cancellable.size() < total_events) {
+      engine.schedule_after(rng.exponential(1.0), hold);
+      // A slice of events is scheduled and later cancelled, as keep-alive
+      // timers are in the end-to-end cell.
+      if ((fired & 7u) == 0u)
+        cancellable.push_back(engine.schedule_after(rng.uniform(1.0, 30.0), [] {}));
+      if (cancellable.size() >= 64) {
+        for (sim::EventId id : cancellable) engine.cancel(id);
+        cancellable.clear();
+      }
+    }
+  };
+
+  const double t0 = now_seconds();
+  for (std::size_t i = 0; i < live; ++i) engine.schedule_after(rng.exponential(1.0), hold);
+  engine.run();
+  Micro m;
+  m.events = engine.stats().fired;
+  m.wall_seconds = now_seconds() - t0;
+  m.events_per_sec =
+      m.wall_seconds > 0.0 ? static_cast<double>(m.events) / m.wall_seconds : 0.0;
+  return m;
+}
+
+json::Value end_to_end_json(const EndToEnd& r, bool with_calendar) {
+  json::Value v = json::Value::object();
+  v["wall_seconds"] = r.wall_seconds;
+  v["events_per_sec"] = r.events_per_sec;
+  v["peak_rss_mb"] = r.rss_after_mb;
+  if (with_calendar) {
+    json::Value cs = json::Value::object();
+    cs["resizes"] = r.cal.resizes;
+    cs["direct_searches"] = r.cal.direct_searches;
+    cs["buckets"] = static_cast<std::uint64_t>(r.cal.buckets);
+    cs["peak_live"] = static_cast<std::uint64_t>(r.cal.peak_live);
+    v["calendar_stats"] = cs;
+  }
+  return v;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CellConfig cc;
+  cc.duration = bench::bench_duration(1800.0);
+  std::uint64_t micro_events = 2'000'000;
+  std::size_t micro_live = 10'000;
+  std::string out_path = "BENCH_throughput.json";
+
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "bench_throughput: %s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--apps") == 0)
+      cc.apps = static_cast<std::size_t>(std::atol(next("--apps")));
+    else if (std::strcmp(argv[i], "--machines") == 0)
+      cc.machines = static_cast<std::size_t>(std::atol(next("--machines")));
+    else if (std::strcmp(argv[i], "--nodes") == 0)
+      cc.nodes_per_app = static_cast<std::size_t>(std::atol(next("--nodes")));
+    else if (std::strcmp(argv[i], "--duration") == 0)
+      cc.duration = std::atof(next("--duration"));
+    else if (std::strcmp(argv[i], "--events") == 0)
+      micro_events = static_cast<std::uint64_t>(std::atoll(next("--events")));
+    else if (std::strcmp(argv[i], "--out") == 0)
+      out_path = next("--out");
+    else {
+      std::fprintf(stderr, "bench_throughput: unknown flag %s\n", argv[i]);
+      return 2;
+    }
+  }
+
+  // One trace set shared by both impls: identical arrivals in, identical
+  // trajectory out.
+  std::vector<workload::Trace> traces;
+  traces.reserve(cc.apps);
+  long long arrivals_total = 0;
+  {
+    Rng root(cc.seed);
+    const std::vector<std::string> wl = bench::workload_names();
+    for (std::size_t i = 0; i < cc.apps; ++i) {
+      Rng child = root.fork(i + 1);
+      const workload::TraceOptions topt =
+          workload::preset_for_workload(wl[i % wl.size()], cc.duration);
+      traces.push_back(workload::generate_trace(topt, child));
+      arrivals_total += static_cast<long long>(traces.back().arrivals.size());
+    }
+  }
+  std::fprintf(stderr,
+               "bench_throughput: %zu apps x %zu nodes on %zu machines, %.0f s "
+               "traces, %lld arrivals\n",
+               cc.apps, cc.nodes_per_app, cc.machines, cc.duration, arrivals_total);
+
+  const EndToEnd cal = run_cell(sim::Engine::QueueImpl::Calendar, cc, traces);
+  std::fprintf(stderr, "bench_throughput: [e2e %s] %.2fs, %.0f events/s\n",
+               impl_name(sim::Engine::QueueImpl::Calendar), cal.wall_seconds,
+               cal.events_per_sec);
+  const EndToEnd heap = run_cell(sim::Engine::QueueImpl::BinaryHeap, cc, traces);
+  std::fprintf(stderr, "bench_throughput: [e2e %s] %.2fs, %.0f events/s\n",
+               impl_name(sim::Engine::QueueImpl::BinaryHeap), heap.wall_seconds,
+               heap.events_per_sec);
+
+  // Correctness gate: the queue impl must be unobservable in the trajectory.
+  if (cal.scheduled != heap.scheduled || cal.fired != heap.fired ||
+      cal.cancelled != heap.cancelled || cal.completed != heap.completed) {
+    std::fprintf(stderr,
+                 "bench_throughput: IMPL DIVERGENCE calendar(%llu/%llu/%llu/%lld) "
+                 "vs heap(%llu/%llu/%llu/%lld)\n",
+                 static_cast<unsigned long long>(cal.scheduled),
+                 static_cast<unsigned long long>(cal.fired),
+                 static_cast<unsigned long long>(cal.cancelled), cal.completed,
+                 static_cast<unsigned long long>(heap.scheduled),
+                 static_cast<unsigned long long>(heap.fired),
+                 static_cast<unsigned long long>(heap.cancelled), heap.completed);
+    return 1;
+  }
+
+  const Micro mcal = run_micro(sim::Engine::QueueImpl::Calendar, micro_events,
+                               micro_live, cc.seed);
+  const Micro mheap = run_micro(sim::Engine::QueueImpl::BinaryHeap, micro_events,
+                                micro_live, cc.seed);
+  std::fprintf(stderr,
+               "bench_throughput: [micro] calendar %.0f events/s, heap %.0f "
+               "events/s (%.2fx)\n",
+               mcal.events_per_sec, mheap.events_per_sec,
+               mheap.events_per_sec > 0.0 ? mcal.events_per_sec / mheap.events_per_sec
+                                          : 0.0);
+
+  json::Value doc = json::Value::object();
+  doc["bench"] = "throughput";
+  {
+    json::Value cfg = json::Value::object();
+    cfg["apps"] = static_cast<std::uint64_t>(cc.apps);
+    cfg["machines"] = static_cast<std::uint64_t>(cc.machines);
+    cfg["nodes_per_app"] = static_cast<std::uint64_t>(cc.nodes_per_app);
+    cfg["trace_duration_s"] = cc.duration;
+    cfg["seed"] = cc.seed;
+    cfg["micro_events"] = micro_events;
+    cfg["micro_live"] = static_cast<std::uint64_t>(micro_live);
+    doc["config"] = cfg;
+  }
+  {
+    // Byte-stable for a given config: pure simulation-domain counts, equal
+    // across queue impls by the gate above.
+    json::Value det = json::Value::object();
+    det["arrivals_total"] = arrivals_total;
+    det["requests_submitted"] = cal.submitted;
+    det["requests_completed"] = cal.completed;
+    det["events_scheduled"] = cal.scheduled;
+    det["events_fired"] = cal.fired;
+    det["events_cancelled"] = cal.cancelled;
+    det["identical_across_impls"] = true;
+    doc["deterministic"] = det;
+  }
+  doc["calendar"] = end_to_end_json(cal, /*with_calendar=*/true);
+  doc["binary_heap"] = end_to_end_json(heap, /*with_calendar=*/false);
+  {
+    json::Value micro = json::Value::object();
+    json::Value a = json::Value::object();
+    a["events"] = mcal.events;
+    a["wall_seconds"] = mcal.wall_seconds;
+    a["events_per_sec"] = mcal.events_per_sec;
+    micro["calendar"] = a;
+    json::Value b = json::Value::object();
+    b["events"] = mheap.events;
+    b["wall_seconds"] = mheap.wall_seconds;
+    b["events_per_sec"] = mheap.events_per_sec;
+    micro["binary_heap"] = b;
+    micro["speedup"] =
+        mheap.events_per_sec > 0.0 ? mcal.events_per_sec / mheap.events_per_sec : 0.0;
+    doc["micro"] = micro;
+  }
+  doc["e2e_speedup"] =
+      heap.events_per_sec > 0.0 ? cal.events_per_sec / heap.events_per_sec : 0.0;
+  doc["peak_rss_mb"] = peak_rss_mb();
+
+  json::save_file(doc, out_path);
+  std::fprintf(stderr, "bench_throughput: wrote %s\n", out_path.c_str());
+  return 0;
+}

@@ -81,7 +81,7 @@ void FunctionScheduler::dispatch(AppId app, dag::NodeId node) {
     pool_->claim(*chosen);
     const int batch_n =
         std::min<int>(std::max(1, f.plan.max_batch), static_cast<int>(f.queue.size()));
-    std::vector<RequestId> batch;
+    std::vector<RequestId> batch = slices_.acquire();
     batch.reserve(batch_n);
     for (int i = 0; i < batch_n; ++i) {
       batch.push_back(f.queue.front());
@@ -106,7 +106,7 @@ void FunctionScheduler::dispatch(AppId app, dag::NodeId node) {
                              .instance = inst_id,
                              .machine = chosen->alloc.machine,
                              .count = batch_n});
-    chosen->inflight = batch;
+    chosen->inflight.assign(batch.begin(), batch.end());  // reuses its capacity
     chosen->pending = engine_.schedule_after(
         latency, [this, app, node, inst_id, exec_start, batch = std::move(batch)]() mutable {
           if (options_.record_traces) {

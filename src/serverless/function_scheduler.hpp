@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "common/slab.hpp"
 #include "dag/dag.hpp"
 #include "serverless/plan.hpp"
 #include "serverless/router.hpp"
@@ -67,6 +68,13 @@ class FunctionScheduler {
 
   const Router& router() const { return *router_; }
 
+  /// Return a batch slice's storage to the recycler once the InstancePool
+  /// has finished completing it. Steady-state dispatch then performs zero
+  /// heap traffic for batch formation.
+  void recycle_slice(std::vector<RequestId> slice) { slices_.release(std::move(slice)); }
+
+  const common::SlabStats& slice_stats() const { return slices_.stats(); }
+
   /// Stop dispatching (finalize). Idempotent.
   void halt() { halted_ = true; }
 
@@ -88,6 +96,7 @@ class FunctionScheduler {
   InstancePool* pool_ = nullptr;
   std::unique_ptr<Router> router_;
   std::deque<std::vector<FnQueue>> apps_;  // by AppId, then NodeId
+  common::Recycler<std::vector<RequestId>> slices_;  // batch-slice storage
   bool halted_ = false;
 };
 

@@ -207,6 +207,9 @@ void InstancePool::on_batch_done(AppId app, dag::NodeId node, InstanceId instanc
   it->st = InstanceState::Idle;
 
   for (RequestId r : requests) tracker_->complete_node(app, node, r);
+  // Hand the slice's storage back before dispatching follow-on work, so the
+  // dispatch inside on_instance_idle can reuse it for the next batch.
+  scheduler_->recycle_slice(std::move(requests));
   on_instance_idle(app, node, instance_id);
 }
 

@@ -1,45 +1,66 @@
 #include "sim/engine.hpp"
 
 #include <limits>
+#include <utility>
+
+#include "sim/reference_queue.hpp"
 
 namespace smiless::sim {
+
+Engine::Engine() = default;
+
+Engine::Engine(QueueImpl impl) {
+  if (impl == QueueImpl::BinaryHeap) ref_ = std::make_unique<ReferenceQueue>();
+}
+
+Engine::~Engine() = default;
 
 EventId Engine::schedule_at(SimTime t, Callback cb) {
   SMILESS_CHECK_MSG(t >= now_, "cannot schedule in the past: " << t << " < " << now_);
   SMILESS_CHECK(cb != nullptr);
   const EventId id = next_id_++;
   ++stats_.scheduled;
-  queue_.push({t, id});
-  callbacks_.emplace(id, std::move(cb));
+  if (ref_ != nullptr) {
+    ref_->schedule(t, id, std::move(cb));
+  } else {
+    calendar_.schedule(t, id, std::move(cb));
+  }
   return id;
 }
 
 bool Engine::cancel(EventId id) {
-  if (callbacks_.erase(id) == 0) return false;
-  ++stats_.cancelled;
-  return true;
+  const bool cancelled = ref_ != nullptr ? ref_->cancel(id) : calendar_.cancel(id);
+  if (cancelled) ++stats_.cancelled;
+  return cancelled;
 }
 
 void Engine::run_until(SimTime end) {
   SMILESS_CHECK(end >= now_);
-  while (!queue_.empty()) {
-    const QueuedEvent ev = queue_.top();
-    auto it = callbacks_.find(ev.id);
-    if (it == callbacks_.end()) {  // cancelled
-      queue_.pop();
-      continue;
+  SimTime t = 0.0;
+  EventId id = 0;
+  Callback cb;
+  if (ref_ != nullptr) {
+    while (ref_->pop_due(end, &t, &id, &cb)) {
+      now_ = t;
+      ++stats_.fired;
+      cb();
+      cb = nullptr;
     }
-    if (ev.time > end) break;
-    queue_.pop();
-    Callback cb = std::move(it->second);
-    callbacks_.erase(it);
-    now_ = ev.time;
-    ++stats_.fired;
-    cb();
+  } else {
+    while (calendar_.pop_due(end, &t, &id, &cb)) {
+      now_ = t;
+      ++stats_.fired;
+      cb();
+      cb = nullptr;
+    }
   }
   now_ = end;
 }
 
 void Engine::run() { run_until(std::numeric_limits<SimTime>::max()); }
+
+std::size_t Engine::pending() const {
+  return ref_ != nullptr ? ref_->live() : calendar_.live();
+}
 
 }  // namespace smiless::sim

@@ -2,18 +2,20 @@
 
 #include <cstdint>
 #include <functional>
-#include <map>
-#include <queue>
+#include <memory>
 
 #include "common/check.hpp"
 #include "common/units.hpp"
+#include "sim/calendar_queue.hpp"
 
 namespace smiless::sim {
 
-using EventId = std::uint64_t;
+class ReferenceQueue;
 
 /// Lifetime counters over an Engine's event queue, surfaced through the
-/// observability metric registry. Pure simulation-domain tallies.
+/// observability metric registry. Pure simulation-domain tallies —
+/// identical for every QueueImpl by contract (the differential fuzz
+/// harness asserts it).
 struct EngineStats {
   std::uint64_t scheduled = 0;
   std::uint64_t fired = 0;
@@ -23,9 +25,27 @@ struct EngineStats {
 /// Discrete-event simulation engine: a clock plus an ordered queue of
 /// cancellable callbacks. Events at the same timestamp fire in scheduling
 /// order, which makes whole experiments deterministic.
+///
+/// The queue behind the clock is selectable at construction:
+///  - QueueImpl::Calendar (default) — the O(1)-amortized calendar queue
+///    with slab-allocated nodes and inline callbacks (the hot path).
+///  - QueueImpl::BinaryHeap — the original priority_queue + std::map pair,
+///    kept as the reference model for differential testing and as the
+///    baseline the throughput bench measures the calendar against.
+/// Both produce bit-identical trajectories; the choice is a pure
+/// performance knob.
 class Engine {
  public:
   using Callback = std::function<void()>;
+
+  enum class QueueImpl { Calendar, BinaryHeap };
+
+  Engine();
+  explicit Engine(QueueImpl impl);
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
 
   SimTime now() const { return now_; }
 
@@ -51,29 +71,26 @@ class Engine {
   /// Run until the queue drains completely.
   void run();
 
-  std::size_t pending() const { return callbacks_.size(); }
+  /// Live pending events; cancelled (tombstoned) events are excluded.
+  std::size_t pending() const;
 
   const EngineStats& stats() const { return stats_; }
 
- private:
-  struct QueuedEvent {
-    SimTime time;
-    EventId id;
-    bool operator>(const QueuedEvent& o) const {
-      if (time != o.time) return time > o.time;
-      return id > o.id;  // FIFO among simultaneous events
-    }
-  };
+  QueueImpl queue_impl() const {
+    return ref_ != nullptr ? QueueImpl::BinaryHeap : QueueImpl::Calendar;
+  }
 
+  /// Calendar internals for the bench; null under QueueImpl::BinaryHeap.
+  const CalendarStats* calendar_stats() const {
+    return ref_ != nullptr ? nullptr : &calendar_.stats();
+  }
+
+ private:
   SimTime now_ = 0.0;
   EventId next_id_ = 1;
   EngineStats stats_;
-  std::priority_queue<QueuedEvent, std::vector<QueuedEvent>, std::greater<>> queue_;
-  // Deterministic by construction (detlint ptr-key/unordered-iter catalog):
-  // keyed by the monotonic EventId, so any future iteration is in schedule
-  // order, not hash order. Lookups are O(log n) against ids that are mostly
-  // near the front of the queue; the priority_queue dominates the hot path.
-  std::map<EventId, Callback> callbacks_;
+  CalendarQueue calendar_;
+  std::unique_ptr<ReferenceQueue> ref_;  ///< engaged iff QueueImpl::BinaryHeap
 };
 
 }  // namespace smiless::sim

@@ -107,6 +107,62 @@ TEST(Engine, PendingCountTracksCancellations) {
   EXPECT_EQ(e.pending(), 1u);
 }
 
+TEST(Engine, FifoHoldsAcrossBucketResizes) {
+  // Enough events to force the calendar's bucket array through several
+  // growth resizes, with two big same-timestamp cohorts interleaved at
+  // schedule time: each cohort must still fire in its schedule order.
+  Engine e;
+  std::vector<int> order;
+  for (int i = 0; i < 600; ++i) {
+    e.schedule_at(1.0, [&order, i] { order.push_back(i); });
+    e.schedule_at(2.0, [&order, i] { order.push_back(600 + i); });
+  }
+  e.run();
+  ASSERT_EQ(order.size(), 1200u);
+  for (int i = 0; i < 1200; ++i) ASSERT_EQ(order[i], i);
+}
+
+TEST(Engine, RunUntilOnEmptyQueueStillAdvancesClock) {
+  Engine e;
+  e.run_until(7.25);
+  EXPECT_DOUBLE_EQ(e.now(), 7.25);
+  e.schedule_at(8.0, [] {});
+  e.run_until(20.0);  // drains early at t=8, clock must still land on end
+  EXPECT_DOUBLE_EQ(e.now(), 20.0);
+  EXPECT_EQ(e.pending(), 0u);
+}
+
+TEST(Engine, TombstonedEventsNeverFireNorCountAsPending) {
+  Engine e;
+  int fired = 0;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 10; ++i)
+    ids.push_back(e.schedule_at(1.0, [&] { ++fired; }));
+  for (int i = 0; i < 10; i += 2) EXPECT_TRUE(e.cancel(ids[static_cast<std::size_t>(i)]));
+  EXPECT_EQ(e.pending(), 5u);
+  e.run();
+  EXPECT_EQ(fired, 5);
+  EXPECT_EQ(e.stats().fired, 5u);
+  EXPECT_EQ(e.stats().cancelled, 5u);
+}
+
+TEST(Engine, RejectsNegativeDelay) {
+  Engine e;
+  EXPECT_THROW(e.schedule_after(-0.5, [] {}), CheckError);
+}
+
+TEST(Engine, StatsCountScheduledFiredCancelled) {
+  Engine e;
+  const EventId a = e.schedule_at(1.0, [] {});
+  e.schedule_at(2.0, [] {});
+  e.schedule_at(3.0, [] {});
+  e.cancel(a);
+  e.run();
+  EXPECT_EQ(e.stats().scheduled, 3u);
+  EXPECT_EQ(e.stats().fired, 2u);
+  EXPECT_EQ(e.stats().cancelled, 1u);
+}
+
 class RandomEventSweep : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(RandomEventSweep, EventsAlwaysFireInNonDecreasingTimeOrder) {

@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/slab.hpp"
+
+namespace smiless::common {
+namespace {
+
+struct Payload {
+  std::uint64_t a = 0;
+  double b = 0.0;
+  explicit Payload(std::uint64_t v = 0) : a(v), b(static_cast<double>(v)) {}
+};
+
+struct alignas(64) Overaligned {
+  char data[24] = {};
+};
+
+// Counts constructions/destructions so we can prove the slab runs both.
+struct Counted {
+  static int alive;
+  Counted() { ++alive; }
+  ~Counted() { --alive; }
+};
+int Counted::alive = 0;
+
+TEST(Slab, EverySlotMeetsTheTypesAlignment) {
+  Slab<Payload> slab(4);
+  for (int i = 0; i < 100; ++i) {
+    Payload* p = slab.create(static_cast<std::uint64_t>(i));
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % alignof(Payload), 0u);
+    EXPECT_EQ(p->a, static_cast<std::uint64_t>(i));
+  }
+}
+
+TEST(Slab, OveralignedTypesStayOveraligned) {
+  Slab<Overaligned> slab(2);
+  std::vector<Overaligned*> ptrs;
+  for (int i = 0; i < 50; ++i) ptrs.push_back(slab.create());
+  for (Overaligned* p : ptrs)
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % 64, 0u);
+  for (Overaligned* p : ptrs) slab.destroy(p);
+  // Reused slots keep the alignment too.
+  for (int i = 0; i < 50; ++i)
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(slab.create()) % 64, 0u);
+}
+
+TEST(Slab, FreelistReuseIsLifoAndDeterministic) {
+  Slab<Payload> slab;
+  Payload* a = slab.create(1u);
+  Payload* b = slab.create(2u);
+  Payload* c = slab.create(3u);
+  slab.destroy(a);
+  slab.destroy(b);
+  slab.destroy(c);
+  // LIFO: the most recently destroyed slot comes back first.
+  EXPECT_EQ(slab.create(4u), c);
+  EXPECT_EQ(slab.create(5u), b);
+  EXPECT_EQ(slab.create(6u), a);
+  EXPECT_EQ(slab.stats().reused, 3u);
+}
+
+TEST(Slab, GrowsGeometricallyUnderExhaustion) {
+  Slab<Payload> slab(2);  // blocks of 2, 4, 8, ...
+  std::vector<Payload*> ptrs;
+  for (int i = 0; i < 10; ++i) ptrs.push_back(slab.create());
+  EXPECT_EQ(slab.stats().blocks, 3u);  // 2 + 4 + 8 covers 10 slots
+  for (int i = 0; i < 20; ++i) ptrs.push_back(slab.create());
+  EXPECT_EQ(slab.stats().blocks, 4u);  // + 16: 2+4+8+16 = 30 slots exactly
+  EXPECT_EQ(slab.stats().live, 30u);
+  for (Payload* p : ptrs) slab.destroy(p);
+  EXPECT_EQ(slab.stats().live, 0u);
+  EXPECT_EQ(slab.stats().peak_live, 30u);
+  // Exhausted-and-freed slots all come back before any new block is carved.
+  for (int i = 0; i < 30; ++i) slab.create();
+  EXPECT_EQ(slab.stats().blocks, 4u);
+}
+
+TEST(Slab, RunsConstructorsAndDestructors) {
+  Slab<Counted> slab;
+  Counted* x = slab.create();
+  Counted* y = slab.create();
+  EXPECT_EQ(Counted::alive, 2);
+  slab.destroy(x);
+  EXPECT_EQ(Counted::alive, 1);
+  slab.destroy(y);
+  EXPECT_EQ(Counted::alive, 0);
+}
+
+#if !SMILESS_SLAB_ASAN
+TEST(Slab, PoisonModeFillsFreedSlots) {
+  // Outside ASan the poison is a recognizable byte pattern; inspecting the
+  // freed slot through the slab's own storage shows it. (Under ASan the
+  // same read would — correctly — abort; see PoisonedSlotTripsAsan.)
+  Slab<Payload> slab(4, /*poison=*/true);
+  Payload* p = slab.create(0xABCDu);
+  auto* raw = reinterpret_cast<const unsigned char*>(p);
+  slab.destroy(p);
+  for (std::size_t i = 0; i < sizeof(Payload); ++i)
+    ASSERT_EQ(raw[i], Slab<Payload>::kPoisonByte) << "byte " << i;
+}
+
+TEST(Slab, PoisonOffLeavesSlotReusableWithoutPattern) {
+  Slab<Payload> slab(4, /*poison=*/false);
+  Payload* p = slab.create(7u);
+  slab.destroy(p);
+  Payload* q = slab.create(9u);
+  EXPECT_EQ(p, q);  // LIFO reuse
+  EXPECT_EQ(q->a, 9u);
+}
+#endif
+
+#if SMILESS_SLAB_ASAN
+TEST(SlabDeathTest, PoisonedSlotTripsAsan) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        Slab<Payload> slab(4, /*poison=*/true);
+        Payload* p = slab.create(1u);
+        slab.destroy(p);
+        volatile std::uint64_t v = p->a;  // use-after-free: must fault here
+        (void)v;
+      },
+      "use-after-poison|AddressSanitizer");
+}
+#endif
+
+TEST(Recycler, AcquireReturnsMostRecentlyReleased) {
+  Recycler<std::vector<int>> rec;
+  std::vector<int> a = rec.acquire();
+  std::vector<int> b = rec.acquire();
+  a.assign(100, 1);
+  b.assign(50, 2);
+  const std::size_t cap_a = a.capacity();
+  rec.release(std::move(a));
+  rec.release(std::move(b));
+  EXPECT_EQ(rec.pooled(), 2u);
+  std::vector<int> c = rec.acquire();  // LIFO: b's storage
+  EXPECT_TRUE(c.empty());             // cleared on release
+  EXPECT_GE(c.capacity(), 50u);       // capacity preserved
+  std::vector<int> d = rec.acquire();
+  EXPECT_GE(d.capacity(), cap_a);
+  EXPECT_EQ(rec.stats().reused, 2u);
+}
+
+TEST(Recycler, CapBoundsThePool) {
+  Recycler<std::string> rec(/*max_pooled=*/2);
+  rec.release(std::string(64, 'x'));
+  rec.release(std::string(64, 'y'));
+  rec.release(std::string(64, 'z'));  // over the cap: dropped, not pooled
+  EXPECT_EQ(rec.pooled(), 2u);
+}
+
+TEST(Recycler, StatsTrackLifetimes) {
+  Recycler<std::vector<int>> rec;
+  auto a = rec.acquire();
+  auto b = rec.acquire();
+  EXPECT_EQ(rec.stats().live, 2u);
+  EXPECT_EQ(rec.stats().peak_live, 2u);
+  rec.release(std::move(a));
+  rec.release(std::move(b));
+  EXPECT_EQ(rec.stats().live, 0u);
+  EXPECT_EQ(rec.stats().created, 2u);
+  EXPECT_EQ(rec.stats().destroyed, 2u);
+}
+
+}  // namespace
+}  // namespace smiless::common

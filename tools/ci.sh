@@ -13,6 +13,7 @@
 #   tools/ci.sh lint       # static analysis only: detlint + clang-tidy + compile-db audit
 #   tools/ci.sh tsan       # ThreadSanitizer flavor only
 #   tools/ci.sh golden     # golden bit-identity smoke against tests/golden/
+#   tools/ci.sh bench      # shrunken throughput bench + artifact schema check
 #   tools/ci.sh full /tmp/ci
 set -euo pipefail
 
@@ -21,7 +22,7 @@ repo="$(cd "$(dirname "$0")/.." && pwd)"
 cd "${repo}"
 mode="full"
 case "${1:-}" in
-  lint|tsan|golden|full) mode="$1"; shift ;;
+  lint|tsan|golden|bench|full) mode="$1"; shift ;;
 esac
 prefix="${1:-${repo}/build-ci}"
 jobs="$(nproc 2>/dev/null || echo 4)"
@@ -273,6 +274,67 @@ EOF
   rm -rf "${dir}"
 }
 
+
+# Throughput-bench smoke: a shrunken version of the large BENCH_throughput
+# cell (bench/bench_throughput.cpp) must run end-to-end, keep both queue
+# impls on identical trajectories (the binary exits non-zero otherwise) and
+# emit an artifact with the pinned schema — same keys and types as the
+# full-size BENCH_throughput.json at the repo root.
+bench_smoke() {
+  echo "==== [bench] shrunken throughput cell + artifact schema ===="
+  local dir out
+  dir="$(mktemp -d)"
+  out="${dir}/BENCH_throughput.json"
+  "${prefix}/bench/bench_throughput" --apps 24 --machines 12 --duration 90 \
+      --events 150000 --out "${out}"
+  python3 - "${out}" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+
+def require(obj, key, types, path):
+    assert key in obj, f"missing key {path}.{key}"
+    assert isinstance(obj[key], types), \
+        f"{path}.{key}: expected {types}, got {type(obj[key]).__name__}"
+    return obj[key]
+
+num = (int, float)
+assert doc["bench"] == "throughput", "wrong bench tag"
+cfg = require(doc, "config", dict, "$")
+for k in ("apps", "machines", "nodes_per_app", "seed", "micro_events", "micro_live"):
+    require(cfg, k, int, "config")
+require(cfg, "trace_duration_s", num, "config")
+det = require(doc, "deterministic", dict, "$")
+for k in ("arrivals_total", "requests_submitted", "requests_completed",
+          "events_scheduled", "events_fired", "events_cancelled"):
+    require(det, k, int, "deterministic")
+assert require(det, "identical_across_impls", bool, "deterministic") is True
+assert det["events_fired"] + det["events_cancelled"] <= det["events_scheduled"], \
+    "event accounting broken"
+assert det["requests_completed"] <= det["requests_submitted"], "completion accounting broken"
+for impl in ("calendar", "binary_heap"):
+    sec = require(doc, impl, dict, "$")
+    for k in ("wall_seconds", "events_per_sec", "peak_rss_mb"):
+        require(sec, k, num, impl)
+cs = require(doc["calendar"], "calendar_stats", dict, "calendar")
+for k in ("resizes", "direct_searches", "buckets", "peak_live"):
+    require(cs, k, int, "calendar_stats")
+micro = require(doc, "micro", dict, "$")
+for impl in ("calendar", "binary_heap"):
+    sec = require(micro, impl, dict, "micro")
+    require(sec, "events", int, f"micro.{impl}")
+    for k in ("wall_seconds", "events_per_sec"):
+        require(sec, k, num, f"micro.{impl}")
+require(micro, "speedup", num, "micro")
+require(doc, "e2e_speedup", num, "$")
+require(doc, "peak_rss_mb", num, "$")
+print(f"[bench] schema OK; micro speedup {micro['speedup']:.2f}x,"
+      f" e2e {doc['e2e_speedup']:.2f}x,"
+      f" {det['events_fired']} events fired")
+EOF
+  rm -rf "${dir}"
+  echo "[bench] throughput smoke green"
+}
+
 case "${mode}" in
   lint)
     lint_step
@@ -292,6 +354,14 @@ case "${mode}" in
     echo "==== golden green ===="
     exit 0
     ;;
+  bench)
+    echo "==== [bench] configure + build ===="
+    configure_flavor ci "${prefix}"
+    cmake --build "${prefix}" --target bench_throughput -j "${jobs}"
+    bench_smoke
+    echo "==== bench green ===="
+    exit 0
+    ;;
 esac
 
 run_flavor default ci "${prefix}"
@@ -299,6 +369,7 @@ lint_step
 sweep_smoke
 golden_smoke
 obs_smoke
+bench_smoke
 run_flavor asan asan "${prefix}-asan" -DSMILESS_SANITIZE=address
 run_flavor ubsan ubsan "${prefix}-ubsan" -DSMILESS_SANITIZE=undefined
 tsan_step
