@@ -62,7 +62,8 @@ exp::ExperimentConfig variant_cell(const Variant& variant, exp::ExperimentConfig
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  parse_bench_args(argc, argv);
   const double duration = bench_duration(400.0);
   const auto all = variants();
 

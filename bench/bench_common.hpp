@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <cstring>
 #include <iostream>
 #include <memory>
 #include <string>
@@ -15,32 +16,107 @@
 
 namespace smiless::bench {
 
-/// Trace length (seconds of simulated time) per application. The paper runs
-/// 2 hours; the default here keeps every bench binary in the tens of
-/// seconds. Override with SMILESS_BENCH_DURATION=7200 for full-length runs.
-inline double bench_duration(double fallback = 600.0) {
-  // detlint:allow(env-read) bench-harness knob; changes which cells run, never a cell's result
-  if (const char* env = std::getenv("SMILESS_BENCH_DURATION")) {
-    const double v = std::atof(env);
-    if (v > 0.0) return v;
+/// The shared bench-harness knobs, set once by parse_bench_args() before
+/// anything reads them. First-class flags (no environment variables): they
+/// change how long the benches run and how many workers execute, never any
+/// cell's result — artifacts are bit-identical for every value.
+struct BenchArgs {
+  double duration = 0.0;     ///< trace length override (0 = bench's default)
+  std::size_t threads = 0;   ///< sweep workers (0 = hardware concurrency)
+  int lane_threads = 0;      ///< lane-stepping threads for sharded cells
+  bool progress = false;     ///< per-cell completion lines on stderr
+};
+
+inline BenchArgs& bench_args() {
+  static BenchArgs args;
+  return args;
+}
+
+/// Consume argv[i] if it is one of the shared bench flags (--duration S,
+/// --threads N, --lane-threads N, --progress), advancing i past its value.
+/// Benches with extra private flags call this first in their own loop.
+inline bool consume_shared_flag(int argc, char** argv, int& i) {
+  const auto value = [&](const char* flag) -> const char* {
+    if (i + 1 >= argc) {
+      std::cerr << argv[0] << ": " << flag << " needs a value\n";
+      std::exit(2);
+    }
+    return argv[++i];
+  };
+  if (!std::strcmp(argv[i], "--duration")) {
+    bench_args().duration = std::atof(value("--duration"));
+    if (bench_args().duration <= 0.0) {
+      std::cerr << argv[0] << ": --duration must be > 0\n";
+      std::exit(2);
+    }
+    return true;
   }
-  return fallback;
+  if (!std::strcmp(argv[i], "--threads")) {
+    const long v = std::atol(value("--threads"));
+    if (v < 1) {
+      std::cerr << argv[0] << ": --threads must be >= 1\n";
+      std::exit(2);
+    }
+    bench_args().threads = static_cast<std::size_t>(v);
+    return true;
+  }
+  if (!std::strcmp(argv[i], "--lane-threads")) {
+    const int v = std::atoi(value("--lane-threads"));
+    if (v < 0) {
+      std::cerr << argv[0] << ": --lane-threads must be >= 0\n";
+      std::exit(2);
+    }
+    bench_args().lane_threads = v;
+    return true;
+  }
+  if (!std::strcmp(argv[i], "--progress")) {
+    bench_args().progress = true;
+    return true;
+  }
+  return false;
+}
+
+/// Parse the shared bench flags; call first thing in main(). Rejects
+/// anything consume_shared_flag doesn't know, so typos fail loudly.
+inline void parse_bench_args(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (consume_shared_flag(argc, argv, i)) continue;
+    if (!std::strcmp(argv[i], "--help") || !std::strcmp(argv[i], "-h")) {
+      std::cerr << "usage: " << argv[0]
+                << " [--duration S] [--threads N] [--lane-threads N] [--progress]\n"
+                   "  --duration S      simulated trace length per app (e.g. 7200\n"
+                   "                    for the paper's 2-hour runs)\n"
+                   "  --threads N       concurrent sweep cells (default: hardware;\n"
+                   "                    results are bit-identical for every value)\n"
+                   "  --lane-threads N  threads stepping sharded cells' lanes\n"
+                   "                    (0 = hardware, 1 = serial; wall-clock only)\n"
+                   "  --progress        per-cell completion lines on stderr\n";
+      std::exit(0);
+    }
+    std::cerr << argv[0] << ": unknown flag " << argv[i] << " (see --help)\n";
+    std::exit(2);
+  }
+}
+
+/// Trace length (seconds of simulated time) per application. The paper runs
+/// 2 hours; each bench's fallback keeps the binary in the tens of seconds.
+/// Override with --duration 7200 for full-length runs.
+inline double bench_duration(double fallback = 600.0) {
+  return bench_args().duration > 0.0 ? bench_args().duration : fallback;
 }
 
 /// The one sweep runner every bench binary drives its grid through. Cells
-/// run concurrently (SMILESS_BENCH_THREADS overrides the worker count, 1
-/// forces serial; results are bit-identical either way), and
-/// SMILESS_BENCH_PROGRESS=1 prints per-cell completion lines to stderr.
+/// run concurrently (--threads overrides the worker count, 1 forces serial;
+/// results are bit-identical either way), --lane-threads steps sharded
+/// cells' lanes, and --progress prints per-cell completion lines to stderr.
+/// Built on first use from bench_args(), so parse_bench_args() must run
+/// before the first cell does.
 inline exp::Runner& shared_runner() {
   static exp::Runner runner = [] {
     exp::RunnerOptions options;
-    // detlint:allow(env-read) worker-count knob; results are bit-identical at any thread count
-    if (const char* env = std::getenv("SMILESS_BENCH_THREADS")) {
-      const long v = std::atol(env);
-      if (v > 0) options.threads = static_cast<std::size_t>(v);
-    }
-    // detlint:allow(env-read) progress printing toggle; stderr only
-    options.progress = std::getenv("SMILESS_BENCH_PROGRESS") != nullptr;
+    options.threads = bench_args().threads;
+    options.lane_threads = bench_args().lane_threads;
+    options.progress = bench_args().progress;
     return exp::Runner(options);
   }();
   return runner;

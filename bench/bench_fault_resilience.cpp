@@ -13,7 +13,8 @@
 using namespace smiless;
 using namespace smiless::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  parse_bench_args(argc, argv);
   const double duration = bench_duration(300.0);
 
   exp::ExperimentGrid grid;

@@ -8,7 +8,8 @@
 using namespace smiless;
 using namespace smiless::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  parse_bench_args(argc, argv);
   const double duration = bench_duration(400.0);
 
   exp::ExperimentGrid grid;

@@ -9,7 +9,8 @@
 using namespace smiless;
 using namespace smiless::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  parse_bench_args(argc, argv);
   const double duration = bench_duration(400.0);
   const std::vector<double> sigmas = {0.0, 1.0, 2.0, 3.0};
 

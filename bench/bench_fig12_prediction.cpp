@@ -1,6 +1,6 @@
 // Reproduces Fig. 12: accuracy of the online predictors, trained on the
 // first segment of a long trace and evaluated on the rest (the paper trains
-// on 1 hour and tests on 21 hours; scale with SMILESS_BENCH_DURATION).
+// on 1 hour and tests on 21 hours; scale with --duration).
 // (a) invocation-number prediction: underestimation rate and MAPE of
 //     SMIless' LSTM bucket classifier vs XGBoost, ARIMA and FIP
 //     (paper: SMIless ~3% underestimation, best of the four);
@@ -40,7 +40,8 @@ Eval walk_forward(const predictor::SeriesPredictor& p, std::span<const double> s
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  parse_bench_args(argc, argv);
   // "1 h train / 21 h test" scaled: 1200 train windows, 4x that for test.
   const auto train_len = static_cast<std::size_t>(bench_duration(1200.0));
   const std::size_t total_len = 5 * train_len;

@@ -12,7 +12,8 @@
 using namespace smiless;
 using namespace smiless::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  parse_bench_args(argc, argv);
   const double duration = bench_duration();
 
   // Fig. 13a grid: near-periodic 10 s gaps — the regime where just-in-time

@@ -7,7 +7,8 @@
 using namespace smiless;
 using namespace smiless::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  parse_bench_args(argc, argv);
   exp::ExperimentGrid grid;
   grid.base = base_config(2.0, 60.0);
   grid.base.app = "wl3";

@@ -25,7 +25,8 @@ void add_usage_row(TextTable& table, const std::string& name, const Usage& u) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  parse_bench_args(argc, argv);
   const double duration = bench_duration();
 
   // One grid, two SLA points: the headline zoo at the paper's 2 s target,

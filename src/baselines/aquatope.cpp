@@ -17,7 +17,7 @@ std::vector<double> AquatopePolicy::normalize(const std::vector<int>& cfg_idx) c
   return x;
 }
 
-void AquatopePolicy::apply(serverless::AppId app, serverless::Platform& platform) {
+void AquatopePolicy::apply(serverless::AppId app, serverless::PlatformView& platform) {
   for (std::size_t n = 0; n < current_.size(); ++n) {
     serverless::FunctionPlan plan;
     plan.config = options_.optimizer.config_space[current_[n]];
@@ -28,7 +28,7 @@ void AquatopePolicy::apply(serverless::AppId app, serverless::Platform& platform
 }
 
 void AquatopePolicy::on_deploy(serverless::AppId app, const apps::App& spec,
-                               serverless::Platform& platform) {
+                               serverless::PlatformView& platform) {
   SMILESS_CHECK(profiles_.size() == spec.dag.size());
   sla_ = spec.sla;
   // Start from a mid-range configuration for every function.
@@ -38,7 +38,7 @@ void AquatopePolicy::on_deploy(serverless::AppId app, const apps::App& spec,
 }
 
 void AquatopePolicy::on_window(serverless::AppId app, const apps::App& spec,
-                               serverless::Platform& platform,
+                               serverless::PlatformView& platform,
                                const serverless::WindowStats&) {
   // Baseline reactive scaling (a Kubernetes HPA stand-in): spawn extra
   // instances when a backlog outgrows what is already warming up. Aquatope

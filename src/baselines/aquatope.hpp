@@ -6,7 +6,7 @@
 #include "common/rng.hpp"
 #include "core/workflow_manager.hpp"
 #include "math/gaussian_process.hpp"
-#include "serverless/platform.hpp"
+#include "serverless/platform_view.hpp"
 
 namespace smiless::baselines {
 
@@ -36,13 +36,13 @@ class AquatopePolicy : public serverless::Policy {
 
   std::string name() const override { return "Aquatope"; }
   void on_deploy(serverless::AppId app, const apps::App& spec,
-                 serverless::Platform& platform) override;
+                 serverless::PlatformView& platform) override;
   void on_window(serverless::AppId app, const apps::App& spec,
-                 serverless::Platform& platform, const serverless::WindowStats& stats) override;
+                 serverless::PlatformView& platform, const serverless::WindowStats& stats) override;
 
  private:
   std::vector<double> normalize(const std::vector<int>& cfg_idx) const;
-  void apply(serverless::AppId app, serverless::Platform& platform);
+  void apply(serverless::AppId app, serverless::PlatformView& platform);
 
   std::vector<perf::FunctionPerf> profiles_;
   Options options_;

@@ -11,6 +11,7 @@
 #include "cluster/cluster.hpp"
 #include "core/smiless_policy.hpp"
 #include "obs/telemetry.hpp"
+#include "serverless/sharding.hpp"
 #include "sim/engine.hpp"
 
 namespace smiless::baselines {
@@ -64,6 +65,35 @@ void fill_result(RunResult& r, const serverless::AppMetrics& m, double sla) {
                                              static_cast<double>(r.submitted);
 }
 
+/// Mirror the run's global books into the telemetry registry — identical
+/// keys for the monolithic and sharded paths, so artifacts don't reveal
+/// which one produced them.
+void mirror_registry(obs::Telemetry& tel, const sim::EngineStats& es,
+                     const faults::FaultStats& fs, const std::vector<RunResult>& results) {
+  auto& reg = tel.registry();
+  reg.count("engine/events_scheduled", es.scheduled);
+  reg.count("engine/events_fired", es.fired);
+  reg.count("engine/events_cancelled", es.cancelled);
+  reg.count("faults/init_failures", static_cast<std::uint64_t>(fs.init_failures));
+  reg.count("faults/stragglers", static_cast<std::uint64_t>(fs.stragglers));
+  reg.count("faults/crashes", static_cast<std::uint64_t>(fs.crashes));
+  reg.count("faults/recoveries", static_cast<std::uint64_t>(fs.recoveries));
+  for (const RunResult& r : results) {
+    const std::string p = "app/" + r.app + "/";
+    reg.count(p + "submitted", static_cast<std::uint64_t>(r.submitted));
+    reg.count(p + "completed", static_cast<std::uint64_t>(r.completed));
+    reg.count(p + "failed", static_cast<std::uint64_t>(r.failed));
+    reg.count(p + "invocations", static_cast<std::uint64_t>(r.invocations));
+    reg.count(p + "initializations", static_cast<std::uint64_t>(r.initializations));
+    reg.count(p + "evictions", static_cast<std::uint64_t>(r.evictions));
+    reg.count(p + "retries", static_cast<std::uint64_t>(r.retries));
+    reg.count(p + "timeouts", static_cast<std::uint64_t>(r.timeouts));
+    reg.gauge(p + "cost", r.cost);
+    reg.gauge(p + "cpu_core_seconds", r.cpu_core_seconds);
+    reg.gauge(p + "gpu_pct_seconds", r.gpu_pct_seconds);
+  }
+}
+
 }  // namespace
 
 RunResult run_experiment(const apps::App& app, const workload::Trace& trace,
@@ -79,6 +109,7 @@ RunResult run_experiment(const apps::App& app, const workload::Trace& trace,
 std::vector<RunResult> run_colocated(std::vector<ColocatedApp> apps,
                                      const ExperimentOptions& options) {
   SMILESS_CHECK(!apps.empty());
+  if (options.lanes > 1) return run_sharded(std::move(apps), options);
   obs::Telemetry* tel = options.telemetry;
   sim::Engine engine;
   cluster::Cluster cluster = cluster::Cluster::paper_testbed();
@@ -118,32 +149,43 @@ std::vector<RunResult> run_colocated(std::vector<ColocatedApp> apps,
   for (std::size_t i = 0; i < apps.size(); ++i)
     fill_result(out[i], platform.metrics(ids[i]), apps[i].app.sla);
 
-  if (tel != nullptr) {
-    auto& reg = tel->registry();
-    reg.count("engine/events_scheduled", engine.stats().scheduled);
-    reg.count("engine/events_fired", engine.stats().fired);
-    reg.count("engine/events_cancelled", engine.stats().cancelled);
-    const auto& fs = injector.stats();
-    reg.count("faults/init_failures", static_cast<std::uint64_t>(fs.init_failures));
-    reg.count("faults/stragglers", static_cast<std::uint64_t>(fs.stragglers));
-    reg.count("faults/crashes", static_cast<std::uint64_t>(fs.crashes));
-    reg.count("faults/recoveries", static_cast<std::uint64_t>(fs.recoveries));
-    for (std::size_t i = 0; i < apps.size(); ++i) {
-      const RunResult& r = out[i];
-      const std::string p = "app/" + r.app + "/";
-      reg.count(p + "submitted", static_cast<std::uint64_t>(r.submitted));
-      reg.count(p + "completed", static_cast<std::uint64_t>(r.completed));
-      reg.count(p + "failed", static_cast<std::uint64_t>(r.failed));
-      reg.count(p + "invocations", static_cast<std::uint64_t>(r.invocations));
-      reg.count(p + "initializations", static_cast<std::uint64_t>(r.initializations));
-      reg.count(p + "evictions", static_cast<std::uint64_t>(r.evictions));
-      reg.count(p + "retries", static_cast<std::uint64_t>(r.retries));
-      reg.count(p + "timeouts", static_cast<std::uint64_t>(r.timeouts));
-      reg.gauge(p + "cost", r.cost);
-      reg.gauge(p + "cpu_core_seconds", r.cpu_core_seconds);
-      reg.gauge(p + "gpu_pct_seconds", r.gpu_pct_seconds);
-    }
+  if (tel != nullptr) mirror_registry(*tel, engine.stats(), injector.stats(), out);
+  return out;
+}
+
+std::vector<RunResult> run_sharded(std::vector<ColocatedApp> apps,
+                                   const ExperimentOptions& options) {
+  SMILESS_CHECK(!apps.empty());
+  serverless::ShardOptions sopt;
+  sopt.lanes = std::max(1, options.lanes);
+  sopt.lane_threads = options.lane_threads;
+  sopt.seed = options.seed;
+  sopt.machines = 8;  // the paper's testbed, as in run_colocated
+  sopt.platform = options.platform;
+  sopt.faults = options.faults;
+  sopt.telemetry = options.telemetry;
+  serverless::ShardedPlatform sharded(sopt);
+
+  std::vector<RunResult> out(apps.size());
+  std::vector<double> slas(apps.size());
+  double horizon = 0.0;
+  for (std::size_t i = 0; i < apps.size(); ++i) {
+    auto& ca = apps[i];
+    SMILESS_CHECK(ca.trace != nullptr && ca.policy != nullptr);
+    out[i].policy = ca.policy->name();
+    out[i].app = ca.app.name;
+    slas[i] = ca.app.sla;
+    horizon = std::max(horizon,
+                       static_cast<double>(ca.trace->counts.size()) * ca.trace->window);
+    sharded.add_app(std::move(ca.app), std::move(ca.policy), ca.trace->arrivals);
   }
+  sharded.run(horizon + options.drain_slack);
+
+  for (std::size_t i = 0; i < apps.size(); ++i)
+    fill_result(out[i], sharded.metrics(static_cast<int>(i)), slas[i]);
+
+  if (options.telemetry != nullptr)
+    mirror_registry(*options.telemetry, sharded.engine_stats(), sharded.fault_stats(), out);
   return out;
 }
 

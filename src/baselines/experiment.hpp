@@ -43,6 +43,17 @@ class ProfileStore {
 struct ExperimentOptions {
   std::uint64_t seed = 42;
   double drain_slack = 120.0;  ///< extra sim time to drain in-flight requests
+
+  /// Intra-cell sharding (DESIGN.md §14). 1 runs the classic monolithic
+  /// simulation; > 1 hash-partitions the apps into that many deterministic
+  /// lanes (run_colocated then delegates to run_sharded). Output is
+  /// bit-identical at any lane_threads; a single-app deployment is
+  /// invariant in lanes.
+  int lanes = 1;
+  /// Threads stepping the lanes between window barriers (0 = hardware
+  /// concurrency, 1 = serial). Wall-clock only — never changes results.
+  int lane_threads = 0;
+
   serverless::PlatformOptions platform;
   /// Fault injection for the run; the default (all zero) is fault-free and
   /// reproduces the exact fault-less trajectory for a given seed.
@@ -101,6 +112,16 @@ struct ColocatedApp {
 /// RunResult per application, in input order.
 std::vector<RunResult> run_colocated(std::vector<ColocatedApp> apps,
                                      const ExperimentOptions& options);
+
+/// The sharded flavor of run_colocated: apps are hash-partitioned into
+/// `options.lanes` deterministic lanes, each a full private world over a
+/// slice of the 8-machine testbed, advanced in window-barrier lockstep (see
+/// serverless::ShardedPlatform). With `options.lanes == 1` — or any cell
+/// whose apps land in a single lane — this reproduces run_colocated's
+/// trajectory exactly. run_colocated calls this itself when lanes > 1;
+/// calling it directly is for tests and the throughput bench.
+std::vector<RunResult> run_sharded(std::vector<ColocatedApp> apps,
+                                   const ExperimentOptions& options);
 
 /// The policy zoo of the evaluation section.
 enum class PolicyKind {

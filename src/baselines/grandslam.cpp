@@ -9,7 +9,7 @@ GrandSlamPolicy::GrandSlamPolicy(std::vector<perf::FunctionPerf> profiles_by_nod
     : profiles_(std::move(profiles_by_node)), options_(std::move(options)) {}
 
 void GrandSlamPolicy::on_deploy(serverless::AppId app, const apps::App& spec,
-                                serverless::Platform& platform) {
+                                serverless::PlatformView& platform) {
   SMILESS_CHECK(profiles_.size() == spec.dag.size());
 
   // Per-stage slack: SLA * (stage's reference latency / reference critical
@@ -72,7 +72,7 @@ void GrandSlamPolicy::on_deploy(serverless::AppId app, const apps::App& spec,
 }
 
 void GrandSlamPolicy::on_instance_failed(serverless::AppId app, const apps::App& spec,
-                                         serverless::Platform& platform, dag::NodeId node,
+                                         serverless::PlatformView& platform, dag::NodeId node,
                                          serverless::InstanceFailure kind) {
   (void)spec;
   (void)kind;

@@ -4,7 +4,7 @@
 #include <vector>
 
 #include "core/workflow_manager.hpp"
-#include "serverless/platform.hpp"
+#include "serverless/platform_view.hpp"
 
 namespace smiless::baselines {
 
@@ -31,11 +31,11 @@ class GrandSlamPolicy : public serverless::Policy {
 
   std::string name() const override { return "GrandSLAm"; }
   void on_deploy(serverless::AppId app, const apps::App& spec,
-                 serverless::Platform& platform) override;
+                 serverless::PlatformView& platform) override;
   /// The fleet is provisioned once and kept warm forever, so any
   /// involuntary death is immediately replaced up to the floor.
   void on_instance_failed(serverless::AppId app, const apps::App& spec,
-                          serverless::Platform& platform, dag::NodeId node,
+                          serverless::PlatformView& platform, dag::NodeId node,
                           serverless::InstanceFailure kind) override;
 
   const std::vector<double>& sub_slas() const { return sub_slas_; }

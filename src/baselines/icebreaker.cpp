@@ -24,7 +24,7 @@ double IceBreakerPolicy::efficiency_score(const perf::FunctionPerf& fn,
 }
 
 void IceBreakerPolicy::on_deploy(serverless::AppId app, const apps::App& spec,
-                                 serverless::Platform& platform) {
+                                 serverless::PlatformView& platform) {
   SMILESS_CHECK(profiles_.size() == spec.dag.size());
   chosen_.resize(spec.dag.size());
   for (std::size_t n = 0; n < spec.dag.size(); ++n) {
@@ -45,7 +45,7 @@ void IceBreakerPolicy::on_deploy(serverless::AppId app, const apps::App& spec,
 }
 
 void IceBreakerPolicy::on_window(serverless::AppId app, const apps::App& spec,
-                                 serverless::Platform& platform,
+                                 serverless::PlatformView& platform,
                                  const serverless::WindowStats& stats) {
   count_history_.push_back(static_cast<double>(stats.arrivals));
   const double predicted = fip_.predict_next(count_history_);

@@ -5,7 +5,7 @@
 
 #include "core/workflow_manager.hpp"
 #include "predictor/classic.hpp"
-#include "serverless/platform.hpp"
+#include "serverless/platform_view.hpp"
 
 namespace smiless::baselines {
 
@@ -31,9 +31,9 @@ class IceBreakerPolicy : public serverless::Policy {
 
   std::string name() const override { return "IceBreaker"; }
   void on_deploy(serverless::AppId app, const apps::App& spec,
-                 serverless::Platform& platform) override;
+                 serverless::PlatformView& platform) override;
   void on_window(serverless::AppId app, const apps::App& spec,
-                 serverless::Platform& platform, const serverless::WindowStats& stats) override;
+                 serverless::PlatformView& platform, const serverless::WindowStats& stats) override;
 
   /// The efficiency-to-cost score IceBreaker ranks configurations by:
   /// (speed-up over the 1-core CPU) / (price ratio over the 1-core CPU).

@@ -8,7 +8,7 @@ OrionPolicy::OrionPolicy(std::vector<perf::FunctionPerf> profiles_by_node, Optio
     : profiles_(std::move(profiles_by_node)), options_(std::move(options)) {}
 
 void OrionPolicy::on_deploy(serverless::AppId app, const apps::App& spec,
-                            serverless::Platform& platform) {
+                            serverless::PlatformView& platform) {
   SMILESS_CHECK(profiles_.size() == spec.dag.size());
   core::StrategyOptimizer opt(options_.optimizer);
   opt.set_cost_model(core::CostModel::AlwaysPrewarm);
@@ -27,7 +27,7 @@ void OrionPolicy::on_deploy(serverless::AppId app, const apps::App& spec,
 }
 
 void OrionPolicy::on_arrival(serverless::AppId app, const apps::App&,
-                             serverless::Platform& platform, SimTime now) {
+                             serverless::PlatformView& platform, SimTime now) {
   // Per-request pre-warming under the "right pre-warming" assumption: each
   // downstream function's init is started at request arrival so it overlaps
   // upstream execution. When a function has no idle instance at that moment
@@ -46,7 +46,7 @@ void OrionPolicy::on_arrival(serverless::AppId app, const apps::App&,
 }
 
 void OrionPolicy::on_window(serverless::AppId app, const apps::App& spec,
-                            serverless::Platform& platform, const serverless::WindowStats&) {
+                            serverless::PlatformView& platform, const serverless::WindowStats&) {
   // Reactive scale-out: when a queue built up beyond what warming instances
   // will absorb, launch additional instances to protect the SLA.
   for (std::size_t n = 0; n < spec.dag.size(); ++n) {

@@ -4,7 +4,7 @@
 #include <vector>
 
 #include "core/workflow_manager.hpp"
-#include "serverless/platform.hpp"
+#include "serverless/platform_view.hpp"
 
 namespace smiless::baselines {
 
@@ -32,11 +32,11 @@ class OrionPolicy : public serverless::Policy {
 
   std::string name() const override { return "Orion"; }
   void on_deploy(serverless::AppId app, const apps::App& spec,
-                 serverless::Platform& platform) override;
+                 serverless::PlatformView& platform) override;
   void on_arrival(serverless::AppId app, const apps::App& spec,
-                  serverless::Platform& platform, SimTime now) override;
+                  serverless::PlatformView& platform, SimTime now) override;
   void on_window(serverless::AppId app, const apps::App& spec,
-                 serverless::Platform& platform, const serverless::WindowStats& stats) override;
+                 serverless::PlatformView& platform, const serverless::WindowStats& stats) override;
 
   const core::AppSolution& solution() const { return solution_; }
 

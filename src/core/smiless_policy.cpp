@@ -38,7 +38,7 @@ void SmilessPolicy::set_oracle_arrivals(std::vector<SimTime> arrivals) {
 }
 
 void SmilessPolicy::on_deploy(serverless::AppId app, const apps::App& spec,
-                              serverless::Platform& platform) {
+                              serverless::PlatformView& platform) {
   SMILESS_CHECK_MSG(app_id_ < 0, "one SmilessPolicy instance serves one application");
   app_id_ = app;
   SMILESS_CHECK(profiles_.size() == spec.dag.size());
@@ -57,7 +57,7 @@ void SmilessPolicy::on_deploy(serverless::AppId app, const apps::App& spec,
   }
 }
 
-void SmilessPolicy::reoptimize(const apps::App& spec, serverless::Platform& platform,
+void SmilessPolicy::reoptimize(const apps::App& spec, serverless::PlatformView& platform,
                                double interarrival) {
   it_used_ = std::max(interarrival, kMinInterarrival);
   windows_since_reopt_ = 0;
@@ -106,7 +106,7 @@ void SmilessPolicy::reoptimize(const apps::App& spec, serverless::Platform& plat
   }
 }
 
-void SmilessPolicy::apply_plans(serverless::Platform& platform) {
+void SmilessPolicy::apply_plans(serverless::PlatformView& platform) {
   for (std::size_t n = 0; n < solution_.per_node.size(); ++n) {
     const auto& d = solution_.per_node[n];
     serverless::FunctionPlan plan;
@@ -135,7 +135,7 @@ void SmilessPolicy::apply_plans(serverless::Platform& platform) {
 }
 
 void SmilessPolicy::on_arrival(serverless::AppId app, const apps::App& spec,
-                               serverless::Platform& platform, SimTime now) {
+                               serverless::PlatformView& platform, SimTime now) {
   SMILESS_CHECK(app == app_id_);
   if (last_arrival_ >= 0.0) {
     const double gap = now - last_arrival_;
@@ -208,7 +208,7 @@ void SmilessPolicy::on_arrival(serverless::AppId app, const apps::App& spec,
 }
 
 void SmilessPolicy::on_instance_failed(serverless::AppId app, const apps::App& spec,
-                                       serverless::Platform& platform, dag::NodeId node,
+                                       serverless::PlatformView& platform, dag::NodeId node,
                                        serverless::InstanceFailure kind) {
   (void)spec;
   (void)kind;
@@ -280,7 +280,7 @@ void SmilessPolicy::predict(const apps::App&) {
   it_predicted_ = std::max(it_predicted_, kMinInterarrival);
 }
 
-void SmilessPolicy::autoscale(const apps::App& spec, serverless::Platform& platform,
+void SmilessPolicy::autoscale(const apps::App& spec, serverless::PlatformView& platform,
                               int predicted_count, double window) {
   if (!options_.enable_autoscaler) return;
 
@@ -379,7 +379,7 @@ void SmilessPolicy::autoscale(const apps::App& spec, serverless::Platform& platf
 }
 
 void SmilessPolicy::on_window(serverless::AppId app, const apps::App& spec,
-                              serverless::Platform& platform,
+                              serverless::PlatformView& platform,
                               const serverless::WindowStats& stats) {
   SMILESS_CHECK(app == app_id_);
   const double window = stats.window_end - stats.window_start;

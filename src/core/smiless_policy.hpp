@@ -9,7 +9,7 @@
 #include "core/workflow_manager.hpp"
 #include "predictor/invocation_classifier.hpp"
 #include "predictor/lstm_regressor.hpp"
-#include "serverless/platform.hpp"
+#include "serverless/platform_view.hpp"
 
 namespace smiless::obs {
 class AuditLog;
@@ -87,19 +87,19 @@ class SmilessPolicy : public serverless::Policy {
   /// Attach a decision audit log (non-owning, may be null). Every
   /// StrategyOptimizer / Autoscaler solve and scale-in is recorded with its
   /// inputs, and the solver wall time accumulates for overhead reporting.
-  void set_audit_log(obs::AuditLog* log) { audit_ = log; }
+  void set_audit_log(obs::AuditLog* log) override { audit_ = log; }
 
   std::string name() const override { return name_; }
   void on_deploy(serverless::AppId app, const apps::App& spec,
-                 serverless::Platform& platform) override;
+                 serverless::PlatformView& platform) override;
   void on_window(serverless::AppId app, const apps::App& spec,
-                 serverless::Platform& platform, const serverless::WindowStats& stats) override;
+                 serverless::PlatformView& platform, const serverless::WindowStats& stats) override;
   void on_arrival(serverless::AppId app, const apps::App& spec,
-                  serverless::Platform& platform, SimTime now) override;
+                  serverless::PlatformView& platform, SimTime now) override;
   /// Restore the scale-out floor (and the warm pool of always-warm
   /// functions) after a failed init or a machine-down eviction.
   void on_instance_failed(serverless::AppId app, const apps::App& spec,
-                          serverless::Platform& platform, dag::NodeId node,
+                          serverless::PlatformView& platform, dag::NodeId node,
                           serverless::InstanceFailure kind) override;
 
   /// The currently deployed solution (for tests and benches).
@@ -107,12 +107,12 @@ class SmilessPolicy : public serverless::Policy {
   double predicted_interarrival() const { return it_predicted_; }
 
  private:
-  void reoptimize(const apps::App& spec, serverless::Platform& platform, double interarrival);
-  void apply_plans(serverless::Platform& platform);
+  void reoptimize(const apps::App& spec, serverless::PlatformView& platform, double interarrival);
+  void apply_plans(serverless::PlatformView& platform);
   void maybe_train();
   void predict(const apps::App& spec);
   void update_gap_discount();
-  void autoscale(const apps::App& spec, serverless::Platform& platform, int predicted_count,
+  void autoscale(const apps::App& spec, serverless::PlatformView& platform, int predicted_count,
                  double window);
 
   std::string name_;

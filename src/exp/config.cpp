@@ -72,6 +72,7 @@ json::Value ExperimentConfig::to_json() const {
   v["seed"] = static_cast<long long>(seed);
   v["profile_seed"] = static_cast<long long>(profile_seed);
   v["drain_slack"] = drain_slack;
+  v["lanes"] = static_cast<long long>(lanes);
   v["trace"] = trace.to_json();
   v["platform"] = serverless::to_json(platform);
   v["faults"] = faults::to_json(faults);
@@ -90,6 +91,7 @@ ExperimentConfig ExperimentConfig::from_json(const json::Value& v) {
   c.profile_seed =
       static_cast<std::uint64_t>(v.get("profile_seed", static_cast<long long>(c.profile_seed)));
   c.drain_slack = v.get("drain_slack", c.drain_slack);
+  c.lanes = static_cast<int>(v.get("lanes", static_cast<long long>(c.lanes)));
   if (const json::Value* t = v.find("trace")) c.trace = TraceSpec::from_json(*t);
   if (const json::Value* p = v.find("platform"))
     c.platform = serverless::platform_options_from_json(*p);
@@ -112,7 +114,7 @@ std::size_t ExperimentGrid::cell_count() const {
   const auto n = [](std::size_t axis) { return axis == 0 ? std::size_t{1} : axis; };
   return n(apps.size()) * n(policies.size()) * n(slas.size()) * n(durations.size()) *
          n(init_failure_probs.size()) * n(straggler_probs.size()) * n(crash_rates.size()) *
-         n(use_lstms.size()) * n(seeds.size());
+         n(use_lstms.size()) * n(seeds.size()) * n(lanes.size());
 }
 
 namespace {
@@ -144,6 +146,7 @@ std::vector<ExperimentConfig> ExperimentGrid::expand() const {
       crash_rates.empty() ? std::vector<double>{base.faults.crash_rate} : crash_rates;
   const auto lstms_ = use_lstms.empty() ? std::vector<bool>{base.use_lstm} : use_lstms;
   const auto seeds_ = seeds.empty() ? std::vector<std::uint64_t>{base.seed} : seeds;
+  const auto lanes_ = lanes.empty() ? std::vector<int>{base.lanes} : lanes;
 
   std::vector<ExperimentConfig> out;
   out.reserve(cell_count());
@@ -155,39 +158,42 @@ std::vector<ExperimentConfig> ExperimentGrid::expand() const {
             for (const double straggler_p : straggler_ps_)
               for (const double crash_rate : crash_rates_)
                 for (const bool lstm : lstms_)
-                  for (const std::uint64_t seed : seeds_) {
-                    ExperimentConfig c = base;
-                    c.app = app;
-                    c.policy = policy;
-                    c.sla = sla;
-                    c.trace.duration = duration;
-                    c.faults.init_failure_prob = init_p;
-                    c.faults.straggler_prob = straggler_p;
-                    c.faults.crash_rate = crash_rate;
-                    c.use_lstm = lstm;
-                    // A seed replicate re-rolls the whole stochastic world:
-                    // the arrival process and the platform/fault streams.
-                    c.seed = seed;
-                    if (!seeds.empty()) c.trace.seed = seed;
-                    // The label names every active non-seed axis; seed
-                    // replicates of one group share it (see group_key).
-                    std::string label;
-                    tag(label, !apps.empty(), "app=" + app);
-                    tag(label, !policies.empty(), "policy=" + policy);
-                    tag(label, !slas.empty(), "sla=" + TextTable::num(sla, 2));
-                    tag(label, !durations.empty(),
-                        "duration=" + TextTable::num(duration, 0));
-                    tag(label, !init_failure_probs.empty(),
-                        "init_p=" + TextTable::num(init_p, 3));
-                    tag(label, !straggler_probs.empty(),
-                        "straggler_p=" + TextTable::num(straggler_p, 3));
-                    tag(label, !crash_rates.empty(),
-                        "crash_rate=" + TextTable::num(crash_rate, 4));
-                    tag(label, !use_lstms.empty(),
-                        std::string("lstm=") + (lstm ? "on" : "off"));
-                    c.label = label;
-                    out.push_back(std::move(c));
-                  }
+                  for (const std::uint64_t seed : seeds_)
+                    for (const int lane_count : lanes_) {
+                      ExperimentConfig c = base;
+                      c.app = app;
+                      c.policy = policy;
+                      c.sla = sla;
+                      c.trace.duration = duration;
+                      c.faults.init_failure_prob = init_p;
+                      c.faults.straggler_prob = straggler_p;
+                      c.faults.crash_rate = crash_rate;
+                      c.use_lstm = lstm;
+                      // A seed replicate re-rolls the whole stochastic world:
+                      // the arrival process and the platform/fault streams.
+                      c.seed = seed;
+                      if (!seeds.empty()) c.trace.seed = seed;
+                      c.lanes = lane_count;
+                      // The label names every active non-seed axis; seed
+                      // replicates of one group share it (see group_key).
+                      std::string label;
+                      tag(label, !apps.empty(), "app=" + app);
+                      tag(label, !policies.empty(), "policy=" + policy);
+                      tag(label, !slas.empty(), "sla=" + TextTable::num(sla, 2));
+                      tag(label, !durations.empty(),
+                          "duration=" + TextTable::num(duration, 0));
+                      tag(label, !init_failure_probs.empty(),
+                          "init_p=" + TextTable::num(init_p, 3));
+                      tag(label, !straggler_probs.empty(),
+                          "straggler_p=" + TextTable::num(straggler_p, 3));
+                      tag(label, !crash_rates.empty(),
+                          "crash_rate=" + TextTable::num(crash_rate, 4));
+                      tag(label, !use_lstms.empty(),
+                          std::string("lstm=") + (lstm ? "on" : "off"));
+                      tag(label, !lanes.empty(), "lanes=" + std::to_string(lane_count));
+                      c.label = label;
+                      out.push_back(std::move(c));
+                    }
   return out;
 }
 
@@ -222,6 +228,11 @@ json::Value ExperimentGrid::to_json() const {
     for (const std::uint64_t x : seeds) a.push_back(static_cast<long long>(x));
     axes["seeds"] = std::move(a);
   }
+  if (!lanes.empty()) {
+    json::Value a = json::Value::array();
+    for (const int x : lanes) a.push_back(static_cast<long long>(x));
+    axes["lanes"] = std::move(a);
+  }
   v["axes"] = std::move(axes);
   return v;
 }
@@ -251,6 +262,8 @@ ExperimentGrid ExperimentGrid::from_json(const json::Value& v) {
   if (const json::Value* a = axes->find("seeds"))
     for (const auto& x : a->items())
       g.seeds.push_back(static_cast<std::uint64_t>(x.as_int()));
+  if (const json::Value* a = axes->find("lanes"))
+    for (const auto& x : a->items()) g.lanes.push_back(static_cast<int>(x.as_int()));
   return g;
 }
 

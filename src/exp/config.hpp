@@ -80,6 +80,11 @@ struct ExperimentConfig {
   std::uint64_t seed = 42;       ///< run RNG (platform noise, faults fork off it)
   std::uint64_t profile_seed = 2024;  ///< offline-profiler sampling RNG
   double drain_slack = 120.0;    ///< extra sim time to drain in-flight requests
+  /// Intra-cell sharding degree (DESIGN.md §14): 1 = classic monolithic
+  /// simulation, > 1 = that many deterministic lanes. Part of the cell's
+  /// identity (serialized, swept); the lane *thread* count is a runner
+  /// option because it never changes results.
+  int lanes = 1;
   TraceSpec trace;
   serverless::PlatformOptions platform;
   faults::FaultSpec faults;
@@ -118,8 +123,9 @@ struct CellContext {
 /// A declarative sweep: a base config plus value lists for any subset of
 /// axes. `expand()` yields the cross product in a fixed nesting order
 /// (app, policy, sla, duration, init_failure_prob, straggler_prob,
-/// crash_rate, use_lstm, seed — outermost to innermost), so cell order, and
-/// therefore every ordered reduction downstream, is deterministic.
+/// crash_rate, use_lstm, seed, lanes — outermost to innermost), so cell
+/// order, and therefore every ordered reduction downstream, is
+/// deterministic.
 struct ExperimentGrid {
   ExperimentConfig base;
   std::vector<std::string> apps;
@@ -131,6 +137,7 @@ struct ExperimentGrid {
   std::vector<double> crash_rates;
   std::vector<bool> use_lstms;
   std::vector<std::uint64_t> seeds;
+  std::vector<int> lanes;
 
   std::size_t cell_count() const;
   std::vector<ExperimentConfig> expand() const;

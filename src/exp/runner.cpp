@@ -28,7 +28,7 @@ const baselines::ProfileStore& Runner::profiles(std::uint64_t profile_seed) {
 
 CellResult Runner::run_cell(const ExperimentConfig& config,
                             const baselines::ProfileStore& store,
-                            std::shared_ptr<ThreadPool> policy_pool) {
+                            std::shared_ptr<ThreadPool> policy_pool, int lane_threads) {
   // detlint:allow(wall-clock) cell wall-time goes to progress stderr only, never into artifacts
   const auto t0 = std::chrono::steady_clock::now();
 
@@ -55,6 +55,8 @@ CellResult Runner::run_cell(const ExperimentConfig& config,
   baselines::ExperimentOptions options;
   options.seed = config.seed;
   options.drain_slack = config.drain_slack;
+  options.lanes = config.lanes;
+  options.lane_threads = lane_threads;
   options.platform = config.platform;
   options.faults = config.faults;
   options.telemetry = telemetry.get();
@@ -79,7 +81,8 @@ std::vector<CellResult> Runner::run(const std::vector<ExperimentConfig>& cells) 
   std::mutex progress_mu;
   std::size_t done = 0;
   const auto one = [&](std::size_t i) {
-    out[i] = run_cell(cells[i], profiles(cells[i].profile_seed), policy_pool_);
+    out[i] = run_cell(cells[i], profiles(cells[i].profile_seed), policy_pool_,
+                      options_.lane_threads);
     if (options_.progress) {
       std::lock_guard lock(progress_mu);
       ++done;

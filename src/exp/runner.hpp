@@ -36,6 +36,12 @@ struct RunnerOptions {
   /// 0 means hardware_concurrency.
   std::size_t policy_threads = 0;
 
+  /// Threads stepping a sharded cell's lanes between window barriers
+  /// (serverless::ShardOptions::lane_threads): 0 = hardware concurrency,
+  /// 1 = serial. A runner option, not a config field, because it affects
+  /// wall-clock only — results are bit-identical for every value.
+  int lane_threads = 0;
+
   /// Print one line per finished cell to stderr.
   bool progress = false;
 };
@@ -69,7 +75,8 @@ class Runner {
   /// and the CLI single-run path go through exactly the sweep code path.
   static CellResult run_cell(const ExperimentConfig& config,
                              const baselines::ProfileStore& store,
-                             std::shared_ptr<ThreadPool> policy_pool);
+                             std::shared_ptr<ThreadPool> policy_pool,
+                             int lane_threads = 0);
 
  private:
   RunnerOptions options_;

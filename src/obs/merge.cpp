@@ -1,0 +1,65 @@
+#include "obs/merge.hpp"
+
+#include <cstddef>
+#include <limits>
+
+#include "common/check.hpp"
+
+namespace smiless::obs {
+
+namespace {
+
+int remap_app(const std::vector<int>* app_map, int app) {
+  if (app < 0 || app_map == nullptr) return app;
+  SMILESS_CHECK(static_cast<std::size_t>(app) < app_map->size());
+  return (*app_map)[app];
+}
+
+}  // namespace
+
+void merge_lanes(const std::vector<LaneTelemetry>& lanes, Telemetry& dst) {
+  for (const auto& lane : lanes) SMILESS_CHECK(lane.telemetry != nullptr);
+
+  // --- events: k-way stable time-merge, lane index breaks ties --------------
+  std::vector<std::size_t> cursor(lanes.size(), 0);
+  for (;;) {
+    std::size_t best = lanes.size();
+    double best_t = std::numeric_limits<double>::infinity();
+    for (std::size_t l = 0; l < lanes.size(); ++l) {
+      const auto& events = lanes[l].telemetry->bus().events();
+      if (cursor[l] >= events.size()) continue;
+      const double t = events[cursor[l]].t;
+      if (t < best_t) {  // strict: on a tie the lowest lane index wins
+        best_t = t;
+        best = l;
+      }
+    }
+    if (best == lanes.size()) break;
+    Event e = lanes[best].telemetry->bus().events()[cursor[best]++];
+    e.app = remap_app(lanes[best].app_map, e.app);
+    if (e.machine >= 0) e.machine += lanes[best].machine_base;
+    dst.bus().publish(e);
+  }
+
+  // --- audit: same merge rule, app field remapped ---------------------------
+  std::vector<std::size_t> acursor(lanes.size(), 0);
+  for (;;) {
+    std::size_t best = lanes.size();
+    double best_t = std::numeric_limits<double>::infinity();
+    for (std::size_t l = 0; l < lanes.size(); ++l) {
+      const auto& records = lanes[l].telemetry->audit().records();
+      if (acursor[l] >= records.size()) continue;
+      const double t = records[acursor[l]].t;
+      if (t < best_t) {
+        best_t = t;
+        best = l;
+      }
+    }
+    if (best == lanes.size()) break;
+    DecisionRecord rec = lanes[best].telemetry->audit().records()[acursor[best]++];
+    rec.app = remap_app(lanes[best].app_map, rec.app);
+    dst.audit().record(std::move(rec));
+  }
+}
+
+}  // namespace smiless::obs

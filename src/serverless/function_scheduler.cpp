@@ -74,8 +74,17 @@ void FunctionScheduler::dispatch(AppId app, dag::NodeId node) {
   auto& f = fn(app, node);
 
   while (!f.queue.empty()) {
-    Instance* chosen = router_->select(pool_->instances(app, node), f.plan);
-    if (chosen == nullptr) break;
+    std::vector<Instance>& instances = pool_->instances(app, node);
+    const CandidateView candidates(instances.data(), instances.size());
+    const RoutingContext ctx{.now = engine_.now(),
+                             .queue_depth = f.queue.size(),
+                             .lane = options_.lane,
+                             .plan = &f.plan};
+    const std::optional<std::size_t> pick = router_->select(candidates, ctx);
+    if (!pick) break;
+    SMILESS_CHECK(*pick < instances.size());
+    Instance* chosen = &instances[*pick];
+    SMILESS_CHECK(chosen->st == InstanceState::Idle);
 
     // Claim the instance and form a batch.
     pool_->claim(*chosen);

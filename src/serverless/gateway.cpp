@@ -4,7 +4,7 @@
 #include "serverless/app_table.hpp"
 #include "serverless/instance_pool.hpp"
 #include "serverless/ledger.hpp"
-#include "serverless/platform.hpp"
+#include "serverless/platform_view.hpp"
 #include "serverless/request_tracker.hpp"
 #include "sim/engine.hpp"
 
@@ -59,7 +59,8 @@ void Gateway::window_tick(AppId app) {
 
   w.current_arrivals = 0;
   w.next_end += options_.window_seconds;
-  table_.policy(app).on_window(app, table_.spec(app), *platform_, stats);
+  PlatformView view(*platform_);
+  table_.policy(app).on_window(app, table_.spec(app), view, stats);
   engine_.schedule_at(w.next_end, [this, app] { window_tick(app); });
 }
 
@@ -68,7 +69,8 @@ void Gateway::submit(AppId app, SimTime arrival) {
   engine_.schedule_at(arrival, [this, app] {
     ++ledger_.books(app).submitted;
     ++windows(app).current_arrivals;
-    table_.policy(app).on_arrival(app, table_.spec(app), *platform_, engine_.now());
+    PlatformView view(*platform_);
+    table_.policy(app).on_arrival(app, table_.spec(app), view, engine_.now());
     tracker_->admit(app);
   });
 }

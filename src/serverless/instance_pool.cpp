@@ -9,7 +9,7 @@
 #include "serverless/app_table.hpp"
 #include "serverless/function_scheduler.hpp"
 #include "serverless/ledger.hpp"
-#include "serverless/platform.hpp"
+#include "serverless/platform_view.hpp"
 #include "serverless/request_tracker.hpp"
 
 namespace smiless::serverless {
@@ -175,7 +175,8 @@ void InstancePool::on_init_failed(AppId app, dag::NodeId node, InstanceId instan
   retire_accounting(app, node, *it);
   f.instances.erase(it);
   ++f.retry_attempts;
-  table_.policy(app).on_instance_failed(app, table_.spec(app), *platform_, node,
+  PlatformView view(*platform_);
+  table_.policy(app).on_instance_failed(app, table_.spec(app), view, node,
                                         InstanceFailure::InitFailure);
   if (scheduler_->queue_empty(app, node)) return;
   // The counter includes the just-failed attempt, so `>` grants the same

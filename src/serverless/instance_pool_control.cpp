@@ -7,7 +7,7 @@
 #include "serverless/app_table.hpp"
 #include "serverless/function_scheduler.hpp"
 #include "serverless/ledger.hpp"
-#include "serverless/platform.hpp"
+#include "serverless/platform_view.hpp"
 #include "serverless/request_tracker.hpp"
 
 // The InstancePool's externally driven control paths: plan reconciliation,
@@ -62,7 +62,8 @@ void InstancePool::on_machine_down(int machine) {
         f.instances.erase(f.instances.begin() + static_cast<long>(i));
       }
       if (evicted) {
-        table_.policy(app).on_instance_failed(app, table_.spec(app), *platform_, node,
+        PlatformView view(*platform_);
+        table_.policy(app).on_instance_failed(app, table_.spec(app), view, node,
                                               InstanceFailure::Eviction);
         scheduler_->dispatch(app, node);
       }

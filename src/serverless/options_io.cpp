@@ -17,8 +17,7 @@ json::Value to_json(const PlatformOptions& o) {
 
 PlatformOptions platform_options_from_json(const json::Value& v) {
   PlatformOptions o;
-  // "window" is the pre-rename key; accept it so old config files keep working.
-  o.window_seconds = v.get("window_seconds", v.get("window", o.window_seconds));
+  o.window_seconds = v.get("window_seconds", o.window_seconds);
   o.inference_noise = v.get("inference_noise", o.inference_noise);
   o.retry_delay = v.get("retry_delay", o.retry_delay);
   o.retry_backoff = v.get("retry_backoff", o.retry_backoff);

@@ -4,6 +4,7 @@
 
 #include "common/check.hpp"
 #include "obs/event_bus.hpp"
+#include "serverless/platform_view.hpp"
 
 namespace smiless::serverless {
 
@@ -51,7 +52,8 @@ AppId Platform::deploy(apps::App app, std::shared_ptr<Policy> policy) {
   scheduler_.add_app(nodes);
   pool_.add_app(nodes);
 
-  table_.policy(id).on_deploy(id, table_.spec(id), *this);
+  PlatformView view(*this);
+  table_.policy(id).on_deploy(id, table_.spec(id), view);
   gateway_.start(id);  // after on_deploy: deploy-time plans precede any tick
   return id;
 }

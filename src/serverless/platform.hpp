@@ -59,6 +59,12 @@ struct PlatformOptions {
 
   bool record_traces = false;   ///< keep per-request NodeSpan traces (§IV-A events)
 
+  /// Lane id of the hosting platform inside a sharded cell (0 for the
+  /// ordinary unsharded platform). Surfaced to routers via RoutingContext
+  /// and to policies via PlatformView::lane(). Set programmatically by
+  /// ShardedPlatform — deliberately not serialized.
+  int lane = 0;
+
   /// Optional fault source (non-owning; must outlive the platform). When
   /// null or disabled the platform behaves exactly like the fault-free
   /// simulator. See faults::FaultSpec.
@@ -152,6 +158,8 @@ class Platform {
   // --- introspection -------------------------------------------------------
 
   SimTime now() const;
+  /// Lane id inside a sharded cell (PlatformOptions::lane; 0 unsharded).
+  int lane() const { return options_.lane; }
   const apps::App& app_spec(AppId app) const;
   int instances_total(AppId app, dag::NodeId node) const;
   int instances_idle(AppId app, dag::NodeId node) const;

@@ -1,0 +1,41 @@
+#include "serverless/policy.hpp"
+
+#include "common/check.hpp"
+#include "serverless/platform_view.hpp"
+
+namespace smiless::serverless {
+
+// The PlatformView hooks are the primary interface; their defaults forward
+// to the deprecated Platform& shims so un-migrated policies keep working for
+// one release. Migrated policies override the view hooks directly and the
+// shims below are never reached.
+
+void Policy::on_deploy(AppId app, const apps::App& spec, PlatformView& platform) {
+  on_deploy(app, spec, platform.unscoped());
+}
+
+void Policy::on_window(AppId app, const apps::App& spec, PlatformView& platform,
+                       const WindowStats& stats) {
+  on_window(app, spec, platform.unscoped(), stats);
+}
+
+void Policy::on_arrival(AppId app, const apps::App& spec, PlatformView& platform,
+                        SimTime now) {
+  on_arrival(app, spec, platform.unscoped(), now);
+}
+
+void Policy::on_instance_failed(AppId app, const apps::App& spec, PlatformView& platform,
+                                dag::NodeId node, InstanceFailure kind) {
+  on_instance_failed(app, spec, platform.unscoped(), node, kind);
+}
+
+void Policy::on_deploy(AppId app, const apps::App& spec, Platform& platform) {
+  (void)app;
+  (void)spec;
+  (void)platform;
+  SMILESS_CHECK_MSG(false, "policy '" << name()
+                                      << "' overrides neither on_deploy overload; every "
+                                         "policy must install initial FunctionPlans");
+}
+
+}  // namespace smiless::serverless

@@ -6,9 +6,14 @@
 #include "common/units.hpp"
 #include "serverless/types.hpp"
 
+namespace smiless::obs {
+class AuditLog;
+}  // namespace smiless::obs
+
 namespace smiless::serverless {
 
 class Platform;
+class PlatformView;
 
 /// Arrival statistics for the window that just closed, delivered by the
 /// Gateway to the policy each second (§IV-B: "a specified time window,
@@ -23,6 +28,17 @@ struct WindowStats {
 /// configuration, cold-start management and scaling for every function of
 /// an application. SMIless, the four baselines, OPT and the ablations all
 /// implement this interface.
+///
+/// Policies receive a capability-scoped PlatformView — the deploy / prewarm
+/// / scale control surface plus per-app introspection — never the full
+/// Platform. A policy therefore cannot submit requests, finalize the run or
+/// reach another lane's state, which is what makes policies safe to run
+/// inside sharded cells (DESIGN.md §14).
+///
+/// MIGRATION (deprecated, one release): the pre-sharding `Platform&`
+/// overloads below are kept as thin shims. A policy that still overrides
+/// them keeps working — the PlatformView defaults forward — but new code
+/// must override the PlatformView hooks; the shims disappear next release.
 class Policy {
  public:
   virtual ~Policy() = default;
@@ -31,9 +47,38 @@ class Policy {
 
   /// Called once when the application is deployed. Must install an initial
   /// FunctionPlan for every DAG node.
-  virtual void on_deploy(AppId app, const apps::App& spec, Platform& platform) = 0;
+  virtual void on_deploy(AppId app, const apps::App& spec, PlatformView& platform);
 
   /// Called at each 1 s window boundary with the closed window's stats.
+  virtual void on_window(AppId app, const apps::App& spec, PlatformView& platform,
+                         const WindowStats& stats);
+
+  /// Called when a request arrives at the Gateway, before it is routed.
+  virtual void on_arrival(AppId app, const apps::App& spec, PlatformView& platform,
+                          SimTime now);
+
+  /// Called after an instance of `node` died involuntarily — a failed cold
+  /// init or a machine-down eviction. The platform has already released the
+  /// instance and re-queued any in-flight invocations; policies may react
+  /// (re-prewarm, restore a scale-out floor). Default: do nothing and let
+  /// the platform's cold-start retry path handle queued work.
+  virtual void on_instance_failed(AppId app, const apps::App& spec, PlatformView& platform,
+                                  dag::NodeId node, InstanceFailure kind);
+
+  /// Rebind the policy's decision audit log (no-op for policies that do not
+  /// audit). ShardedPlatform uses this to point each app's policy at its
+  /// lane's log so lanes never share a mutable sink.
+  virtual void set_audit_log(obs::AuditLog* audit) { (void)audit; }
+
+  // --- deprecated Platform& shims (removed next release) --------------------
+
+  /// @deprecated Override the PlatformView overload instead. The default
+  /// aborts loudly: a policy overriding *neither* on_deploy overload is a
+  /// bug, and this turns it into a deploy-time failure instead of a
+  /// silently plan-less app.
+  virtual void on_deploy(AppId app, const apps::App& spec, Platform& platform);
+
+  /// @deprecated Override the PlatformView overload instead.
   virtual void on_window(AppId app, const apps::App& spec, Platform& platform,
                          const WindowStats& stats) {
     (void)app;
@@ -42,7 +87,7 @@ class Policy {
     (void)stats;
   }
 
-  /// Called when a request arrives at the Gateway, before it is routed.
+  /// @deprecated Override the PlatformView overload instead.
   virtual void on_arrival(AppId app, const apps::App& spec, Platform& platform, SimTime now) {
     (void)app;
     (void)spec;
@@ -50,11 +95,7 @@ class Policy {
     (void)now;
   }
 
-  /// Called after an instance of `node` died involuntarily — a failed cold
-  /// init or a machine-down eviction. The platform has already released the
-  /// instance and re-queued any in-flight invocations; policies may react
-  /// (re-prewarm, restore a scale-out floor). Default: do nothing and let
-  /// the platform's cold-start retry path handle queued work.
+  /// @deprecated Override the PlatformView overload instead.
   virtual void on_instance_failed(AppId app, const apps::App& spec, Platform& platform,
                                   dag::NodeId node, InstanceFailure kind) {
     (void)app;

@@ -1,28 +1,66 @@
 #pragma once
 
+#include <cstdint>
+#include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "common/units.hpp"
 #include "serverless/instance.hpp"
 #include "serverless/plan.hpp"
 
 namespace smiless::serverless {
 
+/// Read-only, index-addressable view over a function's instances — the only
+/// thing a Router is allowed to see of the pool. Routers pick by index; the
+/// FunctionScheduler maps the index back to the mutable instance and performs
+/// the claim itself, so no router can corrupt pool invariants (the old seam
+/// handed out `std::vector<Instance>&`).
+class CandidateView {
+ public:
+  CandidateView(const Instance* data, std::size_t size) : data_(data), size_(size) {}
+
+  const Instance& operator[](std::size_t i) const { return data_[i]; }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  const Instance* begin() const { return data_; }
+  const Instance* end() const { return data_ + size_; }
+
+ private:
+  const Instance* data_;
+  std::size_t size_;
+};
+
+/// Everything a routing decision may condition on beyond the candidates
+/// themselves. Plain data, assembled fresh by the scheduler per decision.
+struct RoutingContext {
+  SimTime now = 0.0;            ///< simulation clock at the decision
+  std::size_t queue_depth = 0;  ///< invocations waiting at the function
+  int lane = 0;                 ///< hosting platform's lane id (0 unsharded)
+  const FunctionPlan* plan = nullptr;  ///< the function's current plan (never null)
+};
+
 /// Router — the dispatch-order/placement seam of the FunctionScheduler.
-/// Single responsibility: given a function's instances and its current plan,
-/// choose the idle instance that serves the next batch (or none, which sends
-/// the scheduler down the cold-start path). Future policies (locality-aware,
-/// load-spreading, config-strict) swap this without touching the scheduler.
+/// Single responsibility: given a read-only view of a function's instances
+/// and the routing context, choose the index of the idle instance that
+/// serves the next batch (or nullopt, which sends the scheduler down the
+/// cold-start path). Routers may keep internal state (e.g. a deterministic
+/// draw counter) but must be a pure function of their own state and the
+/// arguments — never of wall clock, addresses or global RNGs — so whole
+/// experiments stay replayable.
 class Router {
  public:
   virtual ~Router() = default;
 
   virtual std::string name() const = 0;
 
-  /// Pick the instance that serves the next batch of the queue, or nullptr
-  /// when no instance can take work right now.
-  virtual Instance* select(std::vector<Instance>& instances,
-                           const FunctionPlan& plan) const = 0;
+  /// Pick the candidate index that serves the next batch of the queue, or
+  /// std::nullopt when no instance can take work right now. The returned
+  /// index must refer to an Idle candidate (checked by the scheduler).
+  virtual std::optional<std::size_t> select(const CandidateView& candidates,
+                                            const RoutingContext& ctx) = 0;
 };
 
 /// The default dispatch order: prefer an idle instance whose config matches
@@ -32,16 +70,67 @@ class WarmFirstRouter final : public Router {
  public:
   std::string name() const override { return "warm-first"; }
 
-  Instance* select(std::vector<Instance>& instances,
-                   const FunctionPlan& plan) const override {
-    Instance* chosen = nullptr;
-    for (auto& inst : instances) {
+  std::optional<std::size_t> select(const CandidateView& candidates,
+                                    const RoutingContext& ctx) override {
+    std::optional<std::size_t> fallback;
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      const Instance& inst = candidates[i];
       if (inst.st != InstanceState::Idle) continue;
-      if (inst.config == plan.config) return &inst;
-      if (chosen == nullptr) chosen = &inst;
+      if (inst.config == ctx.plan->config) return i;
+      if (!fallback) fallback = i;
     }
-    return chosen;
+    return fallback;
   }
+};
+
+/// Power-of-two-choices router for sharded lanes: draw two idle candidates
+/// from a deterministic counter-keyed hash stream (seeded by the lane id, so
+/// sibling lanes don't correlate), prefer the one matching the plan's
+/// config, then the one that has served fewer batches, then the lower index.
+/// Same call sequence => same picks at any thread count: the only state is
+/// the per-router draw counter.
+class ShardedRouter final : public Router {
+ public:
+  explicit ShardedRouter(std::uint64_t salt = 0) : salt_(salt) {}
+
+  std::string name() const override { return "sharded-p2c"; }
+
+  std::optional<std::size_t> select(const CandidateView& candidates,
+                                    const RoutingContext& ctx) override {
+    idle_.clear();
+    for (std::size_t i = 0; i < candidates.size(); ++i)
+      if (candidates[i].st == InstanceState::Idle) idle_.push_back(i);
+    if (idle_.empty()) return std::nullopt;
+    if (idle_.size() == 1) return idle_.front();
+
+    const std::uint64_t h = mix(salt_ ^ (static_cast<std::uint64_t>(ctx.lane) << 32) ^ draws_++);
+    std::size_t a = idle_[h % idle_.size()];
+    std::size_t b = idle_[(h >> 32) % idle_.size()];
+    if (a == b) b = idle_[(h % idle_.size() + 1) % idle_.size()];
+    if (a > b) std::swap(a, b);  // stable low-index tie-break below
+
+    const bool a_match = candidates[a].config == ctx.plan->config;
+    const bool b_match = candidates[b].config == ctx.plan->config;
+    if (a_match != b_match) return a_match ? a : b;
+    if (candidates[a].served != candidates[b].served)
+      return candidates[a].served < candidates[b].served ? a : b;
+    return a;
+  }
+
+  std::uint64_t draws() const { return draws_; }
+
+ private:
+  /// splitmix64 finalizer: full-avalanche, constant-time, no global state.
+  static std::uint64_t mix(std::uint64_t x) {
+    x += 0x9E3779B97F4A7C15ull;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+    return x ^ (x >> 31);
+  }
+
+  std::uint64_t salt_;
+  std::uint64_t draws_ = 0;
+  std::vector<std::size_t> idle_;  ///< scratch, reused across calls
 };
 
 }  // namespace smiless::serverless

@@ -1,0 +1,259 @@
+#include "serverless/sharding.hpp"
+
+#include <algorithm>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "common/check.hpp"
+#include "concurrency/thread_pool.hpp"
+#include "obs/merge.hpp"
+#include "obs/telemetry.hpp"
+#include "sim/lane_engine.hpp"
+
+namespace smiless::serverless {
+
+/// One lane's private world. Member order is construction order and mirrors
+/// the monolithic run: Engine, Cluster, Rng, FaultInjector (which forks its
+/// child stream off the lane Rng iff any fault knob is set), then Platform —
+/// so a lone populated lane consumes its RNG exactly like the unsharded run.
+struct ShardedPlatform::Lane {
+  int id;
+  sim::LaneEngine engine;
+  cluster::Cluster cluster;
+  int machine_base;
+  Rng rng;
+  faults::FaultInjector injector;
+  std::unique_ptr<obs::Telemetry> telemetry;
+  std::unique_ptr<Platform> platform;
+  std::vector<int> app_map;                  ///< lane-local app id -> global
+  std::vector<AppId> ids;                    ///< lane-local deploy handles
+  std::vector<std::vector<SimTime>> arrivals;  ///< per lane-local app, sorted
+  std::vector<std::size_t> cursor;           ///< next un-injected arrival
+
+  Lane(int lane_id, std::size_t machines, cluster::MachineSpec spec, int base,
+       std::uint64_t seed, faults::FaultSpec fspec)
+      : id(lane_id),
+        engine(lane_id),
+        cluster(machines, spec),
+        machine_base(base),
+        rng(seed),
+        injector(std::move(fspec), rng) {}
+};
+
+ShardedPlatform::ShardedPlatform(ShardOptions options) : options_(std::move(options)) {
+  SMILESS_CHECK(options_.lanes >= 1);
+  SMILESS_CHECK(options_.lane_threads >= 0);
+  SMILESS_CHECK(options_.machines >= 1);
+}
+
+ShardedPlatform::~ShardedPlatform() = default;
+
+int ShardedPlatform::add_app(apps::App app, std::shared_ptr<Policy> policy,
+                             std::vector<SimTime> arrivals) {
+  SMILESS_CHECK_MSG(!ran_, "add_app after run()");
+  SMILESS_CHECK(policy != nullptr);
+  SMILESS_CHECK(std::is_sorted(arrivals.begin(), arrivals.end()));
+  pending_.push_back({std::move(app), std::move(policy), std::move(arrivals)});
+  return static_cast<int>(pending_.size()) - 1;
+}
+
+int ShardedPlatform::lane_for(std::size_t global_index, int lanes) {
+  SMILESS_CHECK(lanes >= 1);
+  // splitmix64 finalizer: platform-stable, uniform even for tiny indices.
+  std::uint64_t z = static_cast<std::uint64_t>(global_index) + 0x9E3779B97F4A7C15ull;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  z ^= z >> 31;
+  return static_cast<int>(z % static_cast<std::uint64_t>(lanes));
+}
+
+void ShardedPlatform::build_lanes() {
+  SMILESS_CHECK_MSG(!pending_.empty(), "sharded cell with no apps");
+  refs_.resize(pending_.size());
+
+  // Stable partition; only populated lanes get a world, in lane-id order.
+  std::vector<std::vector<std::size_t>> members(static_cast<std::size_t>(options_.lanes));
+  for (std::size_t g = 0; g < pending_.size(); ++g)
+    members[static_cast<std::size_t>(lane_for(g, options_.lanes))].push_back(g);
+  std::vector<int> populated;
+  for (int l = 0; l < options_.lanes; ++l)
+    if (!members[static_cast<std::size_t>(l)].empty()) populated.push_back(l);
+  SMILESS_CHECK_MSG(populated.size() <= options_.machines,
+                    "more populated lanes (" << populated.size() << ") than machines ("
+                                             << options_.machines << ")");
+
+  const std::size_t base_machines = options_.machines / populated.size();
+  const std::size_t extra = options_.machines % populated.size();
+  int machine_base = 0;
+  lanes_.reserve(populated.size());
+  for (std::size_t p = 0; p < populated.size(); ++p) {
+    const int lane_id = populated[p];
+    const auto& mine = members[static_cast<std::size_t>(lane_id)];
+    const std::size_t n = base_machines + (p < extra ? 1 : 0);
+
+    // Lane seed: decorrelate lanes by their first member's global index.
+    // Mixing with index 0 is the identity, so a lone populated lane (every
+    // single-app cell, and every K=1 run) replays the monolithic stream.
+    const std::uint64_t lane_seed =
+        options_.seed ^
+        (static_cast<std::uint64_t>(mine.front()) * 0x9E3779B97F4A7C15ull);
+
+    faults::FaultSpec fspec = options_.faults;
+    fspec.crashes.clear();
+    for (const auto& c : options_.faults.crashes)
+      if (c.machine >= machine_base && c.machine < machine_base + static_cast<int>(n)) {
+        faults::ScheduledCrash local = c;
+        local.machine -= machine_base;
+        fspec.crashes.push_back(local);
+      }
+
+    auto lane = std::make_unique<Lane>(lane_id, n, options_.machine_spec, machine_base,
+                                       lane_seed, std::move(fspec));
+    if (options_.telemetry != nullptr) lane->telemetry = std::make_unique<obs::Telemetry>();
+    PlatformOptions popt = options_.platform;
+    popt.lane = lane_id;
+    popt.faults = lane->injector.enabled() ? &lane->injector : nullptr;
+    popt.bus = lane->telemetry != nullptr ? &lane->telemetry->bus() : nullptr;
+    lane->platform = std::make_unique<Platform>(lane->engine.engine(), lane->cluster,
+                                                options_.pricing, lane->rng, popt);
+    lane->injector.set_bus(popt.bus);
+    lane->injector.arm(lane->engine.engine(), lane->cluster);
+
+    for (std::size_t g : mine) refs_[g].lane_index = static_cast<int>(p);
+    machine_base += static_cast<int>(n);
+    lanes_.push_back(std::move(lane));
+  }
+
+  // Deploy in global order so a lane's deploy sequence is the subsequence
+  // the monolithic run would have produced.
+  for (std::size_t g = 0; g < pending_.size(); ++g) {
+    PendingApp& pa = pending_[g];
+    Lane& lane = *lanes_[static_cast<std::size_t>(refs_[g].lane_index)];
+    if (options_.telemetry != nullptr) {
+      std::vector<std::string> node_names;
+      node_names.reserve(pa.app.dag.size());
+      for (std::size_t nd = 0; nd < pa.app.dag.size(); ++nd)
+        node_names.push_back(pa.app.dag.name(static_cast<dag::NodeId>(nd)));
+      lane.telemetry->register_app(static_cast<int>(lane.app_map.size()), pa.app.name,
+                                   node_names);
+      options_.telemetry->register_app(static_cast<int>(g), pa.app.name,
+                                       std::move(node_names));
+    }
+    // Decision records go to the lane's private audit log (merged after the
+    // run); a caller-attached log would be written from several lane threads.
+    pa.policy->set_audit_log(lane.telemetry != nullptr ? &lane.telemetry->audit() : nullptr);
+    const AppId id = lane.platform->deploy(std::move(pa.app), std::move(pa.policy));
+    refs_[g].local = id;
+    lane.ids.push_back(id);
+    lane.app_map.push_back(static_cast<int>(g));
+    lane.arrivals.push_back(std::move(pa.arrivals));
+    lane.cursor.push_back(0);
+  }
+}
+
+void ShardedPlatform::inject_arrivals(Lane& lane, double limit, bool flush_all) {
+  for (std::size_t a = 0; a < lane.arrivals.size(); ++a) {
+    const std::vector<SimTime>& arr = lane.arrivals[a];
+    std::size_t& cur = lane.cursor[a];
+    while (cur < arr.size() && (flush_all || arr[cur] < limit)) {
+      lane.platform->submit_request(lane.ids[a], arr[cur]);
+      ++cur;
+    }
+  }
+}
+
+void ShardedPlatform::run(SimTime end) {
+  SMILESS_CHECK_MSG(!ran_, "ShardedPlatform::run is one-shot");
+  ran_ = true;
+  SMILESS_CHECK(end > 0.0);
+  const double w = options_.platform.window_seconds;
+  SMILESS_CHECK(w > 0.0);
+  build_lanes();
+
+  // Lanes get a private pool: they must never share the policies' solver
+  // pool (a policy blocking on its own pool's futures from a lane thread
+  // would deadlock the barrier). A pool with one effective worker (e.g.
+  // lane_threads=0 on a single-core host) is pure dispatch overhead, so
+  // those cases take the serial path — the results are identical either
+  // way, per the lane_threads invariance contract.
+  std::unique_ptr<ThreadPool> pool;
+  if (options_.lane_threads != 1 && lanes_.size() > 1) {
+    const std::size_t want =
+        options_.lane_threads == 0
+            ? std::max<std::size_t>(1, std::thread::hardware_concurrency())
+            : static_cast<std::size_t>(options_.lane_threads);
+    const std::size_t workers = std::min(want, lanes_.size());
+    if (workers > 1) pool = std::make_unique<ThreadPool>(workers);
+  }
+
+  double t = 0.0;
+  while (t < end) {
+    const double step_end = std::min(end, t + w);
+    // The final step flushes every remaining arrival (even past `end`) so
+    // the scheduled-event tally matches the monolithic run, which schedules
+    // the whole trace upfront.
+    const bool flush = step_end >= end;
+    auto step = [&](std::size_t li) {
+      Lane& lane = *lanes_[li];
+      inject_arrivals(lane, step_end, flush);
+      lane.engine.step_to(step_end);
+    };
+    if (pool != nullptr) {
+      parallel_for(*pool, lanes_.size(), step);
+    } else {
+      for (std::size_t li = 0; li < lanes_.size(); ++li) step(li);
+    }
+    t = step_end;
+  }
+
+  for (auto& lane : lanes_) lane->platform->finalize(end);
+
+  if (options_.telemetry != nullptr) {
+    std::vector<obs::LaneTelemetry> streams;
+    streams.reserve(lanes_.size());
+    for (const auto& lane : lanes_)
+      streams.push_back({lane->telemetry.get(), &lane->app_map, lane->machine_base});
+    obs::merge_lanes(streams, *options_.telemetry);
+  }
+}
+
+int ShardedPlatform::lane_of(int app) const {
+  SMILESS_CHECK_MSG(ran_, "lane_of before run()");
+  SMILESS_CHECK(app >= 0 && static_cast<std::size_t>(app) < refs_.size());
+  return lanes_[static_cast<std::size_t>(refs_[static_cast<std::size_t>(app)].lane_index)]->id;
+}
+
+const AppMetrics& ShardedPlatform::metrics(int app) const {
+  SMILESS_CHECK_MSG(ran_, "metrics before run()");
+  SMILESS_CHECK(app >= 0 && static_cast<std::size_t>(app) < refs_.size());
+  const AppRef& r = refs_[static_cast<std::size_t>(app)];
+  return lanes_[static_cast<std::size_t>(r.lane_index)]->platform->metrics(r.local);
+}
+
+sim::EngineStats ShardedPlatform::engine_stats() const {
+  sim::EngineStats sum;
+  for (const auto& lane : lanes_) {
+    const sim::EngineStats& s = lane->engine.stats();
+    sum.scheduled += s.scheduled;
+    sum.fired += s.fired;
+    sum.cancelled += s.cancelled;
+  }
+  return sum;
+}
+
+faults::FaultStats ShardedPlatform::fault_stats() const {
+  faults::FaultStats sum;
+  for (const auto& lane : lanes_) {
+    const faults::FaultStats& s = lane->injector.stats();
+    sum.init_failures += s.init_failures;
+    sum.stragglers += s.stragglers;
+    sum.crashes += s.crashes;
+    sum.recoveries += s.recoveries;
+  }
+  return sum;
+}
+
+int ShardedPlatform::populated_lanes() const { return static_cast<int>(lanes_.size()); }
+
+}  // namespace smiless::serverless

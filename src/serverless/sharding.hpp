@@ -1,0 +1,131 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "apps/app.hpp"
+#include "cluster/cluster.hpp"
+#include "faults/fault_injector.hpp"
+#include "perfmodel/hardware.hpp"
+#include "serverless/platform.hpp"
+#include "sim/engine.hpp"
+
+namespace smiless::obs {
+class Telemetry;
+}  // namespace smiless::obs
+
+namespace smiless::serverless {
+
+/// Knobs for one sharded cell (DESIGN.md §14).
+struct ShardOptions {
+  /// Number of lanes apps are hash-partitioned into. 1 degenerates to a
+  /// single lane holding every app over the whole cluster.
+  int lanes = 1;
+
+  /// Threads stepping lanes between window barriers. 1 steps lanes serially
+  /// on the calling thread; 0 picks hardware concurrency (capped at the
+  /// populated lane count). The choice affects wall-clock only — every
+  /// artifact is byte-identical at any thread count. Lanes never run on a
+  /// policy solver pool (a policy blocking on its own pool would deadlock).
+  int lane_threads = 0;
+
+  std::uint64_t seed = 42;
+
+  /// Fleet divided among the *populated* lanes (contiguous slices, remainder
+  /// machines to the earliest lanes). A single populated lane gets the whole
+  /// fleet, which is what makes single-app cells invariant in `lanes`.
+  std::size_t machines = 8;
+  cluster::MachineSpec machine_spec;
+  perf::Pricing pricing;
+
+  /// Per-lane platform knobs; `window_seconds` doubles as the barrier
+  /// period. `lane` and the fault/bus pointers are overwritten per lane.
+  PlatformOptions platform;
+
+  /// Cell-wide fault model. Scheduled crashes are filtered to each lane's
+  /// machine slice (ids remapped to lane-local); rate-based knobs apply to
+  /// every lane, drawn from its private RNG stream.
+  faults::FaultSpec faults;
+
+  /// Merged observability output (non-owning, may be null). Each lane
+  /// records into a private Telemetry; at the end of run() the lane streams
+  /// are merged in deterministic (t, lane, order) order into this bundle
+  /// with app/machine ids translated back to the cell's global spaces.
+  obs::Telemetry* telemetry = nullptr;
+};
+
+/// A single cell's simulation sharded into deterministic parallel lanes.
+///
+/// Apps are partitioned by a stable hash of their deploy index; each lane
+/// owns a full private world — engine, cluster slice, RNG, fault injector,
+/// platform, telemetry — and lanes advance in lockstep between
+/// `window_seconds` barriers. Because lanes share no mutable state and every
+/// merge is ordered by (time, lane id, per-lane order), the output is
+/// bit-identical at any `lane_threads`, and a cell whose apps land in one
+/// lane reproduces the monolithic run exactly: the lone lane inherits the
+/// whole cluster, the unmixed seed (the lane seed of app index 0 IS the cell
+/// seed) and the full fault spec.
+///
+/// Arrivals are injected one window ahead of the barrier instead of being
+/// scheduled upfront, bounding live events in each lane's queue to roughly a
+/// window's worth — this is also the platform's throughput path (see
+/// BENCH_throughput.json).
+///
+/// Usage: add_app() every app, then run() exactly once, then read the books.
+class ShardedPlatform {
+ public:
+  explicit ShardedPlatform(ShardOptions options);
+  ~ShardedPlatform();
+
+  ShardedPlatform(const ShardedPlatform&) = delete;
+  ShardedPlatform& operator=(const ShardedPlatform&) = delete;
+
+  /// Register an app with its policy and full arrival sequence (sorted,
+  /// absolute sim times). Returns the app's global id. Call before run().
+  int add_app(apps::App app, std::shared_ptr<Policy> policy, std::vector<SimTime> arrivals);
+
+  /// Build the lanes, serve until `end` in window-barrier lockstep, finalize
+  /// every lane and merge telemetry. Call exactly once.
+  void run(SimTime end);
+
+  /// The stable partition function: lane of the app with deploy index
+  /// `global_index` under a `lanes`-way split.
+  static int lane_for(std::size_t global_index, int lanes);
+
+  int lane_of(int app) const;
+
+  // --- the merged books (valid after run()) --------------------------------
+
+  const AppMetrics& metrics(int app) const;
+  /// Engine counters summed over lanes.
+  sim::EngineStats engine_stats() const;
+  /// Injector counters summed over lanes.
+  faults::FaultStats fault_stats() const;
+
+  int populated_lanes() const;
+  const ShardOptions& options() const { return options_; }
+
+ private:
+  struct Lane;
+  struct PendingApp {
+    apps::App app;
+    std::shared_ptr<Policy> policy;
+    std::vector<SimTime> arrivals;
+  };
+  struct AppRef {
+    int lane_index = -1;  ///< index into lanes_ (populated lanes only)
+    AppId local = 0;      ///< the app's id inside its lane's platform
+  };
+
+  void build_lanes();
+  void inject_arrivals(Lane& lane, double limit, bool flush_all);
+
+  ShardOptions options_;
+  std::vector<PendingApp> pending_;
+  std::vector<std::unique_ptr<Lane>> lanes_;
+  std::vector<AppRef> refs_;
+  bool ran_ = false;
+};
+
+}  // namespace smiless::serverless

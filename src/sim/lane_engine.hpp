@@ -1,0 +1,48 @@
+#pragma once
+
+#include "sim/engine.hpp"
+
+namespace smiless::sim {
+
+/// LaneEngine — the facade one shard lane drives its private Engine through.
+///
+/// A sharded cell (DESIGN.md §14) runs K independent engines, one per lane,
+/// and advances them in lockstep between window barriers. The facade narrows
+/// the Engine surface to exactly what the barrier loop needs — step to a
+/// barrier, read the clock, read the counters — and tags the engine with its
+/// lane id so diagnostics and routing contexts can name the lane. Everything
+/// that *schedules* work keeps talking to the underlying Engine via
+/// engine(); only the lane driver steps the clock, which is what makes the
+/// window-barrier protocol auditable in one place.
+class LaneEngine {
+ public:
+  explicit LaneEngine(int lane, Engine::QueueImpl impl = Engine::QueueImpl::Calendar)
+      : lane_(lane), engine_(impl) {}
+
+  int lane() const { return lane_; }
+
+  /// Advance this lane to the barrier time `t` (monotone: t >= now()).
+  /// Returns the number of events fired by this step. After the call
+  /// now() == t even if the lane drained early, so every lane observes the
+  /// same clock at the barrier.
+  std::uint64_t step_to(SimTime t) {
+    SMILESS_CHECK(t >= engine_.now());
+    const std::uint64_t before = engine_.stats().fired;
+    engine_.run_until(t);
+    return engine_.stats().fired - before;
+  }
+
+  SimTime now() const { return engine_.now(); }
+  std::size_t pending() const { return engine_.pending(); }
+  const EngineStats& stats() const { return engine_.stats(); }
+
+  /// The lane's private engine, for wiring the lane's Platform/injector.
+  Engine& engine() { return engine_; }
+  const Engine& engine() const { return engine_; }
+
+ private:
+  int lane_;
+  Engine engine_;
+};
+
+}  // namespace smiless::sim

@@ -105,16 +105,18 @@ TEST(ExpConfig, GroupKeyIgnoresSeedsAndLabel) {
   EXPECT_NE(a.group_key(), b.group_key());
 }
 
-TEST(ExpConfig, WindowSecondsRoundTripsAndAcceptsLegacyKey) {
+TEST(ExpConfig, WindowSecondsRoundTrips) {
   exp::ExperimentConfig c;
   c.platform.window_seconds = 2.5;
   const auto back = exp::ExperimentConfig::from_json(json::Value::parse(c.to_json().dump()));
   EXPECT_DOUBLE_EQ(back.platform.window_seconds, 2.5);
   EXPECT_EQ(back.to_json().dump(), c.to_json().dump());
-  // Config files written before the rename used "window".
+  // The pre-rename "window" spelling is no longer accepted: an old config
+  // file silently falls back to the default instead of half-applying.
   const auto legacy = exp::ExperimentConfig::from_json(
       json::Value::parse(R"({"platform": {"window": 0.5}})"));
-  EXPECT_DOUBLE_EQ(legacy.platform.window_seconds, 0.5);
+  EXPECT_DOUBLE_EQ(legacy.platform.window_seconds,
+                   serverless::PlatformOptions{}.window_seconds);
 }
 
 TEST(ExpConfig, ObservabilityRoundTripsAndStaysOutOfGroupKey) {

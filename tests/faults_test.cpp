@@ -14,6 +14,9 @@
 namespace smiless::serverless {
 namespace {
 
+// Deliberately still overrides the deprecated Platform& hooks (on_deploy and
+// on_instance_failed below): shim-path coverage for the one-release
+// migration window (policy.hpp).
 class FixedPolicy : public Policy {
  public:
   explicit FixedPolicy(FunctionPlan plan) : plan_(plan) {}

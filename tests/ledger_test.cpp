@@ -12,6 +12,7 @@
 #include "cluster/cluster.hpp"
 #include "faults/fault_injector.hpp"
 #include "serverless/platform.hpp"
+#include "serverless/platform_view.hpp"
 #include "sim/engine.hpp"
 
 namespace smiless::serverless {
@@ -21,7 +22,7 @@ class FixedPolicy : public Policy {
  public:
   explicit FixedPolicy(FunctionPlan plan) : plan_(plan) {}
   std::string name() const override { return "fixed"; }
-  void on_deploy(AppId app, const apps::App& spec, Platform& p) override {
+  void on_deploy(AppId app, const apps::App& spec, PlatformView& p) override {
     for (std::size_t n = 0; n < spec.dag.size(); ++n)
       p.set_plan(app, static_cast<dag::NodeId>(n), plan_);
   }

@@ -11,6 +11,8 @@ namespace smiless::serverless {
 namespace {
 
 /// Static test policy: installs a fixed plan for every function.
+// Deliberately still overrides the deprecated Platform& hook: this suite is
+// the coverage for the one-release migration shims (policy.hpp).
 class FixedPolicy : public Policy {
  public:
   explicit FixedPolicy(FunctionPlan plan) : plan_(plan) {}

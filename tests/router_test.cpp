@@ -1,0 +1,173 @@
+// Unit tests for the Router seam (serverless/router.hpp): the read-only
+// CandidateView, the historical warm-first dispatch order, and the
+// power-of-two-choices router used inside sharded lanes.
+#include <gtest/gtest.h>
+
+#include <type_traits>
+#include <vector>
+
+#include "serverless/router.hpp"
+
+using namespace smiless;
+using namespace smiless::serverless;
+
+namespace {
+
+Instance make_instance(InstanceState st, perf::HwConfig config, bool served = false) {
+  Instance inst;
+  inst.st = st;
+  inst.config = config;
+  inst.served = served;
+  return inst;
+}
+
+constexpr perf::HwConfig kCpu1{perf::Backend::Cpu, 1, 0};
+constexpr perf::HwConfig kCpu4{perf::Backend::Cpu, 4, 0};
+
+RoutingContext context_for(const FunctionPlan& plan, int lane = 0) {
+  RoutingContext ctx;
+  ctx.plan = &plan;
+  ctx.lane = lane;
+  return ctx;
+}
+
+TEST(CandidateView, IsReadOnlyAndIndexable) {
+  // The seam's whole point: routers can look but not touch.
+  static_assert(std::is_same_v<decltype(std::declval<const CandidateView&>()[0]),
+                               const Instance&>);
+  static_assert(std::is_same_v<decltype(std::declval<const CandidateView&>().begin()),
+                               const Instance*>);
+
+  std::vector<Instance> pool = {make_instance(InstanceState::Busy, kCpu1),
+                                make_instance(InstanceState::Idle, kCpu4)};
+  const CandidateView view(pool.data(), pool.size());
+  EXPECT_EQ(view.size(), 2u);
+  EXPECT_FALSE(view.empty());
+  EXPECT_EQ(view[1].st, InstanceState::Idle);
+  EXPECT_EQ(view.end() - view.begin(), 2);
+
+  const CandidateView none(nullptr, 0);
+  EXPECT_TRUE(none.empty());
+}
+
+TEST(WarmFirstRouter, PrefersConfigMatchOverEarlierIdle) {
+  FunctionPlan plan;
+  plan.config = kCpu4;
+  std::vector<Instance> pool = {make_instance(InstanceState::Busy, kCpu4),
+                                make_instance(InstanceState::Idle, kCpu1),
+                                make_instance(InstanceState::Idle, kCpu4)};
+  WarmFirstRouter router;
+  const auto pick = router.select(CandidateView(pool.data(), pool.size()), context_for(plan));
+  ASSERT_TRUE(pick.has_value());
+  EXPECT_EQ(*pick, 2u);  // the matching instance, not the first idle one
+}
+
+TEST(WarmFirstRouter, FallsBackToFirstIdleMismatch) {
+  FunctionPlan plan;
+  plan.config = kCpu4;
+  std::vector<Instance> pool = {make_instance(InstanceState::Init, kCpu4),
+                                make_instance(InstanceState::Idle, kCpu1),
+                                make_instance(InstanceState::Idle, kCpu1)};
+  WarmFirstRouter router;
+  const auto pick = router.select(CandidateView(pool.data(), pool.size()), context_for(plan));
+  ASSERT_TRUE(pick.has_value());
+  EXPECT_EQ(*pick, 1u);  // warm is warm — use the earliest idle instance
+}
+
+TEST(WarmFirstRouter, NoIdleMeansNoPick) {
+  FunctionPlan plan;
+  std::vector<Instance> pool = {make_instance(InstanceState::Busy, kCpu1),
+                                make_instance(InstanceState::Init, kCpu1)};
+  WarmFirstRouter router;
+  EXPECT_FALSE(router.select(CandidateView(pool.data(), pool.size()), context_for(plan))
+                   .has_value());
+  EXPECT_FALSE(router.select(CandidateView(nullptr, 0), context_for(plan)).has_value());
+}
+
+TEST(ShardedRouter, AlwaysPicksIdleAndReplaysDeterministically) {
+  FunctionPlan plan;
+  plan.config = kCpu4;
+  std::vector<Instance> pool;
+  for (int i = 0; i < 6; ++i)
+    pool.push_back(make_instance(i % 2 == 0 ? InstanceState::Idle : InstanceState::Busy,
+                                 i < 3 ? kCpu1 : kCpu4, i % 3 == 0));
+
+  ShardedRouter a(7), b(7);
+  std::vector<std::size_t> picks_a, picks_b;
+  for (int round = 0; round < 64; ++round) {
+    const auto pa = a.select(CandidateView(pool.data(), pool.size()), context_for(plan, 3));
+    const auto pb = b.select(CandidateView(pool.data(), pool.size()), context_for(plan, 3));
+    ASSERT_TRUE(pa.has_value());
+    ASSERT_TRUE(pb.has_value());
+    EXPECT_EQ(pool[*pa].st, InstanceState::Idle);
+    picks_a.push_back(*pa);
+    picks_b.push_back(*pb);
+  }
+  // Same salt, same lane, same call sequence => identical draw streams.
+  EXPECT_EQ(picks_a, picks_b);
+  EXPECT_EQ(a.draws(), b.draws());
+  EXPECT_EQ(a.draws(), 64u);
+}
+
+TEST(ShardedRouter, SingleIdleShortCircuitsWithoutADraw) {
+  FunctionPlan plan;
+  std::vector<Instance> pool = {make_instance(InstanceState::Busy, kCpu1),
+                                make_instance(InstanceState::Idle, kCpu1)};
+  ShardedRouter router;
+  const auto pick = router.select(CandidateView(pool.data(), pool.size()), context_for(plan));
+  ASSERT_TRUE(pick.has_value());
+  EXPECT_EQ(*pick, 1u);
+  EXPECT_EQ(router.draws(), 0u);  // the counter only advances on real choices
+
+  std::vector<Instance> busy = {make_instance(InstanceState::Busy, kCpu1)};
+  EXPECT_FALSE(router.select(CandidateView(busy.data(), busy.size()), context_for(plan))
+                   .has_value());
+  EXPECT_EQ(router.draws(), 0u);
+}
+
+TEST(ShardedRouter, PrefersPlanMatchThenUnservedThenLowIndex) {
+  FunctionPlan plan;
+  plan.config = kCpu4;
+  ShardedRouter router(123);
+
+  // Two idle candidates: p2c always considers both, so the preference
+  // ladder is directly observable.
+  std::vector<Instance> match_wins = {make_instance(InstanceState::Idle, kCpu1),
+                                      make_instance(InstanceState::Idle, kCpu4)};
+  auto pick =
+      router.select(CandidateView(match_wins.data(), match_wins.size()), context_for(plan));
+  ASSERT_TRUE(pick.has_value());
+  EXPECT_EQ(*pick, 1u);
+
+  std::vector<Instance> unserved_wins = {
+      make_instance(InstanceState::Idle, kCpu4, /*served=*/true),
+      make_instance(InstanceState::Idle, kCpu4, /*served=*/false)};
+  pick = router.select(CandidateView(unserved_wins.data(), unserved_wins.size()),
+                       context_for(plan));
+  ASSERT_TRUE(pick.has_value());
+  EXPECT_EQ(*pick, 1u);
+
+  std::vector<Instance> tie = {make_instance(InstanceState::Idle, kCpu4),
+                               make_instance(InstanceState::Idle, kCpu4)};
+  pick = router.select(CandidateView(tie.data(), tie.size()), context_for(plan));
+  ASSERT_TRUE(pick.has_value());
+  EXPECT_EQ(*pick, 0u);  // full tie -> the lower index
+}
+
+TEST(ShardedRouter, LaneDecorrelatesTheDrawStream) {
+  FunctionPlan plan;
+  plan.config = kCpu4;
+  // Four identical idle candidates: the pick is a pure function of the hash
+  // stream, so two lanes with the same salt should disagree somewhere.
+  std::vector<Instance> pool(4, make_instance(InstanceState::Idle, kCpu4));
+  ShardedRouter lane0(42), lane1(42);
+  bool diverged = false;
+  for (int round = 0; round < 256 && !diverged; ++round) {
+    const auto p0 = lane0.select(CandidateView(pool.data(), pool.size()), context_for(plan, 0));
+    const auto p1 = lane1.select(CandidateView(pool.data(), pool.size()), context_for(plan, 1));
+    diverged = *p0 != *p1;
+  }
+  EXPECT_TRUE(diverged);
+}
+
+}  // namespace

@@ -14,6 +14,7 @@
 #   tools/ci.sh tsan       # ThreadSanitizer flavor only
 #   tools/ci.sh golden     # golden bit-identity smoke against tests/golden/
 #   tools/ci.sh bench      # shrunken throughput bench + artifact schema check
+#   tools/ci.sh shard      # lanes=1 vs lanes=4 artifact bit-identity smoke
 #   tools/ci.sh full /tmp/ci
 set -euo pipefail
 
@@ -22,7 +23,7 @@ repo="$(cd "$(dirname "$0")/.." && pwd)"
 cd "${repo}"
 mode="full"
 case "${1:-}" in
-  lint|tsan|golden|bench|full) mode="$1"; shift ;;
+  lint|tsan|golden|bench|shard|full) mode="$1"; shift ;;
 esac
 prefix="${1:-${repo}/build-ci}"
 jobs="$(nproc 2>/dev/null || echo 4)"
@@ -142,16 +143,20 @@ lint_step() {
 }
 
 # ThreadSanitizer flavor: the concurrency suite, the exp parallel==serial
-# determinism suite and the 32-cell sweep smoke must produce zero reports.
+# determinism suite, the lane-equivalence suite (lanes stepped by competing
+# threads) and the 32-cell sweep smoke must produce zero reports.
 tsan_step() {
   local dir="${prefix}-tsan"
   echo "==== [tsan] configure + build (SMILESS_SANITIZE=thread) ===="
   configure_flavor tsan "${dir}" -DSMILESS_SANITIZE=thread
-  cmake --build "${dir}" --target concurrency_test exp_test smiless_cli -j "${jobs}"
+  cmake --build "${dir}" --target concurrency_test exp_test sharding_test smiless_cli \
+      -j "${jobs}"
   echo "==== [tsan] concurrency_test ===="
   "${dir}/tests/concurrency_test"
   echo "==== [tsan] exp_test (parallel == serial sweep) ===="
   "${dir}/tests/exp_test"
+  echo "==== [tsan] sharding_test (lane-equivalence under racing lane threads) ===="
+  "${dir}/tests/sharding_test"
   echo "==== [tsan] 32-cell sweep smoke ===="
   local tmp
   tmp="$(mktemp -d)"
@@ -274,6 +279,34 @@ EOF
   rm -rf "${dir}"
 }
 
+# Sharding smoke: a single-app cell must produce bit-identical artifacts at
+# --lanes 1 and --lanes 4 (a lone populated lane inherits the whole fleet and
+# the unmixed seed — DESIGN.md §14), with faults and every collector on, and
+# independently of --lane-threads. This is the cross-commit K-invariance
+# contract of the intra-cell sharding layer.
+shard_smoke() {
+  echo "==== [shard] lanes=1 vs lanes=4: artifact bit-identity ===="
+  local dir
+  dir="$(mktemp -d)"
+  local common=(--app wl1 --policy smiless --duration 120 --seed 7 --no-lstm
+                --fault-init-p 0.05 --fault-straggler-p 0.02)
+  "${prefix}/tools/smiless" "${common[@]}" --lanes 1 \
+      --trace-out "${dir}/trace1.json" --metrics-out "${dir}/metrics1.json" \
+      --audit-out "${dir}/audit1.json" --windows-out "${dir}/windows1.csv" \
+      > "${dir}/stdout1.txt"
+  "${prefix}/tools/smiless" "${common[@]}" --lanes 4 --lane-threads 2 \
+      --trace-out "${dir}/trace4.json" --metrics-out "${dir}/metrics4.json" \
+      --audit-out "${dir}/audit4.json" --windows-out "${dir}/windows4.csv" \
+      > "${dir}/stdout4.txt"
+  local f
+  for f in trace metrics audit; do
+    cmp "${dir}/${f}1.json" "${dir}/${f}4.json"
+  done
+  cmp "${dir}/windows1.csv" "${dir}/windows4.csv"
+  cmp "${dir}/stdout1.txt" "${dir}/stdout4.txt"
+  rm -rf "${dir}"
+  echo "[shard] artifacts bit-identical across lane counts OK"
+}
 
 # Throughput-bench smoke: a shrunken version of the large BENCH_throughput
 # cell (bench/bench_throughput.cpp) must run end-to-end, keep both queue
@@ -325,6 +358,20 @@ for impl in ("calendar", "binary_heap"):
     for k in ("wall_seconds", "events_per_sec"):
         require(sec, k, num, f"micro.{impl}")
 require(micro, "speedup", num, "micro")
+sh = require(doc, "sharded", dict, "$")
+require(sh, "lane_threads", int, "sharded")
+require(sh, "note", str, "sharded")
+require(sh, "speedup_lanes8_vs_monolithic", num, "sharded")
+rows = require(sh, "lanes", list, "sharded")
+assert [r["lanes"] for r in rows] == [1, 2, 4, 8], "sharded lane axis wrong"
+for r in rows:
+    for k in ("events_scheduled", "events_fired", "events_cancelled",
+              "requests_completed"):
+        require(r, k, int, "sharded.lanes[]")
+    for k in ("wall_seconds", "events_per_sec", "peak_rss_mb"):
+        require(r, k, num, "sharded.lanes[]")
+assert rows[0]["events_fired"] == det["events_fired"], \
+    "lanes=1 diverged from the monolithic trajectory"
 require(doc, "e2e_speedup", num, "$")
 require(doc, "peak_rss_mb", num, "$")
 print(f"[bench] schema OK; micro speedup {micro['speedup']:.2f}x,"
@@ -362,6 +409,14 @@ case "${mode}" in
     echo "==== bench green ===="
     exit 0
     ;;
+  shard)
+    echo "==== [shard] configure + build ===="
+    configure_flavor ci "${prefix}"
+    cmake --build "${prefix}" --target smiless_cli -j "${jobs}"
+    shard_smoke
+    echo "==== shard green ===="
+    exit 0
+    ;;
 esac
 
 run_flavor default ci "${prefix}"
@@ -369,6 +424,7 @@ lint_step
 sweep_smoke
 golden_smoke
 obs_smoke
+shard_smoke
 bench_smoke
 run_flavor asan asan "${prefix}-asan" -DSMILESS_SANITIZE=address
 run_flavor ubsan ubsan "${prefix}-ubsan" -DSMILESS_SANITIZE=undefined

@@ -14,6 +14,10 @@
 //     --trace <file.csv>    replay a CSV trace instead of generating one
 //     --sla <seconds>       end-to-end SLA target (default 2.0)
 //     --seed <n>            RNG seed for trace + simulation (default 42)
+//     --lanes <k>           shard the cell into k deterministic lanes
+//                           (default 1 = monolithic; see DESIGN.md §14)
+//     --lane-threads <n>    threads stepping the lanes (0 = hardware,
+//                           1 = serial; wall-clock only, never results)
 //     --no-lstm             use lightweight statistical predictors
 //     --dump-trace <file>   write the (generated) trace as CSV and exit
 //     --slow <n>            print the n slowest request traces (default 0)
@@ -86,7 +90,8 @@ struct CliOptions {
   std::cerr << "usage: " << argv0
             << " [--config run.json] [--save-config file] [--app wl1|wl2|wl3|ipa|file.manifest]\n"
                "       [--policy NAME|all] [--duration S] [--trace file.csv] [--sla S]\n"
-               "       [--seed N] [--no-lstm] [--dump-trace file.csv] [--slow N]\n"
+               "       [--seed N] [--lanes K] [--lane-threads N] [--no-lstm]\n"
+               "       [--dump-trace file.csv] [--slow N]\n"
                "       [--sweep grid.json] [--threads N] [--out file.json] [--csv file.csv]\n"
                "       [--progress]\n"
                "       [--trace-out file.json] [--metrics-out file.json]\n"
@@ -145,6 +150,14 @@ CliOptions parse_cli(int argc, char** argv) {
     else if (!std::strcmp(arg, "--seed")) {
       o.config.seed = std::strtoull(need_value(i), nullptr, 10);
       o.config.trace.seed = o.config.seed;
+    }
+    else if (!std::strcmp(arg, "--lanes")) {
+      o.config.lanes = std::atoi(need_value(i));
+      if (o.config.lanes < 1) usage(argv[0], "--lanes must be >= 1");
+    }
+    else if (!std::strcmp(arg, "--lane-threads")) {
+      o.runner.lane_threads = std::atoi(need_value(i));
+      if (o.runner.lane_threads < 0) usage(argv[0], "--lane-threads must be >= 0");
     }
     else if (!std::strcmp(arg, "--no-lstm")) o.config.use_lstm = false;
     else if (!std::strcmp(arg, "--slow")) o.slow = std::atoi(need_value(i));
