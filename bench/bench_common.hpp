@@ -12,6 +12,7 @@
 #include "common/table.hpp"
 #include "exp/aggregate.hpp"
 #include "exp/config.hpp"
+#include "exp/report.hpp"
 #include "exp/runner.hpp"
 
 namespace smiless::bench {
@@ -25,6 +26,7 @@ struct BenchArgs {
   std::size_t threads = 0;   ///< sweep workers (0 = hardware concurrency)
   int lane_threads = 0;      ///< lane-stepping threads for sharded cells
   bool progress = false;     ///< per-cell completion lines on stderr
+  std::string report_out;    ///< self-contained HTML report destination
 };
 
 inline BenchArgs& bench_args() {
@@ -73,6 +75,10 @@ inline bool consume_shared_flag(int argc, char** argv, int& i) {
     bench_args().progress = true;
     return true;
   }
+  if (!std::strcmp(argv[i], "--report-out")) {
+    bench_args().report_out = value("--report-out");
+    return true;
+  }
   return false;
 }
 
@@ -84,13 +90,16 @@ inline void parse_bench_args(int argc, char** argv) {
     if (!std::strcmp(argv[i], "--help") || !std::strcmp(argv[i], "-h")) {
       std::cerr << "usage: " << argv[0]
                 << " [--duration S] [--threads N] [--lane-threads N] [--progress]\n"
+                   "  [--report-out file.html]\n"
                    "  --duration S      simulated trace length per app (e.g. 7200\n"
                    "                    for the paper's 2-hour runs)\n"
                    "  --threads N       concurrent sweep cells (default: hardware;\n"
                    "                    results are bit-identical for every value)\n"
                    "  --lane-threads N  threads stepping sharded cells' lanes\n"
                    "                    (0 = hardware, 1 = serial; wall-clock only)\n"
-                   "  --progress        per-cell completion lines on stderr\n";
+                   "  --progress        per-cell completion lines on stderr\n"
+                   "  --report-out F    write a self-contained HTML report of the\n"
+                   "                    bench's cells (charts + profiler breakdown)\n";
       std::exit(0);
     }
     std::cerr << argv[0] << ": unknown flag " << argv[i] << " (see --help)\n";
@@ -109,15 +118,41 @@ inline double bench_duration(double fallback = 600.0) {
 /// run concurrently (--threads overrides the worker count, 1 forces serial;
 /// results are bit-identical either way), --lane-threads steps sharded
 /// cells' lanes, and --progress prints per-cell completion lines to stderr.
-/// Built on first use from bench_args(), so parse_bench_args() must run
-/// before the first cell does.
-inline exp::Runner& shared_runner() {
-  static exp::Runner runner = [] {
+/// When --report-out is set, every executed cell is also accumulated and
+/// the HTML report is (re)written after each sweep, so the final file
+/// covers everything the bench ran. Built on first use from bench_args(),
+/// so parse_bench_args() must run before the first cell does.
+class ReportingRunner {
+ public:
+  explicit ReportingRunner(exp::RunnerOptions options) : inner_(options) {}
+
+  std::vector<exp::CellResult> run(const std::vector<exp::ExperimentConfig>& cells) {
+    std::vector<exp::CellResult> out = inner_.run(cells);
+    if (!bench_args().report_out.empty()) {
+      collected_.insert(collected_.end(), out.begin(), out.end());
+      exp::write_report(collected_, bench_args().report_out);
+    }
+    return out;
+  }
+  std::vector<exp::CellResult> run(const exp::ExperimentGrid& grid) {
+    return run(grid.expand());
+  }
+
+  const baselines::ProfileStore& profiles(std::uint64_t seed) { return inner_.profiles(seed); }
+  std::shared_ptr<ThreadPool> policy_pool() const { return inner_.policy_pool(); }
+
+ private:
+  exp::Runner inner_;
+  std::vector<exp::CellResult> collected_;
+};
+
+inline ReportingRunner& shared_runner() {
+  static ReportingRunner runner = [] {
     exp::RunnerOptions options;
     options.threads = bench_args().threads;
     options.lane_threads = bench_args().lane_threads;
     options.progress = bench_args().progress;
-    return exp::Runner(options);
+    return ReportingRunner(options);
   }();
   return runner;
 }
@@ -128,6 +163,9 @@ inline exp::ExperimentConfig base_config(double sla = 2.0, double duration = 600
   exp::ExperimentConfig c;
   c.sla = sla;
   c.trace.duration = duration;
+  // --report-out flows through the cell config: it turns on the time series
+  // and the self-profiler for every cell, and write_artifacts emits the HTML.
+  c.obs.report_out = bench_args().report_out;
   return c;
 }
 

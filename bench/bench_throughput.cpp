@@ -35,6 +35,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <type_traits>
@@ -45,6 +46,7 @@
 #include "cluster/cluster.hpp"
 #include "common/json.hpp"
 #include "common/rng.hpp"
+#include "prof/profiler.hpp"
 #include "serverless/plan.hpp"
 #include "serverless/platform.hpp"
 #include "serverless/platform_view.hpp"
@@ -159,34 +161,66 @@ struct EndToEnd {
   double events_per_sec = 0.0;
   double rss_after_mb = 0.0;
   sim::CalendarStats cal;  // calendar impl only
+  prof::Snapshot profile;  // self-profiler wall-time breakdown
 };
+
+/// Drive run_until in visible chunks when --progress is on: same trajectory
+/// (run_until is re-entrant on sim time), plus a running events/sec + ETA
+/// line on stderr. ETA extrapolates wall time per simulated second.
+void run_with_progress(sim::Engine& engine, double end, const char* label, double t0) {
+  if (!bench::bench_args().progress) {
+    engine.run_until(end);
+    return;
+  }
+  constexpr int kChunks = 50;
+  for (int k = 1; k <= kChunks; ++k) {
+    engine.run_until(end * k / kChunks);
+    const double elapsed = now_seconds() - t0;
+    const double frac = static_cast<double>(k) / kChunks;
+    const double eta = frac > 0.0 ? elapsed * (1.0 - frac) / frac : 0.0;
+    const double rate =
+        elapsed > 0.0 ? static_cast<double>(engine.stats().fired) / elapsed : 0.0;
+    std::fprintf(stderr, "\rbench_throughput: [%s] %3.0f%%  %.2fM events/s  ETA %5.1fs   ",
+                 label, 100.0 * frac, rate / 1e6, eta);
+  }
+  std::fprintf(stderr, "\n");
+}
 
 EndToEnd run_cell(sim::Engine::QueueImpl impl, const CellConfig& cc,
                   const std::vector<workload::Trace>& traces) {
   const double t0 = now_seconds();
 
+  prof::Profiler profiler;
   sim::Engine engine(impl);
+  engine.set_profiler(&profiler);
   cluster::Cluster cluster(cc.machines, cluster::MachineSpec{});
   Rng rng(cc.seed);
-  serverless::Platform platform(engine, cluster, perf::Pricing{}, rng,
-                                serverless::PlatformOptions{});
+  serverless::PlatformOptions popt;
+  popt.prof = &profiler;
+  serverless::Platform platform(engine, cluster, perf::Pricing{}, rng, popt);
   auto policy = std::make_shared<KeepWarmPolicy>();
 
   double horizon = 0.0;
   EndToEnd r;
-  for (std::size_t i = 0; i < cc.apps; ++i) {
-    apps::App app = apps::make_synthetic_pipeline(cc.nodes_per_app, /*sla=*/2.0);
-    const serverless::AppId id = platform.deploy(std::move(app), policy);
-    for (SimTime t : traces[i].arrivals) platform.submit_request(id, t);
-    r.submitted += static_cast<long long>(traces[i].arrivals.size());
-    horizon = std::max(horizon,
-                       static_cast<double>(traces[i].counts.size()) * traces[i].window);
+  {
+    // Root scope: every instrumented site below nests under it, so the
+    // profile section's exclusive times sum to this bracket exactly.
+    prof::ScopeTimer root(&profiler, prof::Site::CellRun);
+    for (std::size_t i = 0; i < cc.apps; ++i) {
+      apps::App app = apps::make_synthetic_pipeline(cc.nodes_per_app, /*sla=*/2.0);
+      const serverless::AppId id = platform.deploy(std::move(app), policy);
+      for (SimTime t : traces[i].arrivals) platform.submit_request(id, t);
+      r.submitted += static_cast<long long>(traces[i].arrivals.size());
+      horizon = std::max(horizon,
+                         static_cast<double>(traces[i].counts.size()) * traces[i].window);
+    }
+    const double end = horizon + 120.0;  // drain slack
+    run_with_progress(engine, end, impl_name(impl), t0);
+    platform.finalize(end);
   }
-  const double end = horizon + 120.0;  // drain slack
-  engine.run_until(end);
-  platform.finalize(end);
 
   r.wall_seconds = now_seconds() - t0;
+  r.profile = profiler.snapshot();
   r.scheduled = engine.stats().scheduled;
   r.fired = engine.stats().fired;
   r.cancelled = engine.stats().cancelled;
@@ -208,26 +242,32 @@ EndToEnd run_sharded(int lanes, int lane_threads, const CellConfig& cc,
                      const std::vector<workload::Trace>& traces) {
   const double t0 = now_seconds();
 
+  prof::Profiler profiler;
   serverless::ShardOptions so;
   so.lanes = lanes;
   so.lane_threads = lane_threads;
   so.seed = cc.seed;
   so.machines = cc.machines;
+  so.prof = &profiler;
   serverless::ShardedPlatform sharded(std::move(so));
 
   double horizon = 0.0;
   EndToEnd r;
-  for (std::size_t i = 0; i < cc.apps; ++i) {
-    apps::App app = apps::make_synthetic_pipeline(cc.nodes_per_app, /*sla=*/2.0);
-    sharded.add_app(std::move(app), std::make_shared<KeepWarmPolicy>(),
-                    traces[i].arrivals);
-    r.submitted += static_cast<long long>(traces[i].arrivals.size());
-    horizon = std::max(horizon,
-                       static_cast<double>(traces[i].counts.size()) * traces[i].window);
+  {
+    prof::ScopeTimer root(&profiler, prof::Site::CellRun);
+    for (std::size_t i = 0; i < cc.apps; ++i) {
+      apps::App app = apps::make_synthetic_pipeline(cc.nodes_per_app, /*sla=*/2.0);
+      sharded.add_app(std::move(app), std::make_shared<KeepWarmPolicy>(),
+                      traces[i].arrivals);
+      r.submitted += static_cast<long long>(traces[i].arrivals.size());
+      horizon = std::max(horizon,
+                         static_cast<double>(traces[i].counts.size()) * traces[i].window);
+    }
+    sharded.run(horizon + 120.0);
   }
-  sharded.run(horizon + 120.0);
 
   r.wall_seconds = now_seconds() - t0;
+  r.profile = profiler.snapshot();
   const sim::EngineStats stats = sharded.engine_stats();
   r.scheduled = stats.scheduled;
   r.fired = stats.fired;
@@ -501,8 +541,61 @@ int main(int argc, char** argv) {
   doc["e2e_speedup"] =
       heap.events_per_sec > 0.0 ? cal.events_per_sec / heap.events_per_sec : 0.0;
   doc["peak_rss_mb"] = peak_rss_mb();
+  {
+    // Self-profiler breakdown (DESIGN.md §15). Wall-clock data: stable in
+    // shape, not in values. The headline `coverage` is the calendar e2e
+    // cell's Σ exclusive / root — the root scope brackets the whole cell,
+    // so it is 1.0 by construction (the bench contract demands >= 0.9).
+    // Sharded cells can exceed 1.0: lane wall time on worker threads
+    // overlaps the coordinator's barrier wait.
+    json::Value pr = json::Value::object();
+    pr["coverage"] = prof::snapshot_to_json(cal.profile).get("coverage", 0.0);
+    pr["calendar"] = prof::snapshot_to_json(cal.profile);
+    pr["binary_heap"] = prof::snapshot_to_json(heap.profile);
+    json::Value rows = json::Value::array();
+    for (std::size_t i = 0; i < sharded.size(); ++i) {
+      json::Value row = prof::snapshot_to_json(sharded[i].profile);
+      row["lanes"] = static_cast<long long>(lane_counts[i]);
+      rows.push_back(std::move(row));
+    }
+    pr["sharded"] = std::move(rows);
+    doc["profile"] = std::move(pr);
+  }
 
   json::save_file(doc, out_path);
   std::fprintf(stderr, "bench_throughput: wrote %s\n", out_path.c_str());
+
+  if (!bench::bench_args().report_out.empty()) {
+    // Profile-only HTML report through the generic sweep template: one
+    // "cell" per measured configuration, no time series.
+    json::Value payload = json::Value::object();
+    payload["title"] = std::string("bench_throughput self-profile");
+    payload["generator"] = std::string("bench_throughput");
+    json::Value cells = json::Value::array();
+    auto add = [&](const std::string& label, const prof::Snapshot& s) {
+      json::Value cell = json::Value::object();
+      cell["label"] = label;
+      cell["policy"] = std::string("bench-keepwarm");
+      cell["app"] = std::string("synthetic-pipeline");
+      cell["seed"] = static_cast<long long>(cc.seed);
+      cell["lanes"] = 1LL;
+      cell["profile"] = prof::snapshot_to_json(s);
+      cells.push_back(std::move(cell));
+    };
+    add("e2e calendar", cal.profile);
+    add("e2e binary_heap", heap.profile);
+    for (std::size_t i = 0; i < sharded.size(); ++i)
+      add("sharded lanes=" + std::to_string(lane_counts[i]), sharded[i].profile);
+    payload["cells"] = std::move(cells);
+    std::ofstream os(bench::bench_args().report_out, std::ios::binary);
+    if (!os.good()) {
+      std::fprintf(stderr, "bench_throughput: cannot write %s\n",
+                   bench::bench_args().report_out.c_str());
+      return 1;
+    }
+    os << exp::render_report(payload);
+    std::fprintf(stderr, "bench_throughput: wrote %s\n",
+                 bench::bench_args().report_out.c_str());
+  }
   return 0;
 }

@@ -65,6 +65,21 @@ void fill_result(RunResult& r, const serverless::AppMetrics& m, double sla) {
                                              static_cast<double>(r.submitted);
 }
 
+/// Opt-in (ExperimentOptions::internal_stats) mirror of the calendar
+/// queue's internals. These are *not* path-neutral: the monolithic run
+/// schedules the whole trace upfront while the sharded run streams
+/// arrivals per window, so resizes/buckets/peak_live legitimately differ
+/// between bit-identical trajectories — which is exactly why they are off
+/// by default and excluded from the path-agnostic mirror below.
+void mirror_internal(obs::Telemetry& tel, const sim::CalendarStats* cs) {
+  if (cs == nullptr) return;  // BinaryHeap reference queue has no calendar
+  auto& reg = tel.registry();
+  reg.count("engine/calendar/resizes", cs->resizes);
+  reg.count("engine/calendar/direct_searches", cs->direct_searches);
+  reg.gauge("engine/calendar/buckets", static_cast<double>(cs->buckets));
+  reg.gauge("engine/calendar/peak_live", static_cast<double>(cs->peak_live));
+}
+
 /// Mirror the run's global books into the telemetry registry — identical
 /// keys for the monolithic and sharded paths, so artifacts don't reveal
 /// which one produced them.
@@ -111,13 +126,17 @@ std::vector<RunResult> run_colocated(std::vector<ColocatedApp> apps,
   SMILESS_CHECK(!apps.empty());
   if (options.lanes > 1) return run_sharded(std::move(apps), options);
   obs::Telemetry* tel = options.telemetry;
+  if (tel != nullptr && options.series_cadence > 0.0)
+    tel->enable_series(options.series_cadence);
   sim::Engine engine;
+  engine.set_profiler(options.profiler);
   cluster::Cluster cluster = cluster::Cluster::paper_testbed();
   Rng rng(options.seed);
   faults::FaultInjector injector(options.faults, rng);
   serverless::PlatformOptions popt = options.platform;
   if (injector.enabled()) popt.faults = &injector;
   if (tel != nullptr) popt.bus = &tel->bus();
+  popt.prof = options.profiler;
   serverless::Platform platform(engine, cluster, perf::Pricing{}, rng, popt);
   injector.set_bus(tel != nullptr ? &tel->bus() : nullptr);
   injector.arm(engine, cluster);
@@ -135,7 +154,8 @@ std::vector<RunResult> run_colocated(std::vector<ColocatedApp> apps,
       node_names.reserve(ca.app.dag.size());
       for (std::size_t n = 0; n < ca.app.dag.size(); ++n)
         node_names.push_back(ca.app.dag.name(static_cast<dag::NodeId>(n)));
-      tel->register_app(static_cast<int>(i), ca.app.name, std::move(node_names));
+      tel->register_app(static_cast<int>(i), ca.app.name, std::move(node_names),
+                        ca.app.sla);
     }
     ids[i] = platform.deploy(ca.app, ca.policy);
     for (SimTime t : ca.trace->arrivals) platform.submit_request(ids[i], t);
@@ -145,11 +165,15 @@ std::vector<RunResult> run_colocated(std::vector<ColocatedApp> apps,
   const double end = horizon + options.drain_slack;
   engine.run_until(end);
   platform.finalize(end);
+  if (tel != nullptr) tel->finalize_series(end);
 
   for (std::size_t i = 0; i < apps.size(); ++i)
     fill_result(out[i], platform.metrics(ids[i]), apps[i].app.sla);
 
-  if (tel != nullptr) mirror_registry(*tel, engine.stats(), injector.stats(), out);
+  if (tel != nullptr) {
+    mirror_registry(*tel, engine.stats(), injector.stats(), out);
+    if (options.internal_stats) mirror_internal(*tel, engine.calendar_stats());
+  }
   return out;
 }
 
@@ -164,6 +188,9 @@ std::vector<RunResult> run_sharded(std::vector<ColocatedApp> apps,
   sopt.platform = options.platform;
   sopt.faults = options.faults;
   sopt.telemetry = options.telemetry;
+  sopt.prof = options.profiler;
+  if (options.telemetry != nullptr && options.series_cadence > 0.0)
+    options.telemetry->enable_series(options.series_cadence);
   serverless::ShardedPlatform sharded(sopt);
 
   std::vector<RunResult> out(apps.size());
@@ -179,13 +206,20 @@ std::vector<RunResult> run_sharded(std::vector<ColocatedApp> apps,
                        static_cast<double>(ca.trace->counts.size()) * ca.trace->window);
     sharded.add_app(std::move(ca.app), std::move(ca.policy), ca.trace->arrivals);
   }
-  sharded.run(horizon + options.drain_slack);
+  const double end = horizon + options.drain_slack;
+  sharded.run(end);
+  if (options.telemetry != nullptr) options.telemetry->finalize_series(end);
 
   for (std::size_t i = 0; i < apps.size(); ++i)
     fill_result(out[i], sharded.metrics(static_cast<int>(i)), slas[i]);
 
-  if (options.telemetry != nullptr)
+  if (options.telemetry != nullptr) {
     mirror_registry(*options.telemetry, sharded.engine_stats(), sharded.fault_stats(), out);
+    if (options.internal_stats) {
+      const sim::CalendarStats cs = sharded.calendar_stats();
+      mirror_internal(*options.telemetry, &cs);
+    }
+  }
   return out;
 }
 

@@ -65,6 +65,27 @@ struct ExperimentOptions {
   /// metric registry after finalize. Null keeps the run observation-free;
   /// the simulated trajectory is identical either way.
   obs::Telemetry* telemetry = nullptr;
+
+  /// Optional runtime self-profiler (non-owning; must outlive the run).
+  /// When set, the engine and the platform subsystems record wall-clock
+  /// scope timings and sampled internal counters into it (per lane under
+  /// sharding, merged back with a per-lane breakdown). Wall-clock only:
+  /// the trajectory and every golden-compared artifact are identical with
+  /// or without it. See src/prof/profiler.hpp.
+  prof::Profiler* profiler = nullptr;
+
+  /// Fixed cadence (sim seconds) of the obs::TimeSeries recorded by
+  /// `telemetry`; 0 disables the series. Deterministic sim-time data —
+  /// byte-stable at any threads/lane_threads/lanes setting.
+  double series_cadence = 0.0;
+
+  /// Export internal queue diagnostics (CalendarStats, engine counters
+  /// already mirrored) into the telemetry metric registry. Off by default
+  /// because calendar internals legitimately differ between the monolithic
+  /// (upfront-scheduling) and sharded (streaming-injection) paths even when
+  /// trajectories are bit-identical — opting in makes --metrics-out
+  /// path-revealing.
+  bool internal_stats = false;
 };
 
 /// Outcome of serving one trace with one policy.

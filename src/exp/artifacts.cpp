@@ -4,6 +4,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "exp/report.hpp"
+
 namespace smiless::exp {
 
 namespace {
@@ -80,6 +82,33 @@ std::string windows_csv(const std::vector<CellResult>& cells) {
   return os.str();
 }
 
+json::Value combined_series(const std::vector<CellResult>& cells) {
+  json::Value v = json::Value::object();
+  json::Value rows = json::Value::array();
+  for (const auto& cell : cells) {
+    if (cell.telemetry == nullptr || !cell.telemetry->series_enabled()) continue;
+    json::Value row = cell_header(cell);
+    row["series"] = cell.telemetry->series_json();
+    rows.push_back(std::move(row));
+  }
+  v["cells"] = std::move(rows);
+  return v;
+}
+
+json::Value combined_profile(const std::vector<CellResult>& cells) {
+  json::Value v = json::Value::object();
+  json::Value rows = json::Value::array();
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (cells[i].profile == nullptr) continue;
+    json::Value row = cell_header(cells[i]);
+    row["profile"] = cells[i].profile->to_json();
+    row["perfetto"] = cells[i].profile->perfetto_events(static_cast<int>(i) * kPidsPerCell);
+    rows.push_back(std::move(row));
+  }
+  v["cells"] = std::move(rows);
+  return v;
+}
+
 void write_artifacts(const std::vector<CellResult>& cells, const ObservabilityOptions& obs) {
   if (!obs.trace_out.empty()) json::save_file(combined_trace(cells), obs.trace_out);
   if (!obs.metrics_out.empty()) json::save_file(combined_metrics(cells), obs.metrics_out);
@@ -90,6 +119,9 @@ void write_artifacts(const std::vector<CellResult>& cells, const ObservabilityOp
       throw std::runtime_error("cannot write windows CSV to " + obs.windows_out);
     os << windows_csv(cells);
   }
+  if (!obs.series_out.empty()) json::save_file(combined_series(cells), obs.series_out);
+  if (!obs.profile_out.empty()) json::save_file(combined_profile(cells), obs.profile_out);
+  if (!obs.report_out.empty()) write_report(cells, obs.report_out);
 }
 
 }  // namespace smiless::exp

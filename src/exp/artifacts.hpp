@@ -28,9 +28,21 @@ json::Value combined_audit(const std::vector<CellResult>& cells);
 /// no telemetry attached.
 std::string windows_csv(const std::vector<CellResult>& cells);
 
-/// Write whichever artifacts `obs` names to disk. All outputs are pure
-/// functions of the cell list, which the runner returns in input order —
-/// byte-stable across thread counts.
+/// {"cells": [{"label", ..., "series": {...obs::TimeSeries...}}, ...]} in
+/// cell order. Cells without an enabled series contribute nothing.
+/// Byte-stable across thread/lane-thread counts (DESIGN.md §15).
+json::Value combined_series(const std::vector<CellResult>& cells);
+
+/// {"cells": [{"label", ..., "profile": {...prof::Profiler...}},
+///  "perfetto": [...counter/slice events...]}, ...]} in cell order.
+/// Wall-clock data — written only when --profile-out asks for it, never
+/// compared against goldens.
+json::Value combined_profile(const std::vector<CellResult>& cells);
+
+/// Write whichever artifacts `obs` names to disk. All outputs except the
+/// profile (wall-clock by definition) are pure functions of the cell list,
+/// which the runner returns in input order — byte-stable across thread
+/// counts.
 void write_artifacts(const std::vector<CellResult>& cells, const ObservabilityOptions& obs);
 
 }  // namespace smiless::exp

@@ -45,6 +45,11 @@ json::Value ObservabilityOptions::to_json() const {
   v["metrics_out"] = metrics_out;
   v["audit_out"] = audit_out;
   v["windows_out"] = windows_out;
+  v["series_out"] = series_out;
+  v["report_out"] = report_out;
+  v["profile_out"] = profile_out;
+  v["series_cadence"] = series_cadence;
+  v["internal_stats"] = internal_stats;
   return v;
 }
 
@@ -54,6 +59,11 @@ ObservabilityOptions ObservabilityOptions::from_json(const json::Value& v) {
   o.metrics_out = v.get("metrics_out", o.metrics_out);
   o.audit_out = v.get("audit_out", o.audit_out);
   o.windows_out = v.get("windows_out", o.windows_out);
+  o.series_out = v.get("series_out", o.series_out);
+  o.report_out = v.get("report_out", o.report_out);
+  o.profile_out = v.get("profile_out", o.profile_out);
+  o.series_cadence = v.get("series_cadence", o.series_cadence);
+  o.internal_stats = v.get("internal_stats", o.internal_stats);
   return o;
 }
 

@@ -55,13 +55,32 @@ struct ObservabilityOptions {
   std::string metrics_out;  ///< counters/gauges/histograms JSON
   std::string audit_out;    ///< policy decision audit JSON
   std::string windows_out;  ///< per-window time series CSV
+  std::string series_out;   ///< fixed-cadence obs::TimeSeries JSON
+  std::string report_out;   ///< self-contained HTML serving report
+  std::string profile_out;  ///< runtime self-profiler breakdown JSON
+
+  /// Cadence (sim seconds) of the obs::TimeSeries collected when
+  /// series_out or report_out is set. Serialized with the config so a
+  /// report is reproducible from it; excluded (with the whole obs block)
+  /// from group_key, so sweeping it never splits aggregation groups.
+  double series_cadence = 1.0;
+
+  /// Mirror internal queue diagnostics (CalendarStats) into metrics_out.
+  /// Off by default: those counters legitimately differ between the
+  /// monolithic and sharded execution paths even when the trajectories are
+  /// bit-identical, so turning this on makes metrics path-revealing.
+  bool internal_stats = false;
 
   /// True when any collector needs a Telemetry attached to the run.
   bool collect() const {
-    return !trace_out.empty() || !metrics_out.empty() || !audit_out.empty();
+    return !trace_out.empty() || !metrics_out.empty() || !audit_out.empty() ||
+           !series_out.empty() || !report_out.empty();
   }
+  /// True when the runtime self-profiler should be attached to the run
+  /// (wall-clock scope timers + sampled counters; trajectory-neutral).
+  bool profile() const { return !profile_out.empty() || !report_out.empty(); }
   /// True when any artifact at all will be written.
-  bool any() const { return collect() || !windows_out.empty(); }
+  bool any() const { return collect() || !windows_out.empty() || !profile_out.empty(); }
 
   json::Value to_json() const;
   static ObservabilityOptions from_json(const json::Value& v);

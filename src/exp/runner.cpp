@@ -28,7 +28,8 @@ const baselines::ProfileStore& Runner::profiles(std::uint64_t profile_seed) {
 
 CellResult Runner::run_cell(const ExperimentConfig& config,
                             const baselines::ProfileStore& store,
-                            std::shared_ptr<ThreadPool> policy_pool, int lane_threads) {
+                            std::shared_ptr<ThreadPool> policy_pool, int lane_threads,
+                            bool force_profile) {
   // detlint:allow(wall-clock) cell wall-time goes to progress stderr only, never into artifacts
   const auto t0 = std::chrono::steady_clock::now();
 
@@ -36,6 +37,8 @@ CellResult Runner::run_cell(const ExperimentConfig& config,
   const workload::Trace trace = build_trace(config, app);
   std::shared_ptr<obs::Telemetry> telemetry;
   if (config.obs.collect()) telemetry = std::make_shared<obs::Telemetry>();
+  std::shared_ptr<prof::Profiler> profile;
+  if (force_profile || config.obs.profile()) profile = std::make_shared<prof::Profiler>();
 
   std::shared_ptr<serverless::Policy> policy;
   if (config.policy_override) {
@@ -60,11 +63,20 @@ CellResult Runner::run_cell(const ExperimentConfig& config,
   options.platform = config.platform;
   options.faults = config.faults;
   options.telemetry = telemetry.get();
+  options.profiler = profile.get();
+  options.internal_stats = config.obs.internal_stats;
+  if (!config.obs.series_out.empty() || !config.obs.report_out.empty())
+    options.series_cadence = config.obs.series_cadence;
 
   CellResult out;
   out.config = config;
   out.telemetry = telemetry;
-  out.result = baselines::run_experiment(app, trace, std::move(policy), options);
+  out.profile = profile;
+  {
+    // Root scope: brackets the whole cell so site exclusive times sum to it.
+    prof::ScopeTimer cell_scope(profile.get(), prof::Site::CellRun);
+    out.result = baselines::run_experiment(app, trace, std::move(policy), options);
+  }
   out.wall_seconds =  // detlint:allow(wall-clock) same quarantine: progress display only
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
   return out;
@@ -82,7 +94,7 @@ std::vector<CellResult> Runner::run(const std::vector<ExperimentConfig>& cells) 
   std::size_t done = 0;
   const auto one = [&](std::size_t i) {
     out[i] = run_cell(cells[i], profiles(cells[i].profile_seed), policy_pool_,
-                      options_.lane_threads);
+                      options_.lane_threads, options_.profiler != nullptr);
     if (options_.progress) {
       std::lock_guard lock(progress_mu);
       ++done;
@@ -97,6 +109,12 @@ std::vector<CellResult> Runner::run(const std::vector<ExperimentConfig>& cells) 
   } else {
     ThreadPool sweep_pool(options_.threads);
     parallel_for(sweep_pool, cells.size(), one);
+  }
+  if (options_.profiler != nullptr) {
+    // Merge in input order — the aggregate breakdown is then independent of
+    // which thread finished which cell first.
+    for (const auto& cell : out)
+      if (cell.profile != nullptr) options_.profiler->merge(*cell.profile);
   }
   return out;
 }

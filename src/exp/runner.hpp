@@ -8,6 +8,7 @@
 #include "baselines/experiment.hpp"
 #include "exp/config.hpp"
 #include "obs/telemetry.hpp"
+#include "prof/profiler.hpp"
 
 namespace smiless::exp {
 
@@ -22,6 +23,10 @@ struct CellResult {
   /// Engaged iff config.obs asked for collection; holds the cell's event
   /// stream, metric registry and audit log for the artifact writers.
   std::shared_ptr<obs::Telemetry> telemetry;
+  /// Engaged iff profiling was requested (config.obs.profile() or
+  /// RunnerOptions::profiler); the cell's wall-clock breakdown + sampled
+  /// counters. Diagnostic only — never feeds comparable artifacts.
+  std::shared_ptr<prof::Profiler> profile;
 };
 
 struct RunnerOptions {
@@ -44,6 +49,13 @@ struct RunnerOptions {
 
   /// Print one line per finished cell to stderr.
   bool progress = false;
+
+  /// Optional sweep-wide self-profiler sink (non-owning; must outlive the
+  /// run). Non-null forces profiling on for every cell even when its
+  /// config.obs doesn't request it; cell profiles are merged into it in
+  /// cell order after the sweep. Zero overhead when null and no cell opts
+  /// in. Wall-clock data only — the trajectory never moves.
+  prof::Profiler* profiler = nullptr;
 };
 
 /// Executes a list of experiment cells, concurrently, with a determinism
@@ -73,10 +85,12 @@ class Runner {
 
   /// Execute a single cell against a given profile store. Exposed so tests
   /// and the CLI single-run path go through exactly the sweep code path.
+  /// `force_profile` attaches a self-profiler even when config.obs doesn't
+  /// ask for one (the sweep sets it when RunnerOptions::profiler is set).
   static CellResult run_cell(const ExperimentConfig& config,
                              const baselines::ProfileStore& store,
                              std::shared_ptr<ThreadPool> policy_pool,
-                             int lane_threads = 0);
+                             int lane_threads = 0, bool force_profile = false);
 
  private:
   RunnerOptions options_;

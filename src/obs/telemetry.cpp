@@ -6,8 +6,10 @@ Telemetry::Telemetry() {
   bus_.add_sink([this](const Event& e) { on_event(e); });
 }
 
-void Telemetry::register_app(int app, std::string name, std::vector<std::string> node_names) {
+void Telemetry::register_app(int app, std::string name, std::vector<std::string> node_names,
+                             double sla) {
   apps_[app] = AppTrackInfo{std::move(name), std::move(node_names)};
+  series_.set_app_sla(app, sla);
 }
 
 std::string Telemetry::app_label(int app) const {
@@ -25,6 +27,7 @@ std::string Telemetry::node_label(int app, int node) const {
 }
 
 void Telemetry::on_event(const Event& e) {
+  series_.on_event(e);  // one branch when the series is disabled
   registry_.count(std::string("events/") + event_type_name(e.type));
   switch (e.type) {
     case EventType::InvocationReady:

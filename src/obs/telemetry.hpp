@@ -10,6 +10,7 @@
 #include "obs/event_bus.hpp"
 #include "obs/metrics.hpp"
 #include "obs/perfetto.hpp"
+#include "obs/timeseries.hpp"
 
 namespace smiless::obs {
 
@@ -33,10 +34,22 @@ class Telemetry {
 
   /// Name the tracks for a deployed app: display name + DAG node names in
   /// NodeId order. Must be called before that app's events are interpreted
-  /// by name (metrics use the names as keys).
-  void register_app(int app, std::string name, std::vector<std::string> node_names);
+  /// by name (metrics use the names as keys). `sla` (seconds; 0 = none)
+  /// feeds the time series' slo_attainment accounting.
+  void register_app(int app, std::string name, std::vector<std::string> node_names,
+                    double sla = 0.0);
 
   const std::map<int, AppTrackInfo>& apps() const { return apps_; }
+
+  /// Start the fixed-cadence sim-time series (see timeseries.hpp). Call
+  /// before the run; no-op repeat calls with the same cadence are fine.
+  void enable_series(double cadence) { series_.enable(cadence); }
+  bool series_enabled() const { return series_.enabled(); }
+  /// Close the series' trailing bins at the run horizon. Idempotent.
+  void finalize_series(double end) { series_.finalize(end); }
+  const TimeSeries& series() const { return series_; }
+  /// Serialized time series (requires enable_series + finalize_series).
+  json::Value series_json() const { return series_.to_json(apps_); }
 
   /// Chrome trace-event array for this run (see perfetto.hpp).
   json::Value perfetto_json(int pid_base = 0, const std::string& label = "") const;
@@ -53,6 +66,7 @@ class Telemetry {
   EventBus bus_;
   MetricRegistry registry_;
   AuditLog audit_;
+  TimeSeries series_;
   std::map<int, AppTrackInfo> apps_;
   // (app, node, request) -> time the invocation became ready, for queue-wait.
   std::map<std::tuple<int, int, int>, double> ready_at_;

@@ -7,6 +7,7 @@
 #include "common/check.hpp"
 #include "faults/fault_injector.hpp"
 #include "obs/event_bus.hpp"
+#include "prof/profiler.hpp"
 #include "serverless/app_table.hpp"
 #include "serverless/instance_pool.hpp"
 #include "serverless/ledger.hpp"
@@ -71,6 +72,13 @@ void FunctionScheduler::push_front(AppId app, dag::NodeId node, RequestId reques
 
 void FunctionScheduler::dispatch(AppId app, dag::NodeId node) {
   if (halted_) return;
+  prof::ScopeTimer scope(options_.prof, prof::Site::Dispatch);
+  if (prof::Profiler* p = options_.prof;
+      p != nullptr && (dispatch_calls_++ & (kSliceSampleInterval - 1)) == 0) {
+    const common::SlabStats ss = slice_stats();
+    p->sample(engine_.now(), prof::Counter::SliceLive, static_cast<double>(ss.live));
+    p->sample(engine_.now(), prof::Counter::SliceBlocks, static_cast<double>(ss.blocks));
+  }
   auto& f = fn(app, node);
 
   while (!f.queue.empty()) {

@@ -78,6 +78,11 @@ class FunctionScheduler {
   /// Stop dispatching (finalize). Idempotent.
   void halt() { halted_ = true; }
 
+  /// Self-profiler cadence (in dispatch calls) for sampling the batch-slice
+  /// recycler occupancy. Power of two; sample points depend only on the
+  /// trajectory.
+  static constexpr std::uint64_t kSliceSampleInterval = 1ull << 10;
+
  private:
   struct FnQueue {
     FunctionPlan plan;
@@ -97,6 +102,7 @@ class FunctionScheduler {
   std::unique_ptr<Router> router_;
   std::deque<std::vector<FnQueue>> apps_;  // by AppId, then NodeId
   common::Recycler<std::vector<RequestId>> slices_;  // batch-slice storage
+  std::uint64_t dispatch_calls_ = 0;  // profiler sampling cadence only
   bool halted_ = false;
 };
 

@@ -1,6 +1,7 @@
 #include "serverless/gateway.hpp"
 
 #include "common/check.hpp"
+#include "prof/profiler.hpp"
 #include "serverless/app_table.hpp"
 #include "serverless/instance_pool.hpp"
 #include "serverless/ledger.hpp"
@@ -41,6 +42,7 @@ void Gateway::start(AppId app) {
 
 void Gateway::window_tick(AppId app) {
   if (halted_) return;  // engine may still drain ticks after finalize()
+  prof::ScopeTimer scope(options_.prof, prof::Site::GatewayWindow);
   auto& w = windows(app);
   WindowStats stats;
   stats.window_end = w.next_end;
@@ -60,7 +62,10 @@ void Gateway::window_tick(AppId app) {
   w.current_arrivals = 0;
   w.next_end += options_.window_seconds;
   PlatformView view(*platform_);
-  table_.policy(app).on_window(app, table_.spec(app), view, stats);
+  {
+    prof::ScopeTimer solver(options_.prof, prof::Site::PolicyWindow);
+    table_.policy(app).on_window(app, table_.spec(app), view, stats);
+  }
   engine_.schedule_at(w.next_end, [this, app] { window_tick(app); });
 }
 

@@ -6,6 +6,7 @@
 #include "common/check.hpp"
 #include "faults/fault_injector.hpp"
 #include "obs/event_bus.hpp"
+#include "prof/profiler.hpp"
 #include "serverless/app_table.hpp"
 #include "serverless/function_scheduler.hpp"
 #include "serverless/ledger.hpp"
@@ -100,6 +101,7 @@ void InstancePool::ensure_capacity(AppId app, dag::NodeId node) {
 
 Instance* InstancePool::create_instance(AppId app, dag::NodeId node,
                                         const perf::HwConfig& config) {
+  prof::ScopeTimer scope(options_.prof, prof::Site::PoolCreate);
   auto& f = fn(app, node);
   auto alloc = cluster_.allocate(config);
   if (!alloc) return nullptr;
@@ -199,6 +201,7 @@ void InstancePool::on_init_failed(AppId app, dag::NodeId node, InstanceId instan
 
 void InstancePool::on_batch_done(AppId app, dag::NodeId node, InstanceId instance_id,
                                  std::vector<RequestId> requests) {
+  prof::ScopeTimer scope(options_.prof, prof::Site::PoolBatchDone);
   auto& f = fn(app, node);
   auto it = std::find_if(f.instances.begin(), f.instances.end(),
                          [&](const Instance& i) { return i.id == instance_id; });

@@ -29,6 +29,10 @@ namespace smiless::obs {
 class EventBus;
 }  // namespace smiless::obs
 
+namespace smiless::prof {
+class Profiler;
+}  // namespace smiless::prof
+
 namespace smiless::serverless {
 
 /// Platform tuning knobs.
@@ -74,6 +78,14 @@ struct PlatformOptions {
   /// When null the platform publishes nothing and pays one pointer test per
   /// lifecycle site — the simulated trajectory is identical either way.
   obs::EventBus* bus = nullptr;
+
+  /// Optional runtime self-profiler (non-owning; must outlive the platform;
+  /// not serialized). Same zero-overhead contract as `bus`: null costs one
+  /// pointer test per instrumented site and the trajectory never moves
+  /// either way — the profiler only reads the wall clock, it never writes
+  /// into golden-compared artifacts. Inside a sharded cell this points at
+  /// the *lane's* private profiler (a Profiler is not thread-safe).
+  prof::Profiler* prof = nullptr;
 };
 
 /// The serverless serving platform (OpenFaaS substitute) running inside the

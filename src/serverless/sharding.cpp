@@ -9,6 +9,7 @@
 #include "concurrency/thread_pool.hpp"
 #include "obs/merge.hpp"
 #include "obs/telemetry.hpp"
+#include "prof/profiler.hpp"
 #include "sim/lane_engine.hpp"
 
 namespace smiless::serverless {
@@ -25,6 +26,7 @@ struct ShardedPlatform::Lane {
   Rng rng;
   faults::FaultInjector injector;
   std::unique_ptr<obs::Telemetry> telemetry;
+  std::unique_ptr<prof::Profiler> prof;  ///< private: profilers are not thread-safe
   std::unique_ptr<Platform> platform;
   std::vector<int> app_map;                  ///< lane-local app id -> global
   std::vector<AppId> ids;                    ///< lane-local deploy handles
@@ -111,10 +113,15 @@ void ShardedPlatform::build_lanes() {
     auto lane = std::make_unique<Lane>(lane_id, n, options_.machine_spec, machine_base,
                                        lane_seed, std::move(fspec));
     if (options_.telemetry != nullptr) lane->telemetry = std::make_unique<obs::Telemetry>();
+    if (options_.prof != nullptr) {
+      lane->prof = std::make_unique<prof::Profiler>(lane_id);
+      lane->engine.engine().set_profiler(lane->prof.get());
+    }
     PlatformOptions popt = options_.platform;
     popt.lane = lane_id;
     popt.faults = lane->injector.enabled() ? &lane->injector : nullptr;
     popt.bus = lane->telemetry != nullptr ? &lane->telemetry->bus() : nullptr;
+    popt.prof = lane->prof.get();
     lane->platform = std::make_unique<Platform>(lane->engine.engine(), lane->cluster,
                                                 options_.pricing, lane->rng, popt);
     lane->injector.set_bus(popt.bus);
@@ -136,9 +143,9 @@ void ShardedPlatform::build_lanes() {
       for (std::size_t nd = 0; nd < pa.app.dag.size(); ++nd)
         node_names.push_back(pa.app.dag.name(static_cast<dag::NodeId>(nd)));
       lane.telemetry->register_app(static_cast<int>(lane.app_map.size()), pa.app.name,
-                                   node_names);
+                                   node_names, pa.app.sla);
       options_.telemetry->register_app(static_cast<int>(g), pa.app.name,
-                                       std::move(node_names));
+                                       std::move(node_names), pa.app.sla);
     }
     // Decision records go to the lane's private audit log (merged after the
     // run); a caller-attached log would be written from several lane threads.
@@ -196,9 +203,16 @@ void ShardedPlatform::run(SimTime end) {
     const bool flush = step_end >= end;
     auto step = [&](std::size_t li) {
       Lane& lane = *lanes_[li];
+      // Per-lane wall time, recorded into the lane's private profiler on
+      // whichever pool thread runs the step.
+      prof::ScopeTimer lane_scope(lane.prof.get(), prof::Site::LaneStep);
       inject_arrivals(lane, step_end, flush);
       lane.engine.step_to(step_end);
     };
+    // The coordinator charges the whole window — i.e. the wait for the
+    // slowest lane — to the barrier site; a lane's own barrier wait is the
+    // difference between this and its lane_step time.
+    prof::ScopeTimer barrier(options_.prof, prof::Site::ShardBarrier);
     if (pool != nullptr) {
       parallel_for(*pool, lanes_.size(), step);
     } else {
@@ -207,15 +221,22 @@ void ShardedPlatform::run(SimTime end) {
     t = step_end;
   }
 
-  for (auto& lane : lanes_) lane->platform->finalize(end);
+  {
+    prof::ScopeTimer fin_scope(options_.prof, prof::Site::Finalize);
+    for (auto& lane : lanes_) lane->platform->finalize(end);
 
-  if (options_.telemetry != nullptr) {
-    std::vector<obs::LaneTelemetry> streams;
-    streams.reserve(lanes_.size());
-    for (const auto& lane : lanes_)
-      streams.push_back({lane->telemetry.get(), &lane->app_map, lane->machine_base});
-    obs::merge_lanes(streams, *options_.telemetry);
+    if (options_.telemetry != nullptr) {
+      std::vector<obs::LaneTelemetry> streams;
+      streams.reserve(lanes_.size());
+      for (const auto& lane : lanes_)
+        streams.push_back({lane->telemetry.get(), &lane->app_map, lane->machine_base});
+      obs::merge_lanes(streams, *options_.telemetry);
+    }
   }
+
+  if (options_.prof != nullptr)
+    for (const auto& lane : lanes_)
+      if (lane->prof != nullptr) options_.prof->merge(*lane->prof);
 }
 
 int ShardedPlatform::lane_of(int app) const {
@@ -238,6 +259,19 @@ sim::EngineStats ShardedPlatform::engine_stats() const {
     sum.scheduled += s.scheduled;
     sum.fired += s.fired;
     sum.cancelled += s.cancelled;
+  }
+  return sum;
+}
+
+sim::CalendarStats ShardedPlatform::calendar_stats() const {
+  sim::CalendarStats sum;
+  for (const auto& lane : lanes_) {
+    const sim::CalendarStats* s = lane->engine.engine().calendar_stats();
+    if (s == nullptr) continue;
+    sum.resizes += s->resizes;
+    sum.direct_searches += s->direct_searches;
+    sum.buckets += s->buckets;
+    sum.peak_live += s->peak_live;
   }
   return sum;
 }

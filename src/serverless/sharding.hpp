@@ -53,6 +53,14 @@ struct ShardOptions {
   /// are merged in deterministic (t, lane, order) order into this bundle
   /// with app/machine ids translated back to the cell's global spaces.
   obs::Telemetry* telemetry = nullptr;
+
+  /// Merged self-profiler output (non-owning, may be null). Profilers are
+  /// not thread-safe, so each lane times itself into a private Profiler
+  /// (lane step, engine, platform subsystems) while the coordinator charges
+  /// barrier waits here; lane profilers are merged into this one — keeping
+  /// a per-lane breakdown — after the run. Wall-clock only; the trajectory
+  /// and every golden-compared artifact are identical with or without it.
+  prof::Profiler* prof = nullptr;
 };
 
 /// A single cell's simulation sharded into deterministic parallel lanes.
@@ -102,6 +110,14 @@ class ShardedPlatform {
   sim::EngineStats engine_stats() const;
   /// Injector counters summed over lanes.
   faults::FaultStats fault_stats() const;
+  /// Calendar-queue internals summed over lanes (resizes and direct
+  /// searches add; buckets and peak_live are summed footprints). Internal
+  /// diagnostics only: the values differ between the monolithic
+  /// (upfront-scheduling) and sharded (streaming-injection) paths even
+  /// when the trajectories are identical, so they stay out of comparable
+  /// artifacts unless explicitly requested (ObservabilityOptions::
+  /// internal_stats).
+  sim::CalendarStats calendar_stats() const;
 
   int populated_lanes() const;
   const ShardOptions& options() const { return options_; }

@@ -8,6 +8,10 @@
 #include "common/units.hpp"
 #include "sim/calendar_queue.hpp"
 
+namespace smiless::prof {
+class Profiler;
+}
+
 namespace smiless::sim {
 
 class ReferenceQueue;
@@ -85,12 +89,27 @@ class Engine {
     return ref_ != nullptr ? nullptr : &calendar_.stats();
   }
 
+  /// Attach (or detach, with nullptr) the runtime self-profiler. When set,
+  /// run_until/schedule_at/cancel record wall-time scopes and the engine
+  /// samples its internal stats (live events, EngineStats, CalendarStats)
+  /// as deterministic sim-time counters every kSampleInterval fired events.
+  /// Null means zero overhead beyond one pointer test per call.
+  void set_profiler(prof::Profiler* p) { prof_ = p; }
+  prof::Profiler* profiler() const { return prof_; }
+
+  /// Counter-sampling cadence in fired events (power of two; the sample
+  /// points depend only on the trajectory, never on the wall clock).
+  static constexpr std::uint64_t kSampleInterval = 1ull << 14;
+
  private:
+  void sample_counters(SimTime t);
+
   SimTime now_ = 0.0;
   EventId next_id_ = 1;
   EngineStats stats_;
   CalendarQueue calendar_;
   std::unique_ptr<ReferenceQueue> ref_;  ///< engaged iff QueueImpl::BinaryHeap
+  prof::Profiler* prof_ = nullptr;       ///< optional self-profiler (not owned)
 };
 
 }  // namespace smiless::sim

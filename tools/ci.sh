@@ -15,6 +15,7 @@
 #   tools/ci.sh golden     # golden bit-identity smoke against tests/golden/
 #   tools/ci.sh bench      # shrunken throughput bench + artifact schema check
 #   tools/ci.sh shard      # lanes=1 vs lanes=4 artifact bit-identity smoke
+#   tools/ci.sh obs        # observability artifacts + HTML report + profiler smoke
 #   tools/ci.sh full /tmp/ci
 set -euo pipefail
 
@@ -23,7 +24,7 @@ repo="$(cd "$(dirname "$0")/.." && pwd)"
 cd "${repo}"
 mode="full"
 case "${1:-}" in
-  lint|tsan|golden|bench|shard|full) mode="$1"; shift ;;
+  lint|tsan|golden|bench|shard|obs|full) mode="$1"; shift ;;
 esac
 prefix="${1:-${repo}/build-ci}"
 jobs="$(nproc 2>/dev/null || echo 4)"
@@ -220,8 +221,11 @@ golden_smoke() {
 }
 
 # Observability smoke: the same sweep with artifact collection on must (a)
-# leave the aggregate JSON untouched, (b) emit parseable artifacts, and (c)
-# produce byte-identical artifacts at --threads 4 and --threads 1.
+# leave the aggregate JSON untouched (including with the self-profiler
+# attached), (b) emit parseable artifacts — trace, metrics, audit, windows,
+# time series, self-profile, HTML report — and (c) produce byte-identical
+# sim-derived artifacts at --threads 4 and --threads 1. The profile and the
+# report embed wall-clock data, so they are schema-validated, never cmp'd.
 obs_smoke() {
   echo "==== [obs] artifact collection: valid, inert, thread-stable ===="
   local dir grid
@@ -248,17 +252,21 @@ EOF
     "${prefix}/tools/smiless" --sweep "${grid}" --threads "${n}" \
       --out "${dir}/out${n}.json" \
       --trace-out "${dir}/trace${n}.json" --metrics-out "${dir}/metrics${n}.json" \
-      --audit-out "${dir}/audit${n}.json" --windows-out "${dir}/windows${n}.csv"
+      --audit-out "${dir}/audit${n}.json" --windows-out "${dir}/windows${n}.csv" \
+      --series-out "${dir}/series${n}.json" --series-cadence 2 \
+      --profile-out "${dir}/profile${n}.json" --report-out "${dir}/report${n}.html"
   done
-  # Collection must not perturb the summary, and artifacts are thread-stable.
+  # Collection must not perturb the summary — the --report-out/--profile-out
+  # runs above have the self-profiler attached, so this cmp doubles as the
+  # profiling-is-inert check — and sim-derived artifacts are thread-stable.
   "${prefix}/tools/smiless" --sweep "${grid}" --threads 2 --out "${dir}/plain.json"
   cmp "${dir}/plain.json" "${dir}/out4.json"
   local f
-  for f in out trace metrics audit; do
+  for f in out trace metrics audit series; do
     cmp "${dir}/${f}4.json" "${dir}/${f}1.json"
   done
   cmp "${dir}/windows4.csv" "${dir}/windows1.csv"
-  # Artifacts parse as JSON (when a python3 is around to check).
+  # Artifacts parse and carry the pinned schema (when python3 is around).
   if command -v python3 >/dev/null 2>&1; then
     python3 - "${dir}" <<'EOF'
 import json, sys
@@ -272,7 +280,55 @@ assert any("p99" in h for c in metrics["cells"]
            for h in c["metrics"]["histograms"].values()), "no p99 histograms"
 audit = json.load(open(f"{d}/audit4.json"))
 assert any(c["decisions"] for c in audit["cells"]), "no audit decisions"
-print(f"[obs] {len(trace)} trace events, {len(metrics['cells'])} metric cells OK")
+
+# Time series: fixed-cadence columns of equal length per cell.
+series = json.load(open(f"{d}/series4.json"))
+assert series["cells"], "no series cells"
+cols = ("t", "arrivals", "completions", "failures", "slo_attainment",
+        "p99_latency", "cold_starts", "instances_init", "instances_warm",
+        "instances_busy", "machines_busy", "queue_depth", "utilization",
+        "cost_rate")
+for c in series["cells"]:
+    s = c["series"]
+    assert s["cadence"] == 2.0, "cadence not honoured"
+    bins = s["bins"]
+    assert bins > 0, "empty series"
+    for col in cols:
+        assert len(s[col]) == bins, f"column {col} length != bins"
+    assert s["functions"], "no per-function tracks"
+    for fn in s["functions"]:
+        assert len(fn["queue_depth"]) == bins, "function track length != bins"
+
+# Self-profile: every cell rooted, exclusive coverage >= 90% of measured
+# wall, counter samples present, perfetto events alongside.
+prof = json.load(open(f"{d}/profile4.json"))
+assert prof["cells"], "no profile cells"
+for c in prof["cells"]:
+    p = c["profile"]
+    assert p["total_ms"] > 0, "unrooted profile"
+    assert p["coverage"] >= 0.9, f"profile coverage {p['coverage']} < 0.9"
+    names = {s["site"] for s in p["sites"] if s["count"] > 0}
+    assert {"engine/run", "scheduler/dispatch"} <= names, \
+        f"core sites missing: {names}"
+    assert p["counters"], "no counter samples"
+    assert c["perfetto"], "no perfetto events for the cell"
+
+# HTML report: standalone document, data island parses back, no network.
+html = open(f"{d}/report4.html", encoding="utf-8").read()
+assert html.startswith("<!doctype html>"), "not an HTML document"
+open_tag = '<script type="application/json" id="data">'
+a = html.index(open_tag) + len(open_tag)
+b = html.index("</script>", a)
+payload = json.loads(html[a:b].replace("<\\/", "</"))
+assert len(payload["cells"]) == len(series["cells"]), "report cell count wrong"
+assert all("series" in c and "profile" in c for c in payload["cells"]), \
+    "report cells missing series/profile sections"
+stripped = html.replace("http://www.w3.org/2000/svg", "")
+for needle in ("http://", "https://", "<link", "src="):
+    assert needle not in stripped, f"report is not self-contained: {needle}"
+print(f"[obs] {len(trace)} trace events, {len(metrics['cells'])} metric cells,"
+      f" {len(series['cells'])} series cells, {len(prof['cells'])} profiles,"
+      f" report {len(html)} bytes OK")
 EOF
   fi
   echo "[obs] artifacts valid and bit-identical across thread counts OK"
@@ -293,13 +349,15 @@ shard_smoke() {
   "${prefix}/tools/smiless" "${common[@]}" --lanes 1 \
       --trace-out "${dir}/trace1.json" --metrics-out "${dir}/metrics1.json" \
       --audit-out "${dir}/audit1.json" --windows-out "${dir}/windows1.csv" \
+      --series-out "${dir}/series1.json" \
       > "${dir}/stdout1.txt"
   "${prefix}/tools/smiless" "${common[@]}" --lanes 4 --lane-threads 2 \
       --trace-out "${dir}/trace4.json" --metrics-out "${dir}/metrics4.json" \
       --audit-out "${dir}/audit4.json" --windows-out "${dir}/windows4.csv" \
+      --series-out "${dir}/series4.json" \
       > "${dir}/stdout4.txt"
   local f
-  for f in trace metrics audit; do
+  for f in trace metrics audit series; do
     cmp "${dir}/${f}1.json" "${dir}/${f}4.json"
   done
   cmp "${dir}/windows1.csv" "${dir}/windows4.csv"
@@ -319,8 +377,8 @@ bench_smoke() {
   dir="$(mktemp -d)"
   out="${dir}/BENCH_throughput.json"
   "${prefix}/bench/bench_throughput" --apps 24 --machines 12 --duration 90 \
-      --events 150000 --out "${out}"
-  python3 - "${out}" <<'EOF'
+      --events 150000 --out "${out}" --report-out "${dir}/report.html"
+  python3 - "${out}" "${dir}/report.html" <<'EOF'
 import json, sys
 doc = json.load(open(sys.argv[1]))
 
@@ -374,9 +432,37 @@ assert rows[0]["events_fired"] == det["events_fired"], \
     "lanes=1 diverged from the monolithic trajectory"
 require(doc, "e2e_speedup", num, "$")
 require(doc, "peak_rss_mb", num, "$")
+
+# Self-profiler section: the root scope brackets each measured cell, so the
+# exclusive times must cover >= 90% of the measured wall time (monolithic
+# cells hit exactly 1.0; sharded cells may exceed it — lane wall time on
+# worker threads overlaps the coordinator's barrier wait).
+pr = require(doc, "profile", dict, "$")
+assert require(pr, "coverage", num, "profile") >= 0.9, \
+    f"profile coverage {pr['coverage']} < 0.9"
+for impl in ("calendar", "binary_heap"):
+    sec = require(pr, impl, dict, "profile")
+    require(sec, "total_ms", num, f"profile.{impl}")
+    sites = require(sec, "sites", list, f"profile.{impl}")
+    assert any(s["count"] > 0 for s in sites), f"profile.{impl}: no active sites"
+    assert sec["coverage"] >= 0.9, f"profile.{impl} coverage < 0.9"
+shp = require(pr, "sharded", list, "profile")
+assert [r["lanes"] for r in shp] == [1, 2, 4, 8], "profile sharded axis wrong"
+
+# The --report-out HTML: standalone, with one profile cell per measurement.
+html = open(sys.argv[2], encoding="utf-8").read()
+assert html.startswith("<!doctype html>"), "bench report not an HTML document"
+open_tag = '<script type="application/json" id="data">'
+a = html.index(open_tag) + len(open_tag)
+b = html.index("</script>", a)
+payload = json.loads(html[a:b].replace("<\\/", "</"))
+assert len(payload["cells"]) == 2 + len(shp), "bench report cell count wrong"
+assert all("profile" in c for c in payload["cells"]), "report cell lacks profile"
+
 print(f"[bench] schema OK; micro speedup {micro['speedup']:.2f}x,"
       f" e2e {doc['e2e_speedup']:.2f}x,"
-      f" {det['events_fired']} events fired")
+      f" {det['events_fired']} events fired,"
+      f" profile coverage {pr['coverage']:.3f}")
 EOF
   rm -rf "${dir}"
   echo "[bench] throughput smoke green"
@@ -415,6 +501,14 @@ case "${mode}" in
     cmake --build "${prefix}" --target smiless_cli -j "${jobs}"
     shard_smoke
     echo "==== shard green ===="
+    exit 0
+    ;;
+  obs)
+    echo "==== [obs] configure + build ===="
+    configure_flavor ci "${prefix}"
+    cmake --build "${prefix}" --target smiless_cli -j "${jobs}"
+    obs_smoke
+    echo "==== obs green ===="
     exit 0
     ;;
 esac

@@ -36,6 +36,15 @@
 //     --metrics-out <file>  counters / gauges / latency histograms JSON
 //     --audit-out <file>    policy decision audit log JSON
 //     --windows-out <file>  per-window time-series CSV
+//     --series-out <file>   fixed-cadence obs::TimeSeries JSON (byte-stable
+//                           across --threads / --lane-threads / lane counts)
+//     --series-cadence <s>  time-series bin width in sim seconds (default 1)
+//     --report-out <file>   self-contained HTML serving report (charts +
+//                           profiler breakdown; opens offline from file://)
+//     --profile-out <file>  runtime self-profiler JSON (wall-clock scope
+//                           breakdown + sampled internal counters)
+//     --internal-stats      mirror calendar-queue internals into metrics-out
+//                           (path-revealing: monolithic vs sharded differ)
 //
 //   Fault injection (all off by default; see DESIGN.md "Failure model"):
 //     --fault-init-p <p>        container init failure probability
@@ -96,6 +105,9 @@ struct CliOptions {
                "       [--progress]\n"
                "       [--trace-out file.json] [--metrics-out file.json]\n"
                "       [--audit-out file.json] [--windows-out file.csv]\n"
+               "       [--series-out file.json] [--series-cadence S]\n"
+               "       [--report-out file.html] [--profile-out file.json]\n"
+               "       [--internal-stats]\n"
                "       [--fault-init-p P] [--fault-straggler-p P] [--fault-straggler-x F]\n"
                "       [--fault-crash M@T:D]... [--fault-crash-rate R] [--fault-mttr S]\n"
                "       [--timeout S] [--max-retries N]\n";
@@ -174,6 +186,15 @@ CliOptions parse_cli(int argc, char** argv) {
     else if (!std::strcmp(arg, "--metrics-out")) o.config.obs.metrics_out = need_value(i);
     else if (!std::strcmp(arg, "--audit-out")) o.config.obs.audit_out = need_value(i);
     else if (!std::strcmp(arg, "--windows-out")) o.config.obs.windows_out = need_value(i);
+    else if (!std::strcmp(arg, "--series-out")) o.config.obs.series_out = need_value(i);
+    else if (!std::strcmp(arg, "--series-cadence")) {
+      o.config.obs.series_cadence = std::atof(need_value(i));
+      if (o.config.obs.series_cadence <= 0.0)
+        usage(argv[0], "--series-cadence must be positive");
+    }
+    else if (!std::strcmp(arg, "--report-out")) o.config.obs.report_out = need_value(i);
+    else if (!std::strcmp(arg, "--profile-out")) o.config.obs.profile_out = need_value(i);
+    else if (!std::strcmp(arg, "--internal-stats")) o.config.obs.internal_stats = true;
     else if (!std::strcmp(arg, "--fault-init-p"))
       o.config.faults.init_failure_prob = std::atof(need_value(i));
     else if (!std::strcmp(arg, "--fault-straggler-p"))
@@ -227,6 +248,13 @@ int run_sweep(const CliOptions& cli) {
   if (!cli.config.obs.audit_out.empty()) grid.base.obs.audit_out = cli.config.obs.audit_out;
   if (!cli.config.obs.windows_out.empty())
     grid.base.obs.windows_out = cli.config.obs.windows_out;
+  if (!cli.config.obs.series_out.empty()) grid.base.obs.series_out = cli.config.obs.series_out;
+  if (!cli.config.obs.report_out.empty()) grid.base.obs.report_out = cli.config.obs.report_out;
+  if (!cli.config.obs.profile_out.empty())
+    grid.base.obs.profile_out = cli.config.obs.profile_out;
+  if (cli.config.obs.series_cadence != 1.0)
+    grid.base.obs.series_cadence = cli.config.obs.series_cadence;
+  if (cli.config.obs.internal_stats) grid.base.obs.internal_stats = true;
   const auto cells_cfg = grid.expand();
   std::cerr << "[exp] sweep " << cli.sweep_file << ": " << cells_cfg.size() << " cells, "
             << (cli.runner.threads == 0 ? std::string("hw") : std::to_string(cli.runner.threads))
@@ -249,6 +277,12 @@ int run_sweep(const CliOptions& cli) {
       std::cerr << "[obs] wrote " << grid.base.obs.audit_out << "\n";
     if (!grid.base.obs.windows_out.empty())
       std::cerr << "[obs] wrote " << grid.base.obs.windows_out << "\n";
+    if (!grid.base.obs.series_out.empty())
+      std::cerr << "[obs] wrote " << grid.base.obs.series_out << "\n";
+    if (!grid.base.obs.report_out.empty())
+      std::cerr << "[obs] wrote " << grid.base.obs.report_out << "\n";
+    if (!grid.base.obs.profile_out.empty())
+      std::cerr << "[obs] wrote " << grid.base.obs.profile_out << "\n";
   }
 
   const auto aggregates = exp::aggregate(cells);
