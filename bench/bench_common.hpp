@@ -30,6 +30,7 @@ struct BenchArgs {
 };
 
 inline BenchArgs& bench_args() {
+  // detlint:allow(global-state) process-wide CLI knobs, written once in main before any benchmark runs
   static BenchArgs args;
   return args;
 }
@@ -147,6 +148,7 @@ class ReportingRunner {
 };
 
 inline ReportingRunner& shared_runner() {
+  // detlint:allow(global-state) one runner shared across benchmark registrations; benchmarks run serially
   static ReportingRunner runner = [] {
     exp::RunnerOptions options;
     options.threads = bench_args().threads;

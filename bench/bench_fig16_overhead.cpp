@@ -8,6 +8,7 @@
 
 #include "apps/catalog.hpp"
 #include "bench/bench_common.hpp"
+#include "common/units.hpp"
 #include "core/autoscaler.hpp"
 #include "core/strategy_optimizer.hpp"
 #include "core/workflow_manager.hpp"
@@ -126,7 +127,7 @@ int main(int argc, char** argv) {
     const auto cell =
         exp::Runner::run_cell(cfg, runner.profiles(cfg.profile_seed), runner.policy_pool());
     const obs::AuditLog& audit = cell.telemetry->audit();
-    const double total_ms = 1e3 * audit.total_solver_seconds();
+    const double total_ms = kMillisPerSecond * audit.total_solver_seconds();
     const double per_call =
         audit.solver_calls() == 0 ? 0.0
                                   : total_ms / static_cast<double>(audit.solver_calls());

@@ -13,4 +13,13 @@ using Dollars = double;
 /// Seconds-per-hour conversion used by the pricing model.
 inline constexpr double kSecondsPerHour = 3600.0;
 
+/// Unit-conversion factors for telemetry and reports. Raw literals like
+/// `1e6` at a call site trip the detlint time-unit rule; these names keep
+/// the direction of the conversion visible.
+inline constexpr double kMillisPerSecond = 1e3;
+inline constexpr double kMicrosPerSecond = 1e6;
+inline constexpr double kNanosPerMicro = 1e3;
+inline constexpr double kNanosPerMilli = 1e6;
+inline constexpr double kNanosPerSecond = 1e9;
+
 }  // namespace smiless

@@ -1,5 +1,7 @@
 #include "prof/profiler.hpp"
 
+#include "common/units.hpp"
+
 #include <algorithm>
 #include <chrono>
 #include <map>
@@ -78,8 +80,8 @@ json::Value sites_json(const std::array<SiteAgg, kSiteCount>& sites) {
     json::Value v = json::Value::object();
     v["site"] = std::string(site_name(static_cast<Site>(i)));
     v["count"] = static_cast<long long>(a.count);
-    v["inclusive_ms"] = static_cast<double>(a.inclusive_ns) / 1e6;
-    v["exclusive_ms"] = static_cast<double>(a.exclusive_ns) / 1e6;
+    v["inclusive_ms"] = static_cast<double>(a.inclusive_ns) / kNanosPerMilli;
+    v["exclusive_ms"] = static_cast<double>(a.exclusive_ns) / kNanosPerMilli;
     arr.push_back(std::move(v));
   }
   return arr;
@@ -135,7 +137,7 @@ json::Value snapshot_to_json(const Snapshot& s) {
   doc["sites"] = sites_json(s.sites);
   std::uint64_t exclusive_sum = 0;
   for (const SiteAgg& a : s.sites) exclusive_sum += a.exclusive_ns;
-  doc["total_ms"] = static_cast<double>(s.root_ns) / 1e6;
+  doc["total_ms"] = static_cast<double>(s.root_ns) / kNanosPerMilli;
   if (s.root_ns > 0)
     doc["coverage"] = static_cast<double>(exclusive_sum) / static_cast<double>(s.root_ns);
   return doc;
@@ -147,7 +149,7 @@ json::Value Profiler::to_json() const {
 
   std::uint64_t exclusive_sum = 0;
   for (const SiteAgg& a : sites_) exclusive_sum += a.exclusive_ns;
-  doc["total_ms"] = static_cast<double>(root_ns()) / 1e6;
+  doc["total_ms"] = static_cast<double>(root_ns()) / kNanosPerMilli;
   if (root_ns() > 0)
     doc["coverage"] = static_cast<double>(exclusive_sum) / static_cast<double>(root_ns());
 
@@ -210,7 +212,7 @@ json::Value Profiler::perfetto_events(int pid) const {
       ev["ph"] = std::string("C");
       ev["pid"] = static_cast<long long>(pid);
       ev["name"] = name;
-      ev["ts"] = cs->sim_t * 1e6;
+      ev["ts"] = cs->sim_t * kMicrosPerSecond;
       json::Value args = json::Value::object();
       args["value"] = cs->value;
       ev["args"] = std::move(args);
@@ -241,10 +243,10 @@ json::Value Profiler::perfetto_events(int pid) const {
     ev["tid"] = tid;
     ev["name"] = std::string(site_name(static_cast<Site>(i)));
     ev["ts"] = 0.0;
-    ev["dur"] = static_cast<double>(a.inclusive_ns) / 1e3;
+    ev["dur"] = static_cast<double>(a.inclusive_ns) / kNanosPerMicro;
     json::Value args = json::Value::object();
     args["count"] = static_cast<long long>(a.count);
-    args["exclusive_ms"] = static_cast<double>(a.exclusive_ns) / 1e6;
+    args["exclusive_ms"] = static_cast<double>(a.exclusive_ns) / kNanosPerMilli;
     ev["args"] = std::move(args);
     events.push_back(std::move(ev));
   }

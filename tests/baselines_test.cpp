@@ -13,6 +13,7 @@ namespace {
 
 ProfileStore& store() {
   static Rng rng(101);
+  // detlint:allow(global-state) fixed-seed fixture built once; tests only read it
   static ProfileStore s{profiler::OfflineProfiler{}, rng};
   return s;
 }

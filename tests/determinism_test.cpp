@@ -17,6 +17,7 @@ namespace {
 
 const baselines::ProfileStore& store() {
   static Rng rng(2024);
+  // detlint:allow(global-state) fixed-seed fixture built once; tests only read it
   static baselines::ProfileStore s{profiler::OfflineProfiler{}, rng};
   return s;
 }

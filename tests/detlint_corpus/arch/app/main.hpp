@@ -1,0 +1,6 @@
+#pragma once
+#include "base/util.hpp"
+#include "engine/engine.hpp"
+#include "engine/internal.hpp"
+
+inline int app_main() { return base_util() + engine_facade() + engine_internal(); }

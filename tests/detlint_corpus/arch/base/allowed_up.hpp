@@ -1,0 +1,3 @@
+#pragma once
+// detlint:allow(layer-violation) corpus: grandfathered upward edge
+#include "app/main.hpp"

@@ -1,0 +1,3 @@
+#pragma once
+// corpus: base may not reach up into app.
+#include "app/main.hpp"

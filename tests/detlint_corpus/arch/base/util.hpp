@@ -1,0 +1,3 @@
+#pragma once
+
+inline int base_util() { return 1; }

@@ -1,0 +1,4 @@
+#pragma once
+#include "engine/internal.hpp"
+
+inline int engine_facade() { return engine_internal(); }

@@ -1,0 +1,4 @@
+#pragma once
+#include "base/util.hpp"
+
+inline int engine_internal() { return base_util(); }

@@ -1,0 +1,13 @@
+// detlint corpus: mutable namespace-scope, static-local and thread_local
+// declarations break lane purity and must be flagged.
+#include <string>
+#include <vector>
+
+static int call_count = 0;
+thread_local std::string last_error;
+static std::vector<int> cache{};
+
+int bump() {
+  static int hits = 0;
+  return ++hits + call_count;
+}

@@ -1,0 +1,19 @@
+// detlint corpus: raw unit-conversion literals next to unit-suffixed
+// quantities must be flagged, with the literal on either side.
+
+double to_millis(double total_seconds) {
+  return total_seconds * 1000;
+}
+
+double to_seconds(long long elapsed_ns) {
+  return elapsed_ns / 1e9;
+}
+
+struct Audit {
+  double solver_seconds() const { return 0.0; }
+};
+
+double report(const Audit& audit, double window_ms) {
+  const double total = 1e3 * audit.solver_seconds();
+  return total + window_ms / 1000.0;
+}

@@ -1,0 +1,18 @@
+// detlint corpus: immutable statics, type definitions and annotated
+// singletons are clean. Paren-initialized statics are the documented
+// blind spot (the declarator stops at '(' like a function declaration).
+#include <string>
+
+static const int kLimit = 8;
+static constexpr double kScale = 1.5;
+
+namespace corpus {
+struct Table {
+  int rows = 0;
+};
+}  // namespace corpus
+
+// detlint:allow(global-state) corpus: interned table, built once before any lane runs
+static corpus::Table g_table{};
+
+static std::string spell(int n) { return std::to_string(n); }

@@ -1,0 +1,21 @@
+// detlint corpus: named constants, annotated conversions, and literals on
+// non-unit quantities are clean.
+
+inline constexpr double kMillisPerSecond = 1e3;
+
+double to_millis(double total_seconds) {
+  return total_seconds * kMillisPerSecond;
+}
+
+double legacy(double span_seconds) {
+  // detlint:allow(time-unit) corpus: literal kept to match a published table
+  return span_seconds * 3600;
+}
+
+double not_a_unit(double scale) {
+  return scale * 1000;
+}
+
+double offsets(double bias_ms) {
+  return bias_ms + 1000;  // additive, not a conversion
+}

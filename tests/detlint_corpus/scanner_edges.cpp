@@ -1,0 +1,18 @@
+// detlint corpus: scanner edge cases. Violation-shaped text inside
+// multi-line raw strings is invisible to every rule, an allow spelled
+// inside a raw string is inert (neither suppresses nor reports unused),
+// and an allow riding a block comment's closing line still anchors to
+// the code line below it.
+#include <cstdlib>
+#include <string>
+
+const std::string kDoc = R"doc(
+  std::rand() and std::getenv("HOME") inside a raw string are not code.
+  // detlint:allow(wall-clock) inside a raw string this is inert text
+)doc";
+
+/* A block comment spanning lines: std::rand() in here is invisible.
+   detlint:allow(raw-rand) corpus: rides the closing line of this comment */
+int suppressed() { return std::rand(); }
+
+int flagged() { return std::rand(); }

@@ -1,8 +1,10 @@
-// Tests for tools/detlint: the determinism-purity rule catalog (DESIGN.md
-// §11). Corpus files in tests/detlint_corpus/ pin exact rule ids and line
-// numbers per rule (good/bad pairs plus annotation and false-positive
-// cases), and DetlintTree.RepoIsClean re-lints the live tree so seeding a
-// violation anywhere in src/, tools/ or bench/ fails ctest.
+// Tests for tools/detlint: the determinism-purity rule catalog and the
+// archlint layering pass (DESIGN.md §11). Corpus files in
+// tests/detlint_corpus/ pin exact rule ids and line numbers per rule
+// (good/bad pairs plus annotation and false-positive cases), the arch/
+// subtree carries its own mini layer manifest, and DetlintTree.RepoIsClean
+// re-lints the live tree against tools/detlint/layers.json so seeding a
+// violation anywhere in src/, tools/, bench/ or tests/ fails ctest.
 
 #include <fstream>
 #include <sstream>
@@ -11,6 +13,8 @@
 
 #include <gtest/gtest.h>
 
+#include "archlint.hpp"
+#include "common/json.hpp"
 #include "scanner.hpp"
 
 namespace {
@@ -50,9 +54,11 @@ void expect_findings(const std::string& name, const std::vector<Expected>& expec
 
 TEST(DetlintCatalog, RulesAreStable) {
   const auto& rules = detlint::rule_catalog();
-  ASSERT_EQ(rules.size(), 6u);
-  const std::vector<std::string> ids = {"wall-clock", "raw-rand",        "unordered-iter",
-                                        "ptr-key",    "parallel-reduce", "env-read"};
+  ASSERT_EQ(rules.size(), 11u);
+  const std::vector<std::string> ids = {
+      "wall-clock",      "raw-rand",        "unordered-iter", "ptr-key",
+      "parallel-reduce", "env-read",        "layer-violation", "include-cycle",
+      "private-include", "global-state",    "time-unit"};
   for (std::size_t i = 0; i < ids.size(); ++i) {
     EXPECT_EQ(rules[i].id, ids[i]);
     EXPECT_TRUE(detlint::is_known_rule(ids[i]));
@@ -110,6 +116,157 @@ TEST(DetlintCorpus, BadAndStaleAllows) {
 
 TEST(DetlintCorpus, FalsePositives) { expect_findings("false_positives.cpp", {}); }
 
+TEST(DetlintCorpus, GlobalState) {
+  expect_findings("bad_global_state.cpp", {{"global-state", 6},
+                                           {"global-state", 7},
+                                           {"global-state", 8},
+                                           {"global-state", 11}});
+  expect_findings("good_global_state.cpp", {});
+}
+
+TEST(DetlintCorpus, TimeUnit) {
+  expect_findings("bad_time_unit.cpp",
+                  {{"time-unit", 5}, {"time-unit", 9}, {"time-unit", 17}, {"time-unit", 18}});
+  expect_findings("good_time_unit.cpp", {});
+}
+
+// Multi-line raw strings hide violation-shaped text AND allow annotations
+// (inert: no suppression, no unused-allow); an allow on the closing line of
+// a block comment anchors to the code line below it; and line numbers after
+// a multi-line raw string stay exact.
+TEST(DetlintCorpus, ScannerEdges) { expect_findings("scanner_edges.cpp", {{"raw-rand", 18}}); }
+
+// ---------------------------------------------------------------------------
+// archlint: the include-graph layering pass over the corpus mini-tree
+// ---------------------------------------------------------------------------
+
+TEST(DetlintArch, CorpusTreeFindings) {
+  const std::string arch = std::string(DETLINT_CORPUS_DIR) + "/arch";
+  detlint::ScanOptions options;
+  const detlint::LayerManifest manifest = detlint::load_manifest(arch + "/layers.json");
+  options.manifest = &manifest;
+  const auto got = detlint::scan_paths({arch}, options);
+  ASSERT_EQ(got.size(), 4u) << [&] {
+    std::ostringstream os;
+    for (const auto& v : got) os << "  " << detlint::format_violation(v) << "\n";
+    return os.str();
+  }();
+  // scan_paths emits files in sorted path order; base/allowed_up.hpp is
+  // suppressed by its layer-violation allow and absent here.
+  EXPECT_EQ(got[0].rule, "private-include");
+  EXPECT_EQ(got[0].line, 4);
+  EXPECT_NE(got[0].path.find("arch/app/main.hpp"), std::string::npos);
+  EXPECT_NE(got[0].message.find("arch/engine/internal.hpp"), std::string::npos);
+  EXPECT_EQ(got[1].rule, "layer-violation");
+  EXPECT_EQ(got[1].line, 3);
+  EXPECT_NE(got[1].path.find("arch/base/bad_up.hpp"), std::string::npos);
+  EXPECT_EQ(got[2].rule, "include-cycle");
+  EXPECT_EQ(got[2].line, 2);
+  EXPECT_NE(got[2].path.find("arch/cycle/a.hpp"), std::string::npos);
+  EXPECT_NE(got[2].message.find("arch/cycle/a.hpp -> arch/cycle/b.hpp -> arch/cycle/a.hpp"),
+            std::string::npos);
+  EXPECT_EQ(got[3].rule, "layer-violation");
+  EXPECT_EQ(got[3].line, 1);
+  EXPECT_NE(got[3].path.find("arch/orphan/stray.hpp"), std::string::npos);
+  EXPECT_NE(got[3].message.find("not covered by any layer"), std::string::npos);
+}
+
+TEST(DetlintArch, ManifestValidation) {
+  // Cyclic layer DAG.
+  EXPECT_THROW(detlint::parse_manifest(R"({"layers": [
+    {"name": "a", "members": ["x"], "deps": ["b"]},
+    {"name": "b", "members": ["y"], "deps": ["a"]}]})"),
+               std::runtime_error);
+  // Unknown dependency.
+  EXPECT_THROW(detlint::parse_manifest(
+                   R"({"layers": [{"name": "a", "members": ["x"], "deps": ["ghost"]}]})"),
+               std::runtime_error);
+  // A module listed in two layers.
+  EXPECT_THROW(detlint::parse_manifest(R"({"layers": [
+    {"name": "a", "members": ["x"], "deps": []},
+    {"name": "b", "members": ["x"], "deps": []}]})"),
+               std::runtime_error);
+  // A private module that is not a member of any layer.
+  EXPECT_THROW(detlint::parse_manifest(R"({"layers": [
+    {"name": "a", "members": ["x"], "deps": []}],
+    "private": [{"module": "z", "public": ["z.hpp"]}]})"),
+               std::runtime_error);
+  // Self-dependency.
+  EXPECT_THROW(
+      detlint::parse_manifest(R"({"layers": [{"name": "a", "members": ["x"], "deps": ["a"]}]})"),
+      std::runtime_error);
+  // A valid manifest parses and orders layers as listed.
+  const auto ok = detlint::parse_manifest(R"({"layers": [
+    {"name": "a", "members": ["x"], "deps": []},
+    {"name": "b", "members": ["y"], "deps": ["a"]}]})");
+  EXPECT_EQ(ok.module_of("p/x/file.hpp"), "x");
+  EXPECT_EQ(ok.layer_of_module("y"), 1);
+  EXPECT_EQ(ok.module_of("p/xx/file.hpp"), "");
+}
+
+// ---------------------------------------------------------------------------
+// --json report schema and the --baseline ratchet
+// ---------------------------------------------------------------------------
+
+// The report round-trips through the JSON model: fixed schema keys, counts
+// summing to total, and one entry per violation with path/line/rule/message.
+TEST(DetlintReport, JsonSchemaRoundTrip) {
+  const auto violations = scan_corpus("bad_time_unit.cpp");
+  ASSERT_FALSE(violations.empty());
+  const std::string text = detlint::report_json(violations);
+  const auto doc = smiless::json::Value::parse(text);
+  EXPECT_EQ(doc.get("detlint", 0), 1);
+  ASSERT_NE(doc.find("total"), nullptr);
+  ASSERT_NE(doc.find("counts"), nullptr);
+  ASSERT_NE(doc.find("violations"), nullptr);
+  EXPECT_EQ(static_cast<std::size_t>(doc.get("total", -1)), violations.size());
+  long long counted = 0;
+  for (const auto& [rule, n] : doc.find("counts")->members()) {
+    EXPECT_TRUE(detlint::is_known_rule(rule) || rule == "bad-allow" || rule == "unused-allow")
+        << rule;
+    counted += n.as_int();
+  }
+  EXPECT_EQ(static_cast<std::size_t>(counted), violations.size());
+  const auto& list = doc.find("violations")->items();
+  ASSERT_EQ(list.size(), violations.size());
+  for (std::size_t i = 0; i < violations.size(); ++i) {
+    EXPECT_EQ(list[i].get("path", ""), violations[i].path);
+    EXPECT_EQ(list[i].get("line", -1), violations[i].line);
+    EXPECT_EQ(list[i].get("rule", ""), violations[i].rule);
+    EXPECT_EQ(list[i].get("message", ""), violations[i].message);
+  }
+}
+
+// Yesterday's report used as today's baseline absorbs exactly the pinned
+// (path, rule) budget: same findings vanish, new ones survive, and entries
+// that no longer match are reported as stale so the pin can be ratcheted.
+TEST(DetlintReport, BaselineRatchet) {
+  const auto violations = scan_corpus("bad_time_unit.cpp");
+  ASSERT_EQ(violations.size(), 4u);
+  const detlint::Baseline baseline = detlint::parse_baseline(detlint::report_json(violations));
+  detlint::BaselineStats stats;
+  EXPECT_TRUE(detlint::apply_baseline(violations, baseline, &stats).empty());
+  EXPECT_EQ(stats.suppressed, 4);
+  EXPECT_EQ(stats.stale, 0);
+
+  // A new finding in a different file survives the same baseline.
+  auto grown = violations;
+  grown.push_back({"other.cpp", 3, "time-unit", "raw unit-conversion literal"});
+  const auto survivors = detlint::apply_baseline(grown, baseline, &stats);
+  ASSERT_EQ(survivors.size(), 1u);
+  EXPECT_EQ(survivors[0].path, "other.cpp");
+
+  // Fixing findings leaves the baseline over-budget: stale, not suppressed.
+  auto shrunk = violations;
+  shrunk.resize(2);
+  EXPECT_TRUE(detlint::apply_baseline(shrunk, baseline, &stats).empty());
+  EXPECT_EQ(stats.suppressed, 2);
+  EXPECT_EQ(stats.stale, 2);
+
+  // A report that is not a detlint report is rejected.
+  EXPECT_THROW(detlint::parse_baseline("{}"), std::runtime_error);
+}
+
 // The rng wrapper itself is exempt from raw-rand by path suffix: the same
 // content under a different name must be flagged.
 TEST(DetlintScan, PathExemption) {
@@ -144,13 +301,19 @@ TEST(DetlintScan, UnusedAllowsCanBeSilenced) {
   EXPECT_TRUE(detlint::scan_file("x.cpp", content, options).empty());
 }
 
-// The machine-checked determinism contract: the live tree lints clean.
-// Seeding an un-annotated violation in src/, tools/ or bench/ fails here
-// (and in tools/ci.sh lint, which runs the standalone binary).
+// The machine-checked determinism + architecture contract: the live tree
+// lints clean against the real layer manifest, with both passes on.
+// Seeding an un-annotated violation in src/, tools/, bench/ or tests/
+// fails here (and in tools/ci.sh lint, which runs the standalone binary).
 TEST(DetlintTree, RepoIsClean) {
   const std::string repo = DETLINT_REPO_DIR;
-  const auto violations =
-      detlint::scan_paths({repo + "/src", repo + "/tools", repo + "/bench"});
+  detlint::ScanOptions options;
+  const detlint::LayerManifest manifest =
+      detlint::load_manifest(repo + "/tools/detlint/layers.json");
+  options.manifest = &manifest;
+  options.exclude_substrings.push_back("detlint_corpus");
+  const auto violations = detlint::scan_paths(
+      {repo + "/src", repo + "/tools", repo + "/bench", repo + "/tests"}, options);
   for (const auto& v : violations) ADD_FAILURE() << detlint::format_violation(v);
 }
 

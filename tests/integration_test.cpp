@@ -17,6 +17,7 @@ using baselines::run_experiment;
 
 ProfileStore& store() {
   static Rng rng(202);
+  // detlint:allow(global-state) fixed-seed fixture built once; tests only read it
   static ProfileStore s{profiler::OfflineProfiler{}, rng};
   return s;
 }

@@ -13,6 +13,7 @@ namespace {
 
 baselines::ProfileStore& store() {
   static Rng rng(303);
+  // detlint:allow(global-state) fixed-seed fixture built once; tests only read it
   static baselines::ProfileStore s{profiler::OfflineProfiler{}, rng};
   return s;
 }

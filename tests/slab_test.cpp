@@ -21,6 +21,7 @@ struct alignas(64) Overaligned {
 
 // Counts constructions/destructions so we can prove the slab runs both.
 struct Counted {
+  // detlint:allow(global-state) the counter under test: asserts construction/destruction balance
   static int alive;
   Counted() { ++alive; }
   ~Counted() { --alive; }

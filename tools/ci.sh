@@ -89,10 +89,12 @@ write_smoke_grid() {
 EOF
 }
 
-# Compile-database audit: every translation unit under src/ must appear in
-# the freshly regenerated compile_commands.json. Catches a source file that
-# exists on disk but was never added to its CMakeLists.txt (it would silently
-# escape clang-tidy, detlint's build coverage and the sanitizer flavors).
+# Compile-database audit: every translation unit under src/, tools/, bench/
+# and tests/ must appear in the freshly regenerated compile_commands.json
+# (the detlint corpus is lint test data, not code, and is exempt). Catches a
+# source file that exists on disk but was never added to its CMakeLists.txt
+# (it would silently escape clang-tidy, detlint's build coverage and the
+# sanitizer flavors).
 compile_db_check() {
   echo "==== [lint] compile database covers every translation unit ===="
   local db="${prefix}/compile_commands.json"
@@ -107,21 +109,40 @@ compile_db_check() {
            "(add it to its CMakeLists.txt and reconfigure)"
       missing=1
     fi
-  done < <(find "${repo}/src" -name '*.cpp' | sort)
+  done < <(find "${repo}/src" "${repo}/tools" "${repo}/bench" "${repo}/tests" \
+             -name '*.cpp' -not -path '*/detlint_corpus/*' | sort)
   if [ "${missing}" -ne 0 ]; then
     return 1
   fi
   echo "[lint] compile database complete"
 }
 
-# Static analysis: detlint always (zero unsuppressed violations allowed over
-# src/ tools/ bench/), the compile-db audit, and clang-tidy over the compile
-# database when a binary is on PATH. Exits non-zero on any finding.
+# Static analysis: detlint always (both passes — the determinism rule
+# catalog and the archlint layer manifest — with zero unsuppressed
+# violations allowed over src/ tools/ bench/ tests/), the compile-db audit,
+# and clang-tidy over the compile database when a binary is on PATH. The
+# machine-readable report lands next to the build tree as a CI artifact
+# either way. Exits non-zero on any finding.
 lint_step() {
-  echo "==== [lint] detlint: determinism rule catalog ===="
+  echo "==== [lint] detlint: determinism rules + layer manifest ===="
   configure_flavor ci "${prefix}"
   cmake --build "${prefix}" --target detlint -j "${jobs}"
-  "${prefix}/tools/detlint/detlint" "${repo}/src" "${repo}/tools" "${repo}/bench"
+  local report="${prefix}/detlint-report.json"
+  if ! "${prefix}/tools/detlint/detlint" -q \
+      --layers "${repo}/tools/detlint/layers.json" \
+      --exclude detlint_corpus \
+      --json "${report}" \
+      "${repo}/src" "${repo}/tools" "${repo}/bench" "${repo}/tests"; then
+    echo "[lint] ERROR: detlint found violations; first 20 findings:"
+    "${prefix}/tools/detlint/detlint" \
+        --layers "${repo}/tools/detlint/layers.json" --exclude detlint_corpus \
+        "${repo}/src" "${repo}/tools" "${repo}/bench" "${repo}/tests" \
+      | head -n 20 || true
+    echo "[lint] full machine-readable report: ${report}"
+    echo "[lint] fix the finding or add a reasoned 'detlint:allow(<rule>)' annotation"
+    return 1
+  fi
+  echo "[lint] detlint clean (report: ${report})"
 
   compile_db_check
 

@@ -1,0 +1,73 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "scanner.hpp"
+
+namespace detlint {
+
+/// Declarative include-layering manifest (tools/detlint/layers.json,
+/// DESIGN.md §11). Layers are listed lowest first; a module may include its
+/// own layer and any layer named in its `deps` list ("*" = anything, for
+/// the harness layer). `private_modules` lists modules whose headers are
+/// internal except for an explicit facade.
+struct LayerManifest {
+  struct Layer {
+    std::string name;
+    /// Module directories, e.g. "src/serverless" or "bench". A file belongs
+    /// to the module whose directory appears as a component prefix of its
+    /// path (longest match wins).
+    std::vector<std::string> members;
+    /// Names of other layers this layer may include, or the single entry
+    /// "*" to allow everything.
+    std::vector<std::string> deps;
+  };
+  struct PrivateModule {
+    std::string module;
+    /// Facade headers, relative to the module directory. Everything else in
+    /// the module is private to it.
+    std::vector<std::string> public_headers;
+    /// Modules that may include private headers anyway (white-box tests).
+    std::vector<std::string> allow_from;
+  };
+
+  std::vector<Layer> layers;
+  std::vector<PrivateModule> private_modules;
+
+  /// Throws std::runtime_error on duplicate layers/members, a dep naming an
+  /// unknown layer, or a cyclic layer DAG.
+  void validate() const;
+
+  /// Module directory of `path`, or "" if no member covers it.
+  std::string module_of(const std::string& path) const;
+
+  /// Layer index of a module directory, or -1.
+  int layer_of_module(const std::string& module) const;
+};
+
+/// Parse a manifest from JSON text / load it from disk. Both validate() the
+/// result and throw std::runtime_error with a description on any problem.
+LayerManifest parse_manifest(const std::string& text);
+LayerManifest load_manifest(const std::string& path);
+
+/// One scanned translation unit / header for the arch pass. `raw` is the
+/// original text (include paths are string literals, which the stripped view
+/// blanks); `code` is the comment- and string-stripped view of identical
+/// shape, used to reject directives that only exist inside comments or raw
+/// string literals.
+struct ArchFile {
+  std::string path;
+  const std::string* raw = nullptr;
+  const std::string* code = nullptr;
+};
+
+/// The archlint pass: builds the project-relative include graph over
+/// `files` (quoted includes only; an include that resolves to no scanned
+/// file is external and ignored) and reports `layer-violation`,
+/// `include-cycle` and `private-include` findings. Results are raw — the
+/// caller merges them into the per-file allow resolution.
+std::vector<Violation> archlint(const LayerManifest& manifest,
+                                const std::vector<ArchFile>& files);
+
+}  // namespace detlint

@@ -1,0 +1,78 @@
+// Machine-readable detlint output and the baseline ratchet: a --json report
+// doubles as the --baseline input, so pinning today's findings is just
+// saving today's report. Budgets are per (path, rule) — line numbers drift
+// with unrelated edits and are deliberately not part of the pin.
+
+#include <map>
+
+#include "common/json.hpp"
+#include "scanner.hpp"
+
+namespace detlint {
+
+namespace json = smiless::json;
+
+std::string report_json(const std::vector<Violation>& violations) {
+  json::Value doc = json::Value::object();
+  doc["detlint"] = 1;
+  doc["total"] = static_cast<long long>(violations.size());
+  std::map<std::string, int> counts;
+  for (const auto& v : violations) ++counts[v.rule];
+  json::Value counts_v = json::Value::object();
+  for (const auto& [rule, n] : counts) counts_v[rule] = n;
+  doc["counts"] = std::move(counts_v);
+  json::Value list = json::Value::array();
+  for (const auto& v : violations) {
+    json::Value item = json::Value::object();
+    item["path"] = v.path;
+    item["line"] = v.line;
+    item["rule"] = v.rule;
+    item["message"] = v.message;
+    list.push_back(std::move(item));
+  }
+  doc["violations"] = std::move(list);
+  return doc.dump(2) + "\n";
+}
+
+Baseline parse_baseline(const std::string& text) {
+  const json::Value doc = json::Value::parse(text);
+  const json::Value* list = doc.find("violations");
+  if (list == nullptr)
+    throw std::runtime_error("baseline: missing 'violations' (expected a detlint --json report)");
+  Baseline out;
+  for (const auto& item : list->items())
+    ++out.budget[{item.get("path", ""), item.get("rule", "")}];
+  return out;
+}
+
+Baseline load_baseline(const std::string& path) {
+  try {
+    return parse_baseline(json::load_file(path).dump());
+  } catch (const std::runtime_error& e) {
+    throw std::runtime_error(path + ": " + e.what());
+  }
+}
+
+std::vector<Violation> apply_baseline(std::vector<Violation> violations, const Baseline& baseline,
+                                      BaselineStats* stats) {
+  std::map<std::pair<std::string, std::string>, int> budget = baseline.budget;
+  std::vector<Violation> out;
+  int suppressed = 0;
+  for (auto& v : violations) {
+    const auto it = budget.find({v.path, v.rule});
+    if (it != budget.end() && it->second > 0) {
+      --it->second;
+      ++suppressed;
+    } else {
+      out.push_back(std::move(v));
+    }
+  }
+  if (stats != nullptr) {
+    stats->suppressed = suppressed;
+    stats->stale = 0;
+    for (const auto& [key, remaining] : budget) stats->stale += remaining;
+  }
+  return out;
+}
+
+}  // namespace detlint

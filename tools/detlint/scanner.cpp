@@ -9,6 +9,8 @@
 #include <stdexcept>
 #include <unordered_set>
 
+#include "archlint.hpp"
+
 namespace detlint {
 
 namespace {
@@ -43,6 +45,28 @@ const std::vector<RuleInfo>& catalog() {
        "process-environment and build-time inputs (getenv/setenv family, __DATE__, "
        "__TIME__, __TIMESTAMP__) leaking into simulation state",
        {}},
+      {"layer-violation",
+       "an #include crossing the layer manifest (tools/detlint/layers.json) to a "
+       "layer the includer's layer does not declare as a dependency",
+       {}},
+      {"include-cycle",
+       "a cycle in the project-relative include graph (one report per cycle, "
+       "anchored at its lexicographically first file)",
+       {}},
+      {"private-include",
+       "a module-internal header included from outside its module, bypassing the "
+       "facade declared in the layer manifest",
+       {}},
+      {"global-state",
+       "mutable namespace-scope, static-local or thread_local variable: process-"
+       "wide state that silently couples otherwise-independent lanes (DESIGN.md "
+       "§14); const/constexpr data stays legal",
+       {}},
+      {"time-unit",
+       "raw unit-conversion literal (1000, 1e6, 3600, ...) multiplied into a "
+       "unit-suffixed variable (*_seconds, *_ms, *_ns, *_us); use the named "
+       "constants in common/units.hpp",
+       {}},
   };
   return kRules;
 }
@@ -50,14 +74,6 @@ const std::vector<RuleInfo>& catalog() {
 // ---------------------------------------------------------------------------
 // Comment / string stripping
 // ---------------------------------------------------------------------------
-
-/// Splits `content` into a code view and a comment view of identical shape:
-/// every character keeps its line/column, but the code view blanks comments
-/// and string/char literals while the comment view keeps only comment text.
-struct StrippedSource {
-  std::string code;
-  std::string comments;
-};
 
 bool is_word(char c) { return std::isalnum(static_cast<unsigned char>(c)) || c == '_'; }
 
@@ -426,6 +442,100 @@ void match_ptr_key(const std::string& path, const std::string& code,
   }
 }
 
+/// global-state: a `static` or `thread_local` declaration whose declarator
+/// ends in `;`, `=` or `{` (a variable) and whose specifier run carries no
+/// const/constexpr/constinit. Function declarations stop at '(' and are
+/// skipped — which also makes paren-initialized variables
+/// (`static Rng rng(7);`) a documented blind spot, like alias-typed
+/// declarations are for unordered-iter.
+void match_global_state(const std::string& path, const std::string& code,
+                        const std::vector<std::size_t>& line_starts, std::vector<Violation>& out) {
+  static const std::regex kKeyword(R"(\b(static|thread_local)\b)");
+  for (auto it = std::sregex_iterator(code.begin(), code.end(), kKeyword);
+       it != std::sregex_iterator(); ++it) {
+    const std::size_t begin = static_cast<std::size_t>(it->position()) + it->length();
+    std::string decl;
+    char stop = '\0';
+    int angle = 0;
+    for (std::size_t i = begin; i < code.size() && decl.size() < 600; ++i) {
+      const char c = code[i];
+      if (c == '<') {
+        ++angle;
+      } else if (c == '>') {
+        if (angle > 0) --angle;
+      } else if (angle == 0 && (c == ';' || c == '=' || c == '{' || c == '(' || c == ')' ||
+                                c == ',')) {
+        stop = c;
+        break;
+      }
+      decl.push_back(c);
+    }
+    if (stop != ';' && stop != '=' && stop != '{') continue;  // function, param, or truncated
+    static const std::regex kImmutable(R"(\b(const|constexpr|constinit)\b)");
+    if (std::regex_search(decl, kImmutable)) continue;
+    // Identifiers outside template arguments; the last one is the variable.
+    std::string name, cur;
+    int depth = 0;
+    for (const char c : decl + " ") {
+      if (c == '<') ++depth;
+      if (c == '>' && depth > 0) --depth;
+      if (depth == 0 && is_word(c)) {
+        cur.push_back(c);
+      } else if (!cur.empty()) {
+        if (!std::isdigit(static_cast<unsigned char>(cur[0]))) name = cur;
+        cur.clear();
+      }
+    }
+    if (name.empty()) continue;
+    static const std::unordered_set<std::string> kTypeDefs = {"class", "struct", "enum", "union"};
+    const std::string first = trim(decl).substr(0, trim(decl).find_first_of(" \t\n"));
+    if (stop == '{' && kTypeDefs.count(first)) continue;  // type definition, not a variable
+    Violation v;
+    v.path = path;
+    v.line = line_of(line_starts, static_cast<std::size_t>(it->position()));
+    v.rule = "global-state";
+    v.message = "mutable " + it->str(1) + " variable '" + name + "'";
+    out.push_back(std::move(v));
+  }
+}
+
+/// time-unit: a raw conversion literal applied (either side) to a
+/// unit-suffixed variable or accessor. The literal set covers the usual
+/// second/ms/us/ns scales plus minutes/hours/days.
+void match_time_unit(const std::string& path, const std::vector<std::string>& code_lines,
+                     std::vector<Violation>& out) {
+  static const std::string kLit =
+      R"((?:(?:1000000000|1000000|1000|86400|3600|60)(?:\.0)?|1e-?0?[369]|0\.001|0\.000001))";
+  static const std::string kId =
+      R"([A-Za-z_][\w.:>-]*_(?:seconds|secs|millis|ms|micros|us|nanos|ns))";
+  static const std::regex kAfter("\\b(" + kId + ")\\b\\s*(?:\\(\\s*\\))?\\s*\\)*\\s*[*/]\\s*(" +
+                                 kLit + ")(?![\\w.])");
+  // std::regex has no lookbehind; an explicit leading guard keeps the
+  // literal from matching the tail of a longer number ("0.1000").
+  static const std::regex kBefore("(?:^|[^\\w.])(" + kLit + ")\\s*[*/]\\s*(" + kId + ")\\b");
+  for (std::size_t li = 0; li < code_lines.size(); ++li) {
+    const std::string& line = code_lines[li];
+    std::smatch m;
+    std::string id, lit;
+    if (std::regex_search(line, m, kAfter)) {
+      id = m.str(1);
+      lit = m.str(2);
+    } else if (std::regex_search(line, m, kBefore)) {
+      lit = m.str(1);
+      id = m.str(2);
+    } else {
+      continue;
+    }
+    Violation v;
+    v.path = path;
+    v.line = static_cast<int>(li + 1);
+    v.rule = "time-unit";
+    v.message = "raw unit-conversion literal '" + lit + "' on '" + id +
+                "'; use a named constant from common/units.hpp";
+    out.push_back(std::move(v));
+  }
+}
+
 bool rule_exempt(const std::string& rule, const std::string& path) {
   for (const auto& r : catalog()) {
     if (r.id != rule) continue;
@@ -437,33 +547,28 @@ bool rule_exempt(const std::string& rule, const std::string& path) {
   return false;
 }
 
-}  // namespace
-
-const std::vector<RuleInfo>& rule_catalog() { return catalog(); }
-
-bool is_known_rule(const std::string& id) {
-  for (const auto& r : catalog())
-    if (r.id == id) return true;
-  return false;
-}
-
-std::vector<Violation> scan_file(const std::string& path, const std::string& content,
-                                 const ScanOptions& options) {
-  const StrippedSource stripped = strip(content);
-  const std::vector<std::string> code_lines = split_lines(stripped.code);
-  const std::vector<std::string> comment_lines = split_lines(stripped.comments);
+/// The lexical rule set over one stripped file.
+std::vector<Violation> lexical_raw(const std::string& path, const StrippedSource& stripped,
+                                   const std::vector<std::string>& code_lines) {
   std::vector<std::size_t> line_starts;
   line_starts.push_back(0);
   for (std::size_t i = 0; i < stripped.code.size(); ++i)
     if (stripped.code[i] == '\n') line_starts.push_back(i + 1);
-
-  std::vector<Allow> allows = collect_allows(comment_lines);
-
   std::vector<Violation> raw;
   match_simple_rules(path, code_lines, raw);
   match_unordered_iter(path, stripped.code, code_lines, raw);
   match_ptr_key(path, stripped.code, line_starts, raw);
+  match_global_state(path, stripped.code, line_starts, raw);
+  match_time_unit(path, code_lines, raw);
+  return raw;
+}
 
+/// Allow resolution, exemption, (line, rule) dedup and meta rules, shared by
+/// the lexical and arch passes.
+std::vector<Violation> finalize(const std::string& path,
+                                const std::vector<std::string>& comment_lines,
+                                std::vector<Violation> raw, const ScanOptions& options) {
+  std::vector<Allow> allows = collect_allows(comment_lines);
   // One report per (line, rule): several tokens on a line are one finding.
   std::vector<std::pair<int, std::string>> emitted;
   std::vector<Violation> out;
@@ -497,6 +602,26 @@ std::vector<Violation> scan_file(const std::string& path, const std::string& con
   return out;
 }
 
+}  // namespace
+
+const std::vector<RuleInfo>& rule_catalog() { return catalog(); }
+
+bool is_known_rule(const std::string& id) {
+  for (const auto& r : catalog())
+    if (r.id == id) return true;
+  return false;
+}
+
+StrippedSource strip_source(const std::string& content) { return strip(content); }
+
+std::vector<Violation> scan_file(const std::string& path, const std::string& content,
+                                 const ScanOptions& options) {
+  const StrippedSource stripped = strip(content);
+  const std::vector<std::string> code_lines = split_lines(stripped.code);
+  const std::vector<std::string> comment_lines = split_lines(stripped.comments);
+  return finalize(path, comment_lines, lexical_raw(path, stripped, code_lines), options);
+}
+
 std::vector<Violation> scan_paths(const std::vector<std::string>& roots,
                                   const ScanOptions& options) {
   namespace fs = std::filesystem;
@@ -504,6 +629,11 @@ std::vector<Violation> scan_paths(const std::vector<std::string>& roots,
   const auto is_source = [&](const fs::path& p) {
     const std::string ext = p.extension().string();
     return std::find(kExtensions.begin(), kExtensions.end(), ext) != kExtensions.end();
+  };
+  const auto excluded = [&](const std::string& path) {
+    for (const auto& sub : options.exclude_substrings)
+      if (path.find(sub) != std::string::npos) return true;
+    return false;
   };
   std::vector<std::string> files;
   for (const auto& root : roots) {
@@ -519,13 +649,45 @@ std::vector<Violation> scan_paths(const std::vector<std::string>& roots,
     }
   }
   std::sort(files.begin(), files.end());
-  std::vector<Violation> out;
-  for (const auto& file : files) {
-    std::ifstream in(file, std::ios::binary);
-    if (!in) throw std::runtime_error("detlint: cannot read " + file);
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+  files.erase(std::remove_if(files.begin(), files.end(), excluded), files.end());
+
+  // Read + strip everything once: the lexical rules work per file, the arch
+  // pass needs the whole set to build the include graph.
+  std::vector<std::string> contents(files.size());
+  std::vector<StrippedSource> stripped(files.size());
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    std::ifstream in(files[i], std::ios::binary);
+    if (!in) throw std::runtime_error("detlint: cannot read " + files[i]);
     std::ostringstream ss;
     ss << in.rdbuf();
-    std::vector<Violation> vs = scan_file(file, ss.str(), options);
+    contents[i] = ss.str();
+    stripped[i] = strip(contents[i]);
+  }
+
+  std::map<std::string, std::vector<Violation>> raw_by_path;
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    const std::vector<std::string> code_lines = split_lines(stripped[i].code);
+    std::vector<Violation> raw = lexical_raw(files[i], stripped[i], code_lines);
+    auto& bucket = raw_by_path[files[i]];
+    bucket.insert(bucket.end(), std::make_move_iterator(raw.begin()),
+                  std::make_move_iterator(raw.end()));
+  }
+  if (options.manifest != nullptr) {
+    std::vector<ArchFile> arch_files(files.size());
+    for (std::size_t i = 0; i < files.size(); ++i)
+      arch_files[i] = {files[i], &contents[i], &stripped[i].code};
+    for (auto& v : archlint(*options.manifest, arch_files)) {
+      const std::string path = v.path;
+      raw_by_path[path].push_back(std::move(v));
+    }
+  }
+
+  std::vector<Violation> out;
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    const std::vector<std::string> comment_lines = split_lines(stripped[i].comments);
+    std::vector<Violation> vs =
+        finalize(files[i], comment_lines, std::move(raw_by_path[files[i]]), options);
     out.insert(out.end(), std::make_move_iterator(vs.begin()), std::make_move_iterator(vs.end()));
   }
   return out;

@@ -1,9 +1,13 @@
 #pragma once
 
+#include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace detlint {
+
+struct LayerManifest;  // archlint.hpp
 
 /// One rule of the determinism catalog (DESIGN.md §11). `id` is what an
 /// inline allow annotation names (see DESIGN.md for the grammar);
@@ -31,6 +35,12 @@ struct ScanOptions {
   /// stops stale exemptions from accumulating after the code they excused
   /// is gone.
   bool report_unused_allows = true;
+  /// When set, scan_paths additionally runs the archlint pass (include
+  /// layering, cycles, private headers) against this manifest.
+  const LayerManifest* manifest = nullptr;
+  /// Skip files whose path contains any of these substrings (e.g. the
+  /// linter's own violation corpus).
+  std::vector<std::string> exclude_substrings;
 };
 
 /// The full rule catalog, in stable order.
@@ -39,18 +49,62 @@ const std::vector<RuleInfo>& rule_catalog();
 /// True if `id` names a catalog rule.
 bool is_known_rule(const std::string& id);
 
-/// Scan one file's contents. `path` is used for reporting and for rule
-/// exemption matching only; nothing is read from disk.
+/// Splits a source into a code view and a comment view of identical shape:
+/// every character keeps its line/column, but the code view blanks comments
+/// and string/char literals while the comment view keeps only comment text.
+/// Exposed for the archlint pass (include extraction must not see
+/// commented-out directives) and for scanner edge-case tests.
+struct StrippedSource {
+  std::string code;
+  std::string comments;
+};
+StrippedSource strip_source(const std::string& content);
+
+/// Scan one file's contents with the lexical rules. `path` is used for
+/// reporting and for rule exemption matching only; nothing is read from
+/// disk. The arch rules need the whole include graph and therefore only run
+/// under scan_paths with ScanOptions::manifest set.
 std::vector<Violation> scan_file(const std::string& path, const std::string& content,
                                  const ScanOptions& options = {});
 
 /// Recursively scan every C++ source file (.cpp/.cc/.hpp/.h) under each
-/// root (a root may also be a single file). Returns findings sorted by
-/// path, then line. Throws std::runtime_error on unreadable paths.
+/// root (a root may also be a single file). Runs the lexical rules per file
+/// plus, when options.manifest is set, the archlint pass over the whole
+/// file set; arch findings share the per-file allow resolution. Returns
+/// findings sorted by path, then line. Throws std::runtime_error on
+/// unreadable paths.
 std::vector<Violation> scan_paths(const std::vector<std::string>& roots,
                                   const ScanOptions& options = {});
 
 /// "path:line: [rule] message" — one line per violation.
 std::string format_violation(const Violation& v);
+
+// ---------------------------------------------------------------------------
+// Machine-readable output + baseline ratchet (report.cpp)
+// ---------------------------------------------------------------------------
+
+/// Byte-stable JSON report: {"detlint": 1, "total": N, "counts": {rule: n},
+/// "violations": [{"path", "line", "rule", "message"}]}. Also the on-disk
+/// baseline format — a report written today pins today's findings.
+std::string report_json(const std::vector<Violation>& violations);
+
+/// A parsed baseline: per-(path, rule) budgets of tolerated findings. Line
+/// numbers are deliberately ignored so unrelated edits don't invalidate the
+/// pin; growing a file's count past its budget reports the whole rule's
+/// findings for that file again.
+struct Baseline {
+  std::map<std::pair<std::string, std::string>, int> budget;
+};
+struct BaselineStats {
+  int suppressed = 0;  // findings absorbed by the baseline
+  int stale = 0;       // baseline budget no longer matched by any finding
+};
+
+Baseline parse_baseline(const std::string& text);
+Baseline load_baseline(const std::string& path);
+
+/// Findings that exceed the baseline budgets, in the input order.
+std::vector<Violation> apply_baseline(std::vector<Violation> violations, const Baseline& baseline,
+                                      BaselineStats* stats = nullptr);
 
 }  // namespace detlint
