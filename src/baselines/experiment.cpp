@@ -11,8 +11,11 @@
 #include "cluster/cluster.hpp"
 #include "core/smiless_policy.hpp"
 #include "obs/telemetry.hpp"
+#include "rt/replayer.hpp"
 #include "serverless/sharding.hpp"
+#include "sim/driver.hpp"
 #include "sim/engine.hpp"
+#include "workload/arrival_cursor.hpp"
 
 namespace smiless::baselines {
 
@@ -124,7 +127,11 @@ RunResult run_experiment(const apps::App& app, const workload::Trace& trace,
 std::vector<RunResult> run_colocated(std::vector<ColocatedApp> apps,
                                      const ExperimentOptions& options) {
   SMILESS_CHECK(!apps.empty());
-  if (options.lanes > 1) return run_sharded(std::move(apps), options);
+  if (options.lanes > 1) {
+    SMILESS_CHECK_MSG(options.driver == nullptr,
+                      "driver seam requires lanes == 1 (got " << options.lanes << ")");
+    return run_sharded(std::move(apps), options);
+  }
   obs::Telemetry* tel = options.telemetry;
   if (tel != nullptr && options.series_cadence > 0.0)
     tel->enable_series(options.series_cadence);
@@ -158,12 +165,30 @@ std::vector<RunResult> run_colocated(std::vector<ColocatedApp> apps,
                         ca.app.sla);
     }
     ids[i] = platform.deploy(ca.app, ca.policy);
-    for (SimTime t : ca.trace->arrivals) platform.submit_request(ids[i], t);
+    if (options.driver == nullptr) {
+      // Classic upfront scheduling, per-app interleaved with deploy — the
+      // order every golden was pinned under. drain_all preserves it.
+      workload::ArrivalCursor(&ca.trace->arrivals)
+          .drain_all([&](SimTime t) { platform.submit_request(ids[i], t); });
+    }
     horizon = std::max(horizon,
                        static_cast<double>(ca.trace->counts.size()) * ca.trace->window);
   }
   const double end = horizon + options.drain_slack;
-  engine.run_until(end);
+  if (options.driver == nullptr) {
+    // Arrivals are already in the queue; the DES driver with a null source
+    // is exactly the pre-seam engine.run_until(end).
+    sim::DesDriver des;
+    des.drive(engine, nullptr, end);
+  } else {
+    // Live-serving mode: the replayer streams each app's trace through the
+    // same Gateway intake, no earlier than each arrival's due time; the
+    // driver paces the pump (DESIGN.md §16).
+    rt::TraceReplayer replayer(
+        [&](std::size_t slot, SimTime t) { platform.submit_request(ids[slot], t); });
+    for (const auto& ca : apps) replayer.add_stream(&ca.trace->arrivals);
+    options.driver->drive(engine, &replayer, end);
+  }
   platform.finalize(end);
   if (tel != nullptr) tel->finalize_series(end);
 

@@ -18,6 +18,10 @@ class AuditLog;
 class Telemetry;
 }  // namespace smiless::obs
 
+namespace smiless::sim {
+class Driver;
+}  // namespace smiless::sim
+
 namespace smiless::baselines {
 
 /// Fitted performance models shared by every policy of one experiment —
@@ -78,6 +82,16 @@ struct ExperimentOptions {
   /// `telemetry`; 0 disables the series. Deterministic sim-time data —
   /// byte-stable at any threads/lane_threads/lanes setting.
   double series_cadence = 0.0;
+
+  /// Optional driver seam (non-owning; must outlive the run; DESIGN.md
+  /// §16). Null pumps the classic way: every arrival scheduled upfront,
+  /// engine free-run to the horizon — byte-identical to the pre-seam path.
+  /// Non-null hands the pump to the driver and feeds arrivals through a
+  /// streaming WorkSource (rt::TraceReplayer over the same traces), so a
+  /// pacing driver sees each arrival no earlier than its due time — the
+  /// live-serving mode. Requires lanes == 1 (pacing a window-barrier
+  /// sharded world is a different problem).
+  sim::Driver* driver = nullptr;
 
   /// Export internal queue diagnostics (CalendarStats, engine counters
   /// already mirrored) into the telemetry metric registry. Off by default

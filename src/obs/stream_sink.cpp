@@ -1,0 +1,32 @@
+#include "obs/stream_sink.hpp"
+
+#include "common/check.hpp"
+#include "common/json.hpp"
+#include "obs/event_bus.hpp"
+
+namespace smiless::obs {
+
+StreamSink::StreamSink(std::ostream* out) : out_(out) { SMILESS_CHECK(out_ != nullptr); }
+
+void StreamSink::attach(EventBus& bus) {
+  bus.add_sink([this](const Event& e) { write(e); });
+}
+
+void StreamSink::write(const Event& e) {
+  json::Value line = json::Value::object();
+  line["type"] = json::Value(event_type_name(e.type));
+  line["t"] = json::Value(e.t);
+  if (e.t2 != 0.0) line["t2"] = json::Value(e.t2);
+  if (e.app >= 0) line["app"] = json::Value(e.app);
+  if (e.node >= 0) line["node"] = json::Value(e.node);
+  if (e.request >= 0) line["request"] = json::Value(e.request);
+  if (e.instance >= 0) line["instance"] = json::Value(e.instance);
+  if (e.machine >= 0) line["machine"] = json::Value(e.machine);
+  if (e.value != 0.0) line["value"] = json::Value(e.value);
+  if (e.count != 0) line["count"] = json::Value(e.count);
+  *out_ << line.dump() << '\n';
+  out_->flush();  // live tailing is the point; one flush per event
+  ++lines_;
+}
+
+}  // namespace smiless::obs

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+
+#include "obs/event.hpp"
+
+namespace smiless::obs {
+
+class EventBus;
+
+/// Live NDJSON event stream (DESIGN.md §16): one JSON object per line,
+/// written and flushed as each event fires. This is the serving-mode
+/// counterpart of the post-hoc Perfetto export — same Event vocabulary,
+/// but streamed so an operator (or the CI serve smoke) can tail the run
+/// while it is in flight.
+///
+/// Line schema, in fixed key order:
+///   {"type": <event_type_name>, "t": <sim seconds>, ...}
+/// followed by "t2"/"value" when non-zero, "app"/"node"/"request"/
+/// "instance"/"machine" when >= 0, and "count" when non-zero — i.e. only
+/// fields the event type actually set (event.hpp documents the per-type
+/// meanings). All values are simulation-domain; no wall-clock field exists,
+/// so the stream for a given trajectory is byte-stable regardless of
+/// speedup. tests/golden/serve_stream.ndjson pins the format.
+class StreamSink {
+ public:
+  /// `out` must outlive the sink (and the bus it is attached to).
+  explicit StreamSink(std::ostream* out);
+
+  /// Subscribe to `bus`; every published event becomes one flushed line.
+  void attach(EventBus& bus);
+
+  /// Format and write one event (attach() wires this as the bus sink; it is
+  /// public so tests and replays can format events directly).
+  void write(const Event& e);
+
+  std::uint64_t lines() const { return lines_; }
+
+ private:
+  std::ostream* out_;  ///< not owned
+  std::uint64_t lines_ = 0;
+};
+
+}  // namespace smiless::obs

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/units.hpp"
+#include "sim/driver.hpp"
+#include "workload/arrival_cursor.hpp"
+
+namespace smiless::rt {
+
+/// Wall-clock trace replayer (DESIGN.md §16): the WorkSource that feeds
+/// recorded arrival traces into a live drive. Each app contributes one
+/// ArrivalCursor over its (sorted) arrival vector; the replayer merges the
+/// streams and hands each due arrival to a submit callback — in practice a
+/// bound Platform::submit_request, which lands in the Gateway intake
+/// exactly as the upfront scheduling path does.
+///
+/// The submit callback keeps this class free of any serverless dependency,
+/// which is what lets the rt layer sit below serverless in the archlint
+/// manifest: the replayer knows apps only as opaque slot indices.
+class TraceReplayer final : public sim::WorkSource {
+ public:
+  /// submit(slot, arrival): inject one arrival for the app in `slot`.
+  using Submit = std::function<void(std::size_t, SimTime)>;
+
+  explicit TraceReplayer(Submit submit);
+
+  /// Register one app's arrival stream; returns its slot index. `arrivals`
+  /// must be sorted ascending and outlive the replayer. Streams are drained
+  /// in registration order at equal due times, mirroring the app order of
+  /// the upfront scheduling loop.
+  std::size_t add_stream(const std::vector<SimTime>* arrivals);
+
+  SimTime next_time() const override;
+  void inject_through(SimTime t) override;
+  void flush() override;
+
+  /// Total arrivals handed to the submit callback so far.
+  std::uint64_t injected() const { return injected_; }
+
+ private:
+  Submit submit_;
+  std::vector<workload::ArrivalCursor> streams_;
+  std::uint64_t injected_ = 0;
+};
+
+}  // namespace smiless::rt

@@ -1,0 +1,55 @@
+#include "rt/wall_clock.hpp"
+
+#include <algorithm>
+#include <thread>
+
+#include "common/check.hpp"
+
+namespace smiless::rt {
+namespace {
+
+/// Longest single sleep slice. Waits are chopped into slices this size so a
+/// request_stop() is honored within one slice even when the next deadline
+/// is far away (e.g. a sparse trace replayed at speedup 1).
+constexpr std::chrono::milliseconds kMaxSleepSlice{50};
+
+}  // namespace
+
+WallClock::WallClock(double speedup) : speedup_(speedup) {
+  SMILESS_CHECK_MSG(speedup_ > 0.0, "speedup must be positive: " << speedup_);
+}
+
+void WallClock::start(SimTime sim_now) {
+  sim_epoch_ = sim_now;
+  wall_epoch_ = std::chrono::steady_clock::now();  // detlint:allow(wall-clock) pacing anchor; quarantined per class doc
+  started_ = true;
+  max_lag_seconds_ = 0.0;
+  waits_ = 0;
+}
+
+bool WallClock::wait_until(SimTime t) {
+  SMILESS_CHECK_MSG(started_, "WallClock::wait_until before start()");
+  ++waits_;
+  const auto deadline =
+      wall_epoch_ + std::chrono::duration_cast<std::chrono::steady_clock::duration>(  // detlint:allow(wall-clock) deadline in the pacing quarantine
+          WallDuration((t - sim_epoch_) / speedup_));
+  for (;;) {
+    if (stop_.load(std::memory_order_relaxed)) return false;
+    const auto now = std::chrono::steady_clock::now();  // detlint:allow(wall-clock) pacing read; quarantined per class doc
+    if (now >= deadline) {
+      max_lag_seconds_ = std::max(max_lag_seconds_, WallDuration(now - deadline).count());
+      return true;
+    }
+    const auto remaining = deadline - now;
+    std::this_thread::sleep_for(
+        std::min<std::chrono::steady_clock::duration>(remaining, kMaxSleepSlice));  // detlint:allow(wall-clock) duration type only, no clock read
+  }
+}
+
+double WallClock::wall_elapsed_seconds() const {
+  if (!started_) return 0.0;
+  const auto now = std::chrono::steady_clock::now();  // detlint:allow(wall-clock) diagnostic read; stderr/report only
+  return WallDuration(now - wall_epoch_).count();
+}
+
+}  // namespace smiless::rt

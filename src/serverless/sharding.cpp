@@ -11,6 +11,7 @@
 #include "obs/telemetry.hpp"
 #include "prof/profiler.hpp"
 #include "sim/lane_engine.hpp"
+#include "workload/arrival_cursor.hpp"
 
 namespace smiless::serverless {
 
@@ -31,7 +32,7 @@ struct ShardedPlatform::Lane {
   std::vector<int> app_map;                  ///< lane-local app id -> global
   std::vector<AppId> ids;                    ///< lane-local deploy handles
   std::vector<std::vector<SimTime>> arrivals;  ///< per lane-local app, sorted
-  std::vector<std::size_t> cursor;           ///< next un-injected arrival
+  std::vector<workload::ArrivalCursor> cursors;  ///< streaming position per app
 
   Lane(int lane_id, std::size_t machines, cluster::MachineSpec spec, int base,
        std::uint64_t seed, faults::FaultSpec fspec)
@@ -155,17 +156,24 @@ void ShardedPlatform::build_lanes() {
     lane.ids.push_back(id);
     lane.app_map.push_back(static_cast<int>(g));
     lane.arrivals.push_back(std::move(pa.arrivals));
-    lane.cursor.push_back(0);
   }
+
+  // Cursors are built only after every arrival vector is in place: they
+  // point at the inner vectors, which move while the outer one grows.
+  for (auto& lane : lanes_)
+    for (const auto& arr : lane->arrivals) lane->cursors.emplace_back(&arr);
 }
 
 void ShardedPlatform::inject_arrivals(Lane& lane, double limit, bool flush_all) {
-  for (std::size_t a = 0; a < lane.arrivals.size(); ++a) {
-    const std::vector<SimTime>& arr = lane.arrivals[a];
-    std::size_t& cur = lane.cursor[a];
-    while (cur < arr.size() && (flush_all || arr[cur] < limit)) {
-      lane.platform->submit_request(lane.ids[a], arr[cur]);
-      ++cur;
+  // Window-barrier streaming via the shared ArrivalCursor: strictly-before
+  // the barrier each step, everything on the final flush (so the scheduled-
+  // event tally matches the monolithic upfront run).
+  for (std::size_t a = 0; a < lane.cursors.size(); ++a) {
+    const auto submit = [&](SimTime t) { lane.platform->submit_request(lane.ids[a], t); };
+    if (flush_all) {
+      lane.cursors[a].drain_all(submit);
+    } else {
+      lane.cursors[a].drain_before(limit, submit);
     }
   }
 }

@@ -115,31 +115,20 @@ void CalendarQueue::unlink_free_cancelled_head(std::size_t idx) {
   }
 }
 
-bool CalendarQueue::pop_due(SimTime end, SimTime* t, EventId* id, Callback* cb) {
-  if (live_ == 0) return false;
+CalendarQueue::Node* CalendarQueue::find_earliest(std::size_t* idx) {
+  if (live_ == 0) return nullptr;
   const std::size_t mask = buckets_.size() - 1;
   std::size_t scanned = 0;
   while (true) {
-    const std::size_t idx = static_cast<std::size_t>(cur_vb_) & mask;
-    unlink_free_cancelled_head(idx);
-    Node* head = buckets_[idx].head;
+    const std::size_t i = static_cast<std::size_t>(cur_vb_) & mask;
+    unlink_free_cancelled_head(i);
+    Node* head = buckets_[i].head;
     if (head != nullptr && head->vb <= cur_vb_) {
       // This head is the globally earliest live event: equal times share a
       // virtual bucket, bucket lists are (time, id)-sorted, and the cursor
       // invariant rules out anything earlier elsewhere.
-      if (head->time > end) return false;
-      buckets_[idx].head = head->next;
-      if (buckets_[idx].head == nullptr) buckets_[idx].tail = nullptr;
-      if (buckets_[idx].hint == head) buckets_[idx].hint = nullptr;
-      ids_.take(head->id);
-      *t = head->time;
-      *id = head->id;
-      *cb = std::move(head->cb);
-      slab_.destroy(head);
-      --total_nodes_;
-      --live_;
-      maybe_shrink();
-      return true;
+      *idx = i;
+      return head;
     }
     ++cur_vb_;
     if (++scanned > buckets_.size()) {
@@ -150,6 +139,30 @@ bool CalendarQueue::pop_due(SimTime end, SimTime* t, EventId* id, Callback* cb) 
       scanned = 0;
     }
   }
+}
+
+bool CalendarQueue::pop_due(SimTime end, SimTime* t, EventId* id, Callback* cb) {
+  std::size_t idx = 0;
+  Node* head = find_earliest(&idx);
+  if (head == nullptr || head->time > end) return false;
+  buckets_[idx].head = head->next;
+  if (buckets_[idx].head == nullptr) buckets_[idx].tail = nullptr;
+  if (buckets_[idx].hint == head) buckets_[idx].hint = nullptr;
+  ids_.take(head->id);
+  *t = head->time;
+  *id = head->id;
+  *cb = std::move(head->cb);
+  slab_.destroy(head);
+  --total_nodes_;
+  --live_;
+  maybe_shrink();
+  return true;
+}
+
+SimTime CalendarQueue::next_time() {
+  std::size_t idx = 0;
+  Node* head = find_earliest(&idx);
+  return head == nullptr ? std::numeric_limits<double>::infinity() : head->time;
 }
 
 void CalendarQueue::direct_search() {

@@ -68,6 +68,12 @@ class CalendarQueue {
   /// them untouched and return false.
   bool pop_due(SimTime end, SimTime* t, EventId* id, Callback* cb);
 
+  /// Time of the earliest live event, or +infinity when empty. Positions
+  /// the pop cursor (and reclaims tombstoned bucket heads) exactly like
+  /// pop_due, so a peek-then-pop pair costs one scan, not two. Used by
+  /// pacing drivers to learn how long to wait; the DES path never calls it.
+  SimTime next_time();
+
   /// Live (non-tombstoned) pending events.
   std::size_t live() const { return live_; }
 
@@ -130,6 +136,9 @@ class CalendarQueue {
   std::uint64_t vbucket(SimTime t) const;
   void insert_node(Node* node);
   void unlink_free_cancelled_head(std::size_t idx);
+  /// Position the cursor at the globally earliest live event and return it
+  /// (with its physical bucket index in *idx); nullptr when live_ == 0.
+  Node* find_earliest(std::size_t* idx);
   void resize(std::size_t new_buckets);
   void maybe_grow();
   void maybe_shrink();

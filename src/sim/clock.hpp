@@ -1,0 +1,42 @@
+#pragma once
+
+#include "common/units.hpp"
+
+namespace smiless::sim {
+
+/// The time-source seam of a driver (DESIGN.md §16). A Clock decides when a
+/// simulation instant `t` is allowed to happen; the driver asks it before
+/// firing each event batch. Two implementations exist:
+///
+///  - ImmediateClock (here) — simulated time is free, wait_until returns at
+///    once. This is the discrete-event mode: the engine runs as fast as the
+///    hardware allows and the wall clock never enters the picture.
+///  - rt::WallClock (src/rt/wall_clock.hpp) — maps sim seconds onto wall
+///    seconds through a speedup factor and sleeps until each instant's wall
+///    deadline. This is the live-serving mode.
+///
+/// Contract: a Clock only *delays*; it never reorders, drops or inserts
+/// work. The simulated trajectory is therefore a pure function of the
+/// schedule regardless of which clock paces it — only wall-clock pacing
+/// (and any wall-derived diagnostics) differ between clocks.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Called once when a drive begins, with the sim time it starts from.
+  /// Pacing clocks anchor their wall epoch here; the default is a no-op.
+  virtual void start(SimTime sim_now) { (void)sim_now; }
+
+  /// Block until sim time `t` may happen. Returns false when the drive
+  /// should stop early (e.g. an interrupt was requested) — the driver then
+  /// abandons the pump without firing the batch at `t`.
+  virtual bool wait_until(SimTime t) = 0;
+};
+
+/// The DES clock: no pacing, never interrupts.
+class ImmediateClock final : public Clock {
+ public:
+  bool wait_until(SimTime) override { return true; }
+};
+
+}  // namespace smiless::sim

@@ -1,0 +1,12 @@
+#include "sim/driver.hpp"
+
+#include "sim/engine.hpp"
+
+namespace smiless::sim {
+
+void DesDriver::drive(Engine& engine, WorkSource* source, SimTime end) {
+  if (source != nullptr) source->flush();
+  engine.run_until(end);
+}
+
+}  // namespace smiless::sim

@@ -88,4 +88,8 @@ std::size_t Engine::pending() const {
   return ref_ != nullptr ? ref_->live() : calendar_.live();
 }
 
+SimTime Engine::next_time() {
+  return ref_ != nullptr ? ref_->next_time() : calendar_.next_time();
+}
+
 }  // namespace smiless::sim

@@ -78,6 +78,13 @@ class Engine {
   /// Live pending events; cancelled (tombstoned) events are excluded.
   std::size_t pending() const;
 
+  /// Sim time of the earliest live pending event, or +infinity when the
+  /// queue is empty. Non-const because both queue impls reclaim tombstones
+  /// on the way to the head — a trajectory-neutral side effect. This is
+  /// the peek pacing drivers (DESIGN.md §16) use to decide how long to
+  /// wait before the next batch; the DES pump never calls it.
+  SimTime next_time();
+
   const EngineStats& stats() const { return stats_; }
 
   QueueImpl queue_impl() const {

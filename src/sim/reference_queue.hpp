@@ -2,6 +2,7 @@
 
 #include <cstddef>
 #include <functional>
+#include <limits>
 #include <map>
 #include <queue>
 #include <vector>
@@ -47,6 +48,15 @@ class ReferenceQueue {
       return true;
     }
     return false;
+  }
+
+  /// Time of the earliest live event, or +infinity when empty. Discards
+  /// tombstoned heap entries on the way down (trajectory-neutral — they
+  /// would be skipped by the next pop_due anyway).
+  SimTime next_time() {
+    while (!queue_.empty() && callbacks_.find(queue_.top().id) == callbacks_.end())
+      queue_.pop();
+    return queue_.empty() ? std::numeric_limits<double>::infinity() : queue_.top().time;
   }
 
   std::size_t live() const { return callbacks_.size(); }

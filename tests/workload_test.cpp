@@ -1,9 +1,11 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/rng.hpp"
 #include "math/stats.hpp"
+#include "workload/arrival_cursor.hpp"
 #include "workload/trace.hpp"
 
 namespace smiless::workload {
@@ -132,6 +134,40 @@ TEST(RegularTrace, RejectsDegenerateParameters) {
   EXPECT_THROW(generate_regular_trace(0.0, 0.1, 60.0, rng), CheckError);
   EXPECT_THROW(generate_regular_trace(10.0, -0.1, 60.0, rng), CheckError);
   EXPECT_THROW(generate_regular_trace(10.0, 0.1, 5.0, rng), CheckError);
+}
+
+TEST(ArrivalCursor, DrainBoundsMatchTheirInjectionModes) {
+  const std::vector<SimTime> arrivals = {1.0, 2.0, 2.0, 3.0, 5.0};
+  std::vector<SimTime> got;
+  const auto grab = [&](SimTime t) { got.push_back(t); };
+
+  ArrivalCursor cursor(&arrivals);
+  EXPECT_DOUBLE_EQ(cursor.next_time(), 1.0);
+  EXPECT_EQ(cursor.remaining(), 5u);
+
+  // drain_before is strict (< limit): the window-barrier bound.
+  EXPECT_EQ(cursor.drain_before(2.0, grab), 1u);
+  EXPECT_EQ(got, (std::vector<SimTime>{1.0}));
+
+  // drain_through is inclusive (<= t): the pacing-driver bound.
+  EXPECT_EQ(cursor.drain_through(2.0, grab), 2u);
+  EXPECT_EQ(got, (std::vector<SimTime>{1.0, 2.0, 2.0}));
+  EXPECT_DOUBLE_EQ(cursor.next_time(), 3.0);
+
+  // drain_all flushes the tail regardless of time.
+  EXPECT_EQ(cursor.drain_all(grab), 2u);
+  EXPECT_EQ(got, (std::vector<SimTime>{1.0, 2.0, 2.0, 3.0, 5.0}));
+  EXPECT_TRUE(cursor.exhausted());
+  EXPECT_TRUE(std::isinf(cursor.next_time()));
+  EXPECT_EQ(cursor.drain_all(grab), 0u);
+}
+
+TEST(ArrivalCursor, DefaultConstructedIsExhausted) {
+  ArrivalCursor cursor;
+  EXPECT_TRUE(cursor.exhausted());
+  EXPECT_EQ(cursor.remaining(), 0u);
+  EXPECT_TRUE(std::isinf(cursor.next_time()));
+  EXPECT_EQ(cursor.drain_before(100.0, [](SimTime) {}), 0u);
 }
 
 }  // namespace

@@ -16,6 +16,7 @@
 #   tools/ci.sh bench      # shrunken throughput bench + artifact schema check
 #   tools/ci.sh shard      # lanes=1 vs lanes=4 artifact bit-identity smoke
 #   tools/ci.sh obs        # observability artifacts + HTML report + profiler smoke
+#   tools/ci.sh serve      # wall-clock serve mode vs DES equivalence smoke
 #   tools/ci.sh full /tmp/ci
 set -euo pipefail
 
@@ -24,7 +25,7 @@ repo="$(cd "$(dirname "$0")/.." && pwd)"
 cd "${repo}"
 mode="full"
 case "${1:-}" in
-  lint|tsan|golden|bench|shard|obs|full) mode="$1"; shift ;;
+  lint|tsan|golden|bench|shard|obs|serve|full) mode="$1"; shift ;;
 esac
 prefix="${1:-${repo}/build-ci}"
 jobs="$(nproc 2>/dev/null || echo 4)"
@@ -166,19 +167,22 @@ lint_step() {
 
 # ThreadSanitizer flavor: the concurrency suite, the exp parallel==serial
 # determinism suite, the lane-equivalence suite (lanes stepped by competing
+# threads), the realtime-driver suite (wall-clock pacing + stop flag cross
 # threads) and the 32-cell sweep smoke must produce zero reports.
 tsan_step() {
   local dir="${prefix}-tsan"
   echo "==== [tsan] configure + build (SMILESS_SANITIZE=thread) ===="
   configure_flavor tsan "${dir}" -DSMILESS_SANITIZE=thread
-  cmake --build "${dir}" --target concurrency_test exp_test sharding_test smiless_cli \
-      -j "${jobs}"
+  cmake --build "${dir}" --target concurrency_test exp_test sharding_test rt_test \
+      smiless_cli -j "${jobs}"
   echo "==== [tsan] concurrency_test ===="
   "${dir}/tests/concurrency_test"
   echo "==== [tsan] exp_test (parallel == serial sweep) ===="
   "${dir}/tests/exp_test"
   echo "==== [tsan] sharding_test (lane-equivalence under racing lane threads) ===="
   "${dir}/tests/sharding_test"
+  echo "==== [tsan] rt_test (DES vs realtime equivalence + wall-clock stop flag) ===="
+  "${dir}/tests/rt_test"
   echo "==== [tsan] 32-cell sweep smoke ===="
   local tmp
   tmp="$(mktemp -d)"
@@ -387,6 +391,55 @@ shard_smoke() {
   echo "[shard] artifacts bit-identical across lane counts OK"
 }
 
+# Serve smoke: `smiless serve` at a high --speedup must replay the same cell
+# the DES path runs — byte-identical stdout summary and metrics artifact —
+# while streaming live NDJSON whose per-type line counts match the DES
+# telemetry counters exactly (DESIGN.md §16). The driver seam is only a
+# pacing layer; any divergence here means it re-ordered the trajectory.
+serve_smoke() {
+  echo "==== [serve] wall-clock serve vs DES: same trajectory, live stream ===="
+  local dir
+  dir="$(mktemp -d)"
+  local common=(--app wl1 --policy smiless --duration 60 --seed 7 --no-lstm)
+  "${prefix}/tools/smiless" "${common[@]}" \
+      --metrics-out "${dir}/metrics_des.json" \
+      > "${dir}/stdout_des.txt"
+  "${prefix}/tools/smiless" serve "${common[@]}" --speedup 100000 \
+      --stream-out "${dir}/serve.ndjson" \
+      --metrics-out "${dir}/metrics_rt.json" \
+      > "${dir}/stdout_rt.txt" 2> "${dir}/serve_stderr.txt"
+  cmp "${dir}/stdout_des.txt" "${dir}/stdout_rt.txt"
+  cmp "${dir}/metrics_des.json" "${dir}/metrics_rt.json"
+  grep -q "driver=realtime" "${dir}/serve_stderr.txt"
+  if command -v python3 >/dev/null 2>&1; then
+    python3 - "${dir}" <<'EOF'
+import json, sys
+from collections import Counter
+d = sys.argv[1]
+streamed = Counter()
+lines = 0
+with open(f"{d}/serve.ndjson", encoding="utf-8") as f:
+    for raw in f:
+        e = json.loads(raw)
+        assert "type" in e and "t" in e, f"malformed stream line: {raw!r}"
+        streamed[e["type"]] += 1
+        lines += 1
+assert lines > 0, "empty live stream"
+metrics = json.load(open(f"{d}/metrics_des.json"))
+(cell,) = metrics["cells"]
+recorded = {k.removeprefix("events/"): v
+            for k, v in cell["metrics"]["counters"].items()
+            if k.startswith("events/")}
+assert dict(streamed) == recorded, \
+    f"stream/telemetry mismatch: {dict(streamed)} != {recorded}"
+print(f"[serve] {lines} NDJSON lines across {len(streamed)} event types"
+      f" match the DES counters OK")
+EOF
+  fi
+  rm -rf "${dir}"
+  echo "[serve] realtime replay matches the DES trajectory OK"
+}
+
 # Throughput-bench smoke: a shrunken version of the large BENCH_throughput
 # cell (bench/bench_throughput.cpp) must run end-to-end, keep both queue
 # impls on identical trajectories (the binary exits non-zero otherwise) and
@@ -532,6 +585,16 @@ case "${mode}" in
     echo "==== obs green ===="
     exit 0
     ;;
+  serve)
+    echo "==== [serve] configure + build ===="
+    configure_flavor ci "${prefix}"
+    cmake --build "${prefix}" --target smiless_cli -j "${jobs}"
+    serve_smoke
+    # The seam must not have moved the DES path: goldens stay bit-identical.
+    golden_smoke
+    echo "==== serve green ===="
+    exit 0
+    ;;
 esac
 
 run_flavor default ci "${prefix}"
@@ -540,6 +603,7 @@ sweep_smoke
 golden_smoke
 obs_smoke
 shard_smoke
+serve_smoke
 bench_smoke
 run_flavor asan asan "${prefix}-asan" -DSMILESS_SANITIZE=address
 run_flavor ubsan ubsan "${prefix}-ubsan" -DSMILESS_SANITIZE=undefined

@@ -3,7 +3,16 @@
 // Every run — single cell or sweep — goes through the exp:: experiment API,
 // so anything the CLI can do is reproducible from one JSON config file.
 //
-//   smiless_sim [options]
+//   smiless_sim [serve] [options]
+//     serve                 live-serving mode (DESIGN.md §16): pump the same
+//                           cell against the wall clock via rt::RealTimeDriver,
+//                           streaming the trace through the Gateway as each
+//                           arrival's wall deadline passes. Same config, same
+//                           books, same stdout summary as the DES run.
+//     --speedup <x>         serve: sim-seconds per wall-second (default 1)
+//     --stream-out <file>   serve: live NDJSON event stream (one flushed
+//                           line per event; schema pinned by
+//                           tests/golden/serve_stream.ndjson)
 //     --config <file.json>  load a full ExperimentConfig; later flags override
 //     --save-config <file>  write the resolved config as JSON and exit
 //     --app <wl1|wl2|wl3|ipa|path.manifest>   application (default wl3)
@@ -74,6 +83,7 @@
 #include "exp/artifacts.hpp"
 #include "exp/config.hpp"
 #include "exp/runner.hpp"
+#include "exp/serve.hpp"
 #include "math/stats.hpp"
 #include "serverless/tracing.hpp"
 #include "workload/trace_io.hpp"
@@ -92,12 +102,16 @@ struct CliOptions {
   std::string csv_file;
   exp::RunnerOptions runner;
   int slow = 0;
+  bool serve = false;         ///< `smiless_sim serve ...` subcommand
+  double speedup = 1.0;       ///< serve: sim-seconds per wall-second
+  std::string stream_out;     ///< serve: live NDJSON event stream path
 };
 
 [[noreturn]] void usage(const char* argv0, const std::string& error = "") {
   if (!error.empty()) std::cerr << "error: " << error << "\n\n";
   std::cerr << "usage: " << argv0
-            << " [--config run.json] [--save-config file] [--app wl1|wl2|wl3|ipa|file.manifest]\n"
+            << " [serve] [--config run.json] [--save-config file] [--app wl1|wl2|wl3|ipa|file.manifest]\n"
+               "       serve mode only: [--speedup X] [--stream-out file.ndjson]\n"
                "       [--policy NAME|all] [--duration S] [--trace file.csv] [--sla S]\n"
                "       [--seed N] [--lanes K] [--lane-threads N] [--no-lstm]\n"
                "       [--dump-trace file.csv] [--slow N]\n"
@@ -147,7 +161,8 @@ CliOptions parse_cli(int argc, char** argv) {
   }
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
-    if (!std::strcmp(arg, "--config")) { ++i; }  // handled above
+    if (i == 1 && !std::strcmp(arg, "serve")) o.serve = true;
+    else if (!std::strcmp(arg, "--config")) { ++i; }  // handled above
     else if (!std::strcmp(arg, "--save-config")) o.save_config = need_value(i);
     else if (!std::strcmp(arg, "--app")) o.config.app = need_value(i);
     else if (!std::strcmp(arg, "--policy")) o.policy = need_value(i);
@@ -172,6 +187,11 @@ CliOptions parse_cli(int argc, char** argv) {
       if (o.runner.lane_threads < 0) usage(argv[0], "--lane-threads must be >= 0");
     }
     else if (!std::strcmp(arg, "--no-lstm")) o.config.use_lstm = false;
+    else if (!std::strcmp(arg, "--speedup")) {
+      o.speedup = std::atof(need_value(i));
+      if (o.speedup <= 0.0) usage(argv[0], "--speedup must be positive");
+    }
+    else if (!std::strcmp(arg, "--stream-out")) o.stream_out = need_value(i);
     else if (!std::strcmp(arg, "--slow")) o.slow = std::atoi(need_value(i));
     else if (!std::strcmp(arg, "--sweep")) o.sweep_file = need_value(i);
     else if (!std::strcmp(arg, "--threads")) {
@@ -217,6 +237,8 @@ CliOptions parse_cli(int argc, char** argv) {
   if (o.config.trace.duration <= 0.0) usage(argv[0], "--duration must be positive");
   if (o.config.sla <= 0.0) usage(argv[0], "--sla must be positive");
   if (o.config.platform.request_timeout <= 0.0) usage(argv[0], "--timeout must be positive");
+  if (!o.serve && (o.speedup != 1.0 || !o.stream_out.empty()))
+    usage(argv[0], "--speedup/--stream-out only apply to the serve subcommand");
   o.config.policy = o.policy == "all" ? "smiless" : o.policy;
   return o;
 }
@@ -230,6 +252,94 @@ std::vector<std::string> resolve_policies(const char* argv0, const std::string& 
   }
   (void)argv0;
   return {name};
+}
+
+/// The single-run stdout preamble, shared by the DES path and `serve` so
+/// the CI serve smoke can diff the two stdouts byte-for-byte.
+void print_run_header(const apps::App& app, const workload::Trace& trace) {
+  std::cout << "app: " << app.name << " (" << app.dag.size() << " functions, SLA " << app.sla
+            << " s), trace: " << trace.total_invocations() << " requests over "
+            << trace.counts.size() << " s\n\n";
+}
+
+/// The single-run summary table, shared by the DES path and `serve`.
+void print_summary_table(const std::vector<exp::CellResult>& cells, bool with_faults) {
+  std::vector<std::string> headers = {"policy",     "cost ($)",  "p50 E2E (s)",
+                                      "p99 E2E (s)", "violations", "inits",
+                                      "cpu core-s", "gpu pct-s"};
+  if (with_faults) {
+    headers.insert(headers.end(), {"goodput", "failed", "retries", "evictions", "timeouts"});
+  }
+  TextTable table(headers);
+  for (const auto& cell : cells) {
+    const auto& r = cell.result;
+    std::vector<std::string> row = {
+        r.policy, TextTable::num(r.cost, 4),
+        TextTable::num(math::tail_latency(r.e2e, 50), 2),
+        TextTable::num(math::tail_latency(r.e2e, 99), 2),
+        TextTable::num(100 * r.violation_ratio, 1) + "%", std::to_string(r.initializations),
+        TextTable::num(r.cpu_core_seconds, 0), TextTable::num(r.gpu_pct_seconds, 0)};
+    if (with_faults) {
+      row.insert(row.end(),
+                 {TextTable::num(100 * r.goodput(), 1) + "%", std::to_string(r.failed),
+                  std::to_string(r.retries), std::to_string(r.evictions),
+                  std::to_string(r.timeouts)});
+    }
+    table.add_row(row);
+  }
+  table.print();
+}
+
+/// `smiless_sim serve`: one cell, live. Stdout is byte-identical to the DES
+/// single-run of the same config (the smoke test diffs them); everything
+/// wall-derived goes to stderr.
+int run_serve(const CliOptions& cli) {
+  if (cli.policy == "all") {
+    std::cerr << "error: serve drives one policy at a time (got --policy all)\n";
+    return 2;
+  }
+  if (!baselines::parse_policy_kind(cli.policy)) {
+    std::cerr << "error: unknown policy '" << cli.policy << "'\n";
+    return 2;
+  }
+  exp::ExperimentConfig cfg = cli.config;
+  cfg.policy = cli.policy;
+
+  const apps::App app = exp::resolve_app(cfg);
+  const workload::Trace trace = exp::build_trace(cfg, app);
+  print_run_header(app, trace);
+
+  std::ofstream stream_file;
+  exp::ServeOptions sopt;
+  sopt.speedup = cli.speedup;
+  if (!cli.stream_out.empty()) {
+    stream_file.open(cli.stream_out);
+    if (!stream_file) {
+      std::cerr << "error: cannot open --stream-out " << cli.stream_out << "\n";
+      return 2;
+    }
+    sopt.stream = &stream_file;
+  }
+
+  exp::Runner runner(cli.runner);
+  exp::ServeReport report;
+  try {
+    report = exp::serve(cfg, runner.profiles(cfg.profile_seed), runner.policy_pool(), sopt);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+  if (cfg.obs.any()) exp::write_artifacts({report.cell}, cfg.obs);
+  print_summary_table({report.cell}, cfg.faults.any());
+
+  std::cerr << "[serve] driver=realtime speedup=" << TextTable::num(report.speedup, 0)
+            << " wall=" << TextTable::num(report.wall_seconds, 2)
+            << " s max_lag=" << TextTable::num(report.max_lag_seconds, 3)
+            << " s batches=" << report.batches << " arrivals=" << report.injected;
+  if (!cli.stream_out.empty())
+    std::cerr << " stream_lines=" << report.stream_lines << " -> " << cli.stream_out;
+  std::cerr << "\n";
+  return 0;
 }
 
 int run_sweep(const CliOptions& cli) {
@@ -321,6 +431,7 @@ int main(int argc, char** argv) {
     return 0;
   }
   if (!cli.sweep_file.empty()) return run_sweep(cli);
+  if (cli.serve) return run_serve(cli);
 
   const apps::App app = exp::resolve_app(cli.config);
   const workload::Trace trace = exp::build_trace(cli.config, app);
@@ -331,9 +442,7 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  std::cout << "app: " << app.name << " (" << app.dag.size() << " functions, SLA " << app.sla
-            << " s), trace: " << trace.total_invocations() << " requests over "
-            << trace.counts.size() << " s\n\n";
+  print_run_header(app, trace);
 
   // One cell per requested policy; the runner executes them concurrently.
   std::vector<exp::ExperimentConfig> cells_cfg;
@@ -345,32 +454,7 @@ int main(int argc, char** argv) {
   exp::Runner runner(cli.runner);
   const auto cells = runner.run(cells_cfg);
   if (cli.config.obs.any()) exp::write_artifacts(cells, cli.config.obs);
-
-  const bool with_faults = cli.config.faults.any();
-  std::vector<std::string> headers = {"policy",     "cost ($)",  "p50 E2E (s)",
-                                      "p99 E2E (s)", "violations", "inits",
-                                      "cpu core-s", "gpu pct-s"};
-  if (with_faults) {
-    headers.insert(headers.end(), {"goodput", "failed", "retries", "evictions", "timeouts"});
-  }
-  TextTable table(headers);
-  for (const auto& cell : cells) {
-    const auto& r = cell.result;
-    std::vector<std::string> row = {
-        r.policy, TextTable::num(r.cost, 4),
-        TextTable::num(math::tail_latency(r.e2e, 50), 2),
-        TextTable::num(math::tail_latency(r.e2e, 99), 2),
-        TextTable::num(100 * r.violation_ratio, 1) + "%", std::to_string(r.initializations),
-        TextTable::num(r.cpu_core_seconds, 0), TextTable::num(r.gpu_pct_seconds, 0)};
-    if (with_faults) {
-      row.insert(row.end(),
-                 {TextTable::num(100 * r.goodput(), 1) + "%", std::to_string(r.failed),
-                  std::to_string(r.retries), std::to_string(r.evictions),
-                  std::to_string(r.timeouts)});
-    }
-    table.add_row(row);
-  }
-  table.print();
+  print_summary_table(cells, cli.config.faults.any());
 
   if (cli.slow > 0) {
     // Re-run the first policy with tracing to show the slowest requests.
